@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleXML = `<dblp>
+  <article><author>John Smith</author><title>Trees</title><year>2008</year></article>
+  <article><author>Mary Jones</author><title>Graphs</title><year>2007</year></article>
+</dblp>`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunBracketQuery(t *testing.T) {
+	doc := writeTemp(t, "doc.xml", sampleXML)
+	if err := run("{article{author}{title}}", "", doc, "xml", 2, 0, 16, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunXMLQuery(t *testing.T) {
+	doc := writeTemp(t, "doc.xml", sampleXML)
+	q := writeTemp(t, "q.xml", `<article><author>John Smith</author><title>Trees</title></article>`)
+	if err := run("", q, doc, "xml", 1, 0, 16, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFanoutModel(t *testing.T) {
+	doc := writeTemp(t, "doc.xml", sampleXML)
+	if err := run("{article{author}}", "", doc, "xml", 1, 0.5, 8, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	doc := writeTemp(t, "doc.xml", sampleXML)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"missing doc", func() error { return run("{a}", "", "", "xml", 1, 0, 16, false, false) }},
+		{"both queries", func() error { return run("{a}", "also.xml", doc, "xml", 1, 0, 16, false, false) }},
+		{"no query", func() error { return run("", "", doc, "xml", 1, 0, 16, false, false) }},
+		{"bad format", func() error { return run("{a}", "", doc, "yaml", 1, 0, 16, false, false) }},
+		{"bad bracket", func() error { return run("{a", "", doc, "xml", 1, 0, 16, false, false) }},
+		{"missing file", func() error { return run("{a}", "", doc+".nope", "xml", 1, 0, 16, false, false) }},
+		{"bad k", func() error { return run("{a}", "", doc, "xml", 0, 0, 16, false, false) }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"tasm/internal/experiments"
+)
+
+func tinyConfig() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Scales = []int{1}
+	cfg.QuerySizes = []int{4}
+	cfg.Ks = []int{1, 10}
+	cfg.PSDEntries = 100
+	cfg.DBLPRecords = 400
+	return cfg
+}
+
+func TestRunSingleFigures(t *testing.T) {
+	for _, fig := range []string{"9a", "9b", "9c", "10", "11", "12"} {
+		var sb strings.Builder
+		if err := run(&sb, fig, tinyConfig()); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("fig %s produced no output", fig)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "all", tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 9a", "Figure 9b", "Figure 9c", "Figure 10", "Figure 11", "Figure 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "99", tinyConfig()); err == nil {
+		t.Error("unknown figure: want error")
+	}
+}

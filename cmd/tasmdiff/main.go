@@ -1,0 +1,89 @@
+// Command tasmdiff prints the tree edit distance between two XML
+// documents together with an optimal edit script — the sequence of node
+// matches, renames, deletions and insertions realizing that distance.
+//
+// Usage:
+//
+//	tasmdiff old.xml new.xml
+//	tasmdiff -q '{a{b}}' -r '{a{c}}'      # bracket notation literals
+//	tasmdiff -quiet old.xml new.xml       # distance only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tasm"
+)
+
+func main() {
+	var (
+		left    = flag.String("q", "", "left tree in bracket notation (instead of a file)")
+		right   = flag.String("r", "", "right tree in bracket notation (instead of a file)")
+		quiet   = flag.Bool("quiet", false, "print only the distance")
+		fanoutW = flag.Float64("fanout-weight", 0, "use the fanout-weighted cost model with this weight")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *left, *right, flag.Args(), *quiet, *fanoutW); err != nil {
+		fmt.Fprintln(os.Stderr, "tasmdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, left, right string, args []string, quiet bool, fanoutW float64) error {
+	opts := []tasm.Option{}
+	if fanoutW > 0 {
+		model, err := tasm.FanoutWeightedCost(fanoutW, 64)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, tasm.WithCostModel(model))
+	}
+	m := tasm.New(opts...)
+
+	a, err := loadTree(m, left, args, 0)
+	if err != nil {
+		return fmt.Errorf("left tree: %w", err)
+	}
+	b, err := loadTree(m, right, args, 1)
+	if err != nil {
+		return fmt.Errorf("right tree: %w", err)
+	}
+
+	fmt.Fprintf(w, "distance: %g\n", m.Distance(a, b))
+	if quiet {
+		return nil
+	}
+	for _, op := range m.EditScript(a, b) {
+		switch op.Op {
+		case tasm.OpMatch:
+			fmt.Fprintf(w, "  match   %q\n", a.Label(op.QNode))
+		case tasm.OpRename:
+			fmt.Fprintf(w, "  rename  %q -> %q  (cost %g)\n", a.Label(op.QNode), b.Label(op.TNode), op.Cost)
+		case tasm.OpDelete:
+			fmt.Fprintf(w, "  delete  %q  (cost %g)\n", a.Label(op.QNode), op.Cost)
+		case tasm.OpInsert:
+			fmt.Fprintf(w, "  insert  %q  (cost %g)\n", b.Label(op.TNode), op.Cost)
+		}
+	}
+	return nil
+}
+
+// loadTree reads tree number idx either from a bracket literal or from
+// the positional XML file arguments.
+func loadTree(m *tasm.Matcher, literal string, args []string, idx int) (*tasm.Tree, error) {
+	if literal != "" {
+		return m.ParseBracket(literal)
+	}
+	if idx >= len(args) {
+		return nil, fmt.Errorf("missing input: give two XML files or -q/-r literals")
+	}
+	f, err := os.Open(args[idx])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return m.ParseXML(f)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDiffLiterals(t *testing.T) {
+	if err := run(os.Stdout, "{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}", nil, false, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xml")
+	b := filepath.Join(dir, "b.xml")
+	if err := os.WriteFile(a, []byte(`<r><x>1</x></r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(`<r><x>2</x><y/></r>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, "", "", []string{a, b}, true, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(os.Stdout, "", "", []string{a, b}, false, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	if err := run(os.Stdout, "", "", nil, false, 0); err == nil {
+		t.Error("missing inputs accepted")
+	}
+	if err := run(os.Stdout, "{a", "{b}", nil, false, 0); err == nil {
+		t.Error("bad bracket accepted")
+	}
+	if err := run(os.Stdout, "{a}", "", []string{"nope.xml", "nope.xml"}, false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

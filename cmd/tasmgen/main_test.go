@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/docstore"
+	"tasm/internal/postorder"
+	"tasm/internal/xmlstream"
+)
+
+func TestGenerateXML(t *testing.T) {
+	for _, ds := range []string{"xmark", "dblp", "psd"} {
+		out := filepath.Join(t.TempDir(), ds+".xml")
+		if err := run(ds, 1, 7, "xml", out); err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := postorder.Validate(xmlstream.NewReader(dict.New(), f))
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: generated XML not a well-formed tree: %v", ds, err)
+		}
+		if n < 10 {
+			t.Fatalf("%s: only %d nodes", ds, n)
+		}
+	}
+}
+
+func TestGenerateStore(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.store")
+	if err := run("dblp", 20, 7, "store", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := docstore.NewReader(dict.New(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := postorder.Validate(r); err != nil {
+		t.Fatalf("store not a well-formed tree: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := filepath.Join(t.TempDir(), "a.xml")
+	b := filepath.Join(t.TempDir(), "b.xml")
+	if err := run("dblp", 10, 3, "xml", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dblp", 10, 3, "xml", b); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Error("same seed produced different XML")
+	}
+	if err := run("dblp", 10, 4, "xml", b); err != nil {
+		t.Fatal(err)
+	}
+	db, _ = os.ReadFile(b)
+	if string(da) == string(db) {
+		t.Error("different seeds produced identical XML")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run("unknown", 1, 1, "xml", filepath.Join(t.TempDir(), "x")); err == nil || !strings.Contains(err.Error(), "dataset") {
+		t.Errorf("unknown dataset: %v", err)
+	}
+	if err := run("dblp", 1, 1, "weird", filepath.Join(t.TempDir(), "x")); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("unknown format: %v", err)
+	}
+	if err := run("dblp", 1, 1, "xml", "/nonexistent-dir/x.xml"); err == nil {
+		t.Error("unwritable path: want error")
+	}
+}

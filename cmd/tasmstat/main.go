@@ -1,0 +1,63 @@
+// Command tasmstat prints the structural profile of an XML document or
+// binary postorder store in one streaming pass: node count, height, leaf
+// share, fanout distribution and subtree-size tabulation — the numbers the
+// TASM paper uses to characterize its corpora and to choose τ.
+//
+// Usage:
+//
+//	tasmstat dblp.xml
+//	tasmstat -format store dblp.store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tasm/internal/dict"
+	"tasm/internal/docstore"
+	"tasm/internal/postorder"
+	"tasm/internal/stats"
+	"tasm/internal/xmlstream"
+)
+
+func main() {
+	format := flag.String("format", "xml", "input format: xml or store")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tasmstat [-format xml|store] <document>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *format); err != nil {
+		fmt.Fprintln(os.Stderr, "tasmstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, format string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	d := dict.New()
+	var q postorder.Queue
+	switch format {
+	case "xml":
+		q = xmlstream.NewReader(d, f)
+	case "store":
+		q, err = docstore.NewReader(d, f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (want xml or store)", format)
+	}
+	p, err := stats.Compute(q)
+	if err != nil {
+		return err
+	}
+	p.Format(os.Stdout, path)
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tasm/internal/datagen"
+	"tasm/internal/dict"
+	"tasm/internal/docstore"
+	"tasm/internal/postorder"
+)
+
+func TestRunXML(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "d.xml")
+	if err := os.WriteFile(p, []byte(`<a><b>x</b><c/></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, "xml"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStore(t *testing.T) {
+	d := dict.New()
+	items, err := postorder.Collect(datagen.DBLP(10).Queue(d, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "d.store")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := docstore.WriteItems(f, d, items); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(p, "store"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.xml", "xml"); err == nil {
+		t.Error("missing file: want error")
+	}
+	p := filepath.Join(t.TempDir(), "d.xml")
+	if err := os.WriteFile(p, []byte(`<a/>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p, "yaml"); err == nil {
+		t.Error("bad format: want error")
+	}
+	if err := run(p, "store"); err == nil {
+		t.Error("xml as store: want error")
+	}
+}

@@ -1,0 +1,61 @@
+// Approximate XML keyword search on top of TASM — the Section VIII
+// future-work direction of the paper, built entirely from its machinery:
+// the keyword set becomes a star-shaped query, a cost model makes missing
+// keywords expensive and surrounding context cheap, and the established
+// tree edit distance replaces the ad-hoc content/structure score
+// combinations of the keyword-search literature.
+//
+//	go run ./examples/keyword
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tasm"
+	"tasm/keyword"
+)
+
+const catalog = `
+<library>
+  <section name="computing">
+    <book><author>Knuth</author><title>The Art of Computer Programming</title><year>1968</year></book>
+    <book><author>Codd</author><title>A Relational Model</title><year>1970</year></book>
+    <note>Knuth lectures archived in 2010</note>
+  </section>
+  <section name="history">
+    <book><author>Gibbon</author><title>Decline and Fall</title><year>1776</year></book>
+    <shelf><box>Knuth</box><label>misc</label><far><deeper><deepest><corner>1968</corner></deepest></deeper></far></shelf>
+  </section>
+</library>`
+
+func main() {
+	m := tasm.New()
+	doc, err := m.ParseXML(strings.NewReader(catalog))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keywords := []string{"Knuth", "1968"}
+	s, err := keyword.New(m.Dict(), keywords, keyword.WithK(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("keywords: %v  (compiled to star query %s)\n\n", keywords, s.Query())
+
+	results, err := s.RunTree(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, r := range results {
+		fmt.Printf("#%d  score %.1f  (%d nodes at position %d)", i+1, r.Score, r.Tree.Size(), r.Pos)
+		if len(r.Missing) > 0 {
+			fmt.Printf("  — missing %v", r.Missing)
+		}
+		fmt.Printf("\n    %s\n", r.Tree)
+	}
+
+	fmt.Println("\nthe concise book covering both keywords beats both the scattered")
+	fmt.Println("shelf (keywords far apart) and any partial single-keyword answer.")
+}

@@ -1,0 +1,72 @@
+// Constant-memory matching over a document that is never materialized —
+// the headline capability of TASM-postorder (paper Section VI, Figure 10):
+// the document flows straight from its source through the prefix ring
+// buffer, and the algorithm's footprint is independent of the document
+// size.
+//
+//	go run ./examples/streaming
+//
+// Here the source is the synthetic DBLP bibliography generator; in
+// production it would be an XML file (Matcher.XMLQueue), a binary store
+// (Matcher.OpenStore), or any custom tasm.Queue implementation over a
+// database.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"tasm"
+	"tasm/internal/datagen"
+)
+
+func main() {
+	m := tasm.New()
+
+	// A bibliographic pattern: find the records closest to this shape.
+	query, err := m.ParseBracket(
+		"{article" +
+			"{author{Anna Weber}}" +
+			"{title{information process}}" +
+			"{year{2005}}" +
+			"{journal{VLDBJ}}}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const k = 3
+
+	// Warm up the dictionary so first-run interning does not pollute the
+	// comparison (real deployments parse many documents per process).
+	if _, err := m.TopKStream(query, datagen.DBLP(2000).Queue(m.Dict(), 99), k); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, records := range []int{10000, 40000, 160000} {
+		queue := datagen.DBLP(records).Queue(m.Dict(), 99)
+
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		matches, err := m.TopKStream(query, queue, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		grew := (int64(after.HeapAlloc) - int64(before.HeapAlloc)) / 1024
+
+		nodes := records * 13 // ≈ average record size
+		fmt.Printf("document: %7d records (≈%8d nodes)  τ=%d  heap growth after run: %+5d KB\n",
+			records, nodes, m.Tau(query, k), grew)
+		for i, match := range matches {
+			fmt.Printf("   #%d distance %.1f at position %d: %s\n",
+				i+1, match.Dist, match.Pos, match.Tree)
+		}
+	}
+	fmt.Println("\nheap growth stays flat while the document grows 16×:")
+	fmt.Println("TASM-postorder's memory depends only on |Q| and k (Theorem 5).")
+}

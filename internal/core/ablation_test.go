@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/dict"
+	"tasm/internal/tree"
+)
+
+// TestIntermediateBoundAblation: disabling the τ′ pruning must not change
+// the resulting distances, only the amount of work.
+func TestIntermediateBoundAblation(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: int(qRaw)%6 + 1, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: int(tRaw)%50 + 1, MaxFanout: 4, Labels: 4})
+		k := int(kRaw)%6 + 1
+		withBound, err1 := Postorder(q, doc, k, Options{NoTrees: true})
+		without, err2 := Postorder(q, doc, k, Options{NoTrees: true, DisableIntermediateBound: true})
+		if err1 != nil || err2 != nil || len(withBound) != len(without) {
+			return false
+		}
+		for i := range withBound {
+			if withBound[i].Dist != without[i].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntermediateBoundSavesWork: on a document with an early exact match,
+// τ′ pruning must strictly reduce the number of TED evaluations.
+func TestIntermediateBoundSavesWork(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b}{c}}")
+	root := tree.NewNode("root")
+	root.AddChild(tree.NewNode("a", tree.NewNode("b"), tree.NewNode("c")))
+	for i := 0; i < 100; i++ {
+		root.AddChild(tree.NewNode("z",
+			tree.NewNode("y", tree.NewNode("x"), tree.NewNode("w")),
+			tree.NewNode("v", tree.NewNode("u"))))
+	}
+	doc := tree.FromNode(d, root)
+
+	count := func(disable bool) int {
+		p := &countingProbe{}
+		if _, err := Postorder(q, doc, 1, Options{Probe: p, NoTrees: true, DisableIntermediateBound: disable}); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, s := range p.relevant {
+			n += s
+		}
+		return n
+	}
+	with := count(false)
+	without := count(true)
+	if with >= without {
+		t.Errorf("τ′ pruning did not reduce work: %d (with) vs %d (without)", with, without)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tasm/internal/cost"
+	"tasm/internal/postorder"
+	"tasm/internal/prb"
+	"tasm/internal/ranking"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// PostorderBatch answers several TASM queries in a single postorder scan
+// of the document — the batch workload of data cleaning, where a whole
+// set of dirty records is matched against one large corpus.
+//
+// The scan uses one prefix ring buffer sized for the largest query bound
+// τmax. This is correct because candidate sets are nested: every subtree
+// within a smaller query's bound τi lies inside some cand(T, τmax)
+// subtree (its ancestors above that candidate exceed τmax ≥ τi), so the
+// τi-candidates can be recovered locally from each materialized
+// τmax-candidate. Each query then runs Algorithm 3's inner loop, with its
+// own τi and its own intermediate bound τ′i, against the shared
+// candidates.
+//
+// Compared to q independent scans, the document is parsed and pruned
+// once; the TED work is the same as q sequential runs (it is per-query by
+// nature). Results for each query are identical to PostorderStream's.
+func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Options) ([][]Match, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("tasm: batch needs at least one query")
+	}
+	if docQ == nil {
+		return nil, fmt.Errorf("tasm: document queue must not be nil")
+	}
+	model := opts.model()
+	d := queries[0].Dict()
+	type qstate struct {
+		q    *tree.Tree
+		tau  int
+		comp *ted.Computer
+		rank *ranking.Heap
+	}
+	states := make([]*qstate, len(queries))
+	tauMax := 0
+	for i, q := range queries {
+		if err := validate(q, k); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		if q.Dict() != d {
+			return nil, fmt.Errorf("tasm: query %d uses a different dictionary", i)
+		}
+		if err := cost.Validate(model, q); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		st := &qstate{
+			q:    q,
+			tau:  Tau(model, q, k, opts.CT),
+			comp: ted.NewComputer(model, q),
+			rank: ranking.New(k),
+		}
+		if opts.Probe != nil {
+			st.comp.SetProbe(opts.Probe)
+		}
+		if st.tau > tauMax {
+			tauMax = st.tau
+		}
+		states[i] = st
+	}
+
+	buf := prb.New(docQ, tauMax)
+	for {
+		ok, err := buf.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		cand, err := buf.Subtree(d, buf.Leaf(), buf.Root())
+		if err != nil {
+			return nil, err
+		}
+		if opts.Probe != nil {
+			opts.Probe.Candidate(cand.Size())
+		}
+		leafID := buf.Leaf()
+		for _, st := range states {
+			rankWithin(st.comp, st.q, cand, leafID, st.tau, st.rank, opts)
+		}
+	}
+	out := make([][]Match, len(states))
+	for i, st := range states {
+		out[i] = st.rank.Sorted()
+	}
+	return out, nil
+}
+
+// rankWithin runs the inner loop of Algorithm 3 for one query over one
+// shared candidate: the maximal subtrees within the query's own τ are
+// located inside the candidate (they are the query's candidate set
+// restricted to this region) and each is ranked with one TASM-dynamic
+// evaluation, subject to the query's intermediate bound.
+func rankWithin(comp *ted.Computer, q, cand *tree.Tree, leafID, tau int, r *ranking.Heap, opts Options) {
+	m := q.Size()
+	for rt := cand.Root(); rt >= 0; {
+		lml := cand.LML(rt)
+		size := rt - lml + 1
+		// Descend until the subtree fits this query's τ.
+		if size > tau {
+			rt--
+			continue
+		}
+		compute := true
+		if r.Full() && !opts.DisableIntermediateBound {
+			tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
+			compute = float64(size) < tauP
+		}
+		if compute {
+			sub := cand.Subtree(rt)
+			row := comp.SubtreeDistances(sub)
+			for j := 0; j < sub.Size(); j++ {
+				e := Match{Dist: row[j], Pos: leafID + lml + j, Size: sub.SubtreeSize(j)}
+				if !opts.NoTrees && r.WouldRetain(e) {
+					e.Tree = sub.Subtree(j)
+				}
+				r.Push(e)
+			}
+			rt = lml - 1
+		} else {
+			if opts.Probe != nil {
+				opts.Probe.Pruned(size)
+			}
+			rt--
+		}
+	}
+}

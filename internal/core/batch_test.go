@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+// TestBatchMatchesIndividualQuick: a batch run must return, per query,
+// the same distances as an individual PostorderStream run.
+func TestBatchMatchesIndividualQuick(t *testing.T) {
+	f := func(seed int64, nQRaw, tRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		nq := int(nQRaw)%4 + 1
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: int(tRaw)%60 + 1, MaxFanout: 4, Labels: 4})
+		k := int(kRaw)%5 + 1
+		queries := make([]*tree.Tree, nq)
+		for i := range queries {
+			queries[i] = tree.Random(d, rng, tree.RandomConfig{Nodes: rng.Intn(6) + 1, MaxFanout: 3, Labels: 4})
+		}
+		batch, err := PostorderBatch(queries, postorder.FromTree(doc), k, Options{NoTrees: true})
+		if err != nil {
+			return false
+		}
+		for i, q := range queries {
+			single, err := PostorderStream(q, postorder.FromTree(doc), k, Options{NoTrees: true})
+			if err != nil || len(single) != len(batch[i]) {
+				return false
+			}
+			for j := range single {
+				if single[j].Dist != batch[i][j].Dist {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchSingleScan(t *testing.T) {
+	// The batch API must consume the queue exactly once (it is handed a
+	// one-shot queue and must produce answers for every query anyway).
+	d := dict.New()
+	doc := tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	q1 := tree.MustParse(d, "{a{b}{c}}")
+	q2 := tree.MustParse(d, "{b}")
+	got, err := PostorderBatch([]*tree.Tree{q1, q2}, postorder.FromTree(doc), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d result sets", len(got))
+	}
+	// Example 2 for q1: (H6 dist 0, H3 dist 1).
+	if got[0][0].Dist != 0 || got[0][0].Pos != 6 || got[0][1].Dist != 1 || got[0][1].Pos != 3 {
+		t.Errorf("q1 results: %+v", got[0])
+	}
+	// q2 is a single 'b': two exact leaf matches.
+	if got[1][0].Dist != 0 || got[1][1].Dist != 0 {
+		t.Errorf("q2 results: %+v", got[1])
+	}
+}
+
+func TestBatchMixedQuerySizes(t *testing.T) {
+	// Queries with very different τ share one scan sized for the largest.
+	d := dict.New()
+	rng := rand.New(rand.NewSource(9))
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 300, MaxFanout: 5, Labels: 6})
+	small := tree.Random(d, rng, tree.RandomConfig{Nodes: 2, MaxFanout: 2, Labels: 6})
+	large := tree.Random(d, rng, tree.RandomConfig{Nodes: 40, MaxFanout: 4, Labels: 6})
+	batch, err := PostorderBatch([]*tree.Tree{small, large}, postorder.FromTree(doc), 3, Options{NoTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range []*tree.Tree{small, large} {
+		single, err := PostorderStream(q, postorder.FromTree(doc), 3, Options{NoTrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range single {
+			if single[j].Dist != batch[i][j].Dist {
+				t.Errorf("query %d rank %d: %g vs %g", i, j, batch[i][j].Dist, single[j].Dist)
+			}
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a}")
+	if _, err := PostorderBatch(nil, postorder.NewSliceQueue(nil), 1, Options{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := PostorderBatch([]*tree.Tree{q}, nil, 1, Options{}); err == nil {
+		t.Error("nil queue accepted")
+	}
+	if _, err := PostorderBatch([]*tree.Tree{q}, postorder.NewSliceQueue(nil), 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	other := tree.MustParse(dict.New(), "{a}")
+	if _, err := PostorderBatch([]*tree.Tree{q, other}, postorder.NewSliceQueue(nil), 1, Options{}); err == nil {
+		t.Error("mixed dictionaries accepted")
+	}
+}
+
+func TestBatchCarriesTrees(t *testing.T) {
+	d := dict.New()
+	doc := tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	q := tree.MustParse(d, "{a{b}{c}}")
+	got, err := PostorderBatch([]*tree.Tree{q}, postorder.FromTree(doc), 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0][0].Tree == nil || got[0][0].Tree.String() != "{a{b}{c}}" {
+		t.Errorf("batch match tree = %v", got[0][0].Tree)
+	}
+}

@@ -1,0 +1,266 @@
+// Package core implements the TASM algorithms of the paper: the naive
+// per-subtree baseline, TASM-dynamic (Section IV-F, the prior state of the
+// art), and TASM-postorder (Section VI, Algorithm 3 — the paper's
+// contribution), which combines the τ size bound of Theorem 3 with the
+// prefix ring buffer of Section V to answer top-k approximate subtree
+// matching queries in a single postorder scan of the document with memory
+// independent of the document size.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tasm/internal/cost"
+	"tasm/internal/postorder"
+	"tasm/internal/prb"
+	"tasm/internal/ranking"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// Match is one ranked subtree of the document.
+type Match = ranking.Entry
+
+// Probe receives instrumentation callbacks from TASM runs. It reproduces
+// the measurements behind Figures 11 and 12 of the paper (number and sizes
+// of the relevant subtrees for which prefix distances are evaluated) and
+// the candidate statistics of Section V. A nil Probe disables
+// instrumentation.
+type Probe interface {
+	ted.Probe
+	// Candidate is called by TASM-postorder for every candidate subtree
+	// produced by the prefix ring buffer, with its size.
+	Candidate(size int)
+	// Pruned is called by TASM-postorder for every subtree skipped by the
+	// τ′ intermediate-ranking bound (Algorithm 3, line 16), with its size.
+	Pruned(size int)
+}
+
+// Options configures a TASM run.
+type Options struct {
+	// Model is the node cost model; nil means the unit cost model.
+	Model cost.Model
+	// CT overrides cT, the bound on document node costs used in
+	// τ = |Q|·(cQ+1) + k·cT. Zero means Model.DocBound(). For
+	// memory-resident documents the exact maximum is used instead when
+	// it is smaller.
+	CT float64
+	// Probe receives instrumentation callbacks; nil disables them.
+	Probe Probe
+	// NoTrees suppresses materialization of matched subtrees in the
+	// results (Match.Tree stays nil); benchmarks use it to measure the
+	// algorithms rather than result construction.
+	NoTrees bool
+	// DisableIntermediateBound switches off the τ′ = min(τ, max(R)+|Q|)
+	// pruning of Algorithm 3 (Lemma 4), leaving only the static Theorem 3
+	// bound τ. Results are unchanged; it exists to measure how much of
+	// TASM-postorder's win comes from the dynamic bound (ablation).
+	DisableIntermediateBound bool
+}
+
+func (o *Options) model() cost.Model {
+	if o.Model == nil {
+		return cost.Unit{}
+	}
+	return o.Model
+}
+
+// validate checks the common query/k preconditions.
+func validate(q *tree.Tree, k int) error {
+	if q == nil || q.Size() == 0 {
+		return fmt.Errorf("tasm: query must be a non-empty tree")
+	}
+	if k < 1 {
+		return fmt.Errorf("tasm: k must be ≥ 1, got %d", k)
+	}
+	return nil
+}
+
+// Tau returns the paper's upper bound τ = |Q|·(cQ+1) + k·cT (Theorem 3) on
+// the size of any subtree that can appear in the final top-k ranking,
+// rounded down to an integer node count. With the unit cost model this is
+// 2·|Q| + k.
+func Tau(m cost.Model, q *tree.Tree, k int, ct float64) int {
+	cq := cost.MaxCost(m, q)
+	if ct <= 0 {
+		ct = m.DocBound()
+	}
+	return int(math.Floor(float64(q.Size())*(cq+1) + float64(k)*ct))
+}
+
+// Naive solves TASM by computing δ(Q, T_j) independently for every subtree
+// T_j of the document: the O(m²n²)-time strawman of Section I. It exists
+// as a correctness oracle and as the baseline the complexity discussion
+// starts from; use Dynamic or Postorder for real workloads.
+func Naive(q, doc *tree.Tree, k int, opts Options) ([]Match, error) {
+	if err := validate(q, k); err != nil {
+		return nil, err
+	}
+	if doc == nil || doc.Size() == 0 {
+		return nil, fmt.Errorf("tasm: document must be a non-empty tree")
+	}
+	comp := ted.NewComputer(opts.model(), q)
+	if opts.Probe != nil {
+		comp.SetProbe(opts.Probe)
+	}
+	r := ranking.New(k)
+	for j := 0; j < doc.Size(); j++ {
+		sub := doc.Subtree(j)
+		e := Match{Dist: comp.Distance(sub), Pos: j + 1, Size: sub.Size()}
+		if !opts.NoTrees {
+			e.Tree = sub
+		}
+		r.Push(e)
+	}
+	return r.Sorted(), nil
+}
+
+// Dynamic solves TASM with the TASM-dynamic algorithm of Section IV-F: one
+// Zhang–Shasha run of query against the whole document fills the tree
+// distance matrix, whose last row holds δ(Q, T_j) for every subtree T_j;
+// the k smallest entries form the ranking. Time O(m²n) for shallow
+// documents, but space O(m·n): the document (and a matrix larger than it)
+// must be memory-resident, which is the scalability wall TASM-postorder
+// removes.
+func Dynamic(q, doc *tree.Tree, k int, opts Options) ([]Match, error) {
+	if err := validate(q, k); err != nil {
+		return nil, err
+	}
+	if doc == nil || doc.Size() == 0 {
+		return nil, fmt.Errorf("tasm: document must be a non-empty tree")
+	}
+	comp := ted.NewComputer(opts.model(), q)
+	if opts.Probe != nil {
+		comp.SetProbe(opts.Probe)
+	}
+	row := comp.SubtreeDistances(doc)
+	r := ranking.New(k)
+	for j := 0; j < doc.Size(); j++ {
+		r.Push(Match{Dist: row[j], Pos: j + 1, Size: doc.SubtreeSize(j)})
+	}
+	out := r.Sorted()
+	if !opts.NoTrees {
+		for i := range out {
+			out[i].Tree = doc.Subtree(out[i].Pos - 1)
+		}
+	}
+	return out, nil
+}
+
+// Postorder solves TASM with TASM-postorder (Algorithm 3) on a
+// memory-resident document by streaming its postorder queue. The document
+// tree itself is only used to derive the stream and to materialize the
+// matched subtrees; see PostorderStream for the pure streaming form.
+func Postorder(q, doc *tree.Tree, k int, opts Options) ([]Match, error) {
+	if doc == nil || doc.Size() == 0 {
+		return nil, fmt.Errorf("tasm: document must be a non-empty tree")
+	}
+	if q != nil && q.Dict() != doc.Dict() {
+		// The streaming scan compares interned label ids; ids from
+		// different dictionaries are incommensurable. (Dynamic and Naive
+		// fall back to string comparison, but silent divergence between
+		// the algorithms would be worse than an error.)
+		return nil, fmt.Errorf("tasm: query and document use different label dictionaries; parse both through one Matcher")
+	}
+	// With the document in memory the exact maximum node cost is
+	// available; use it when tighter than the model's a priori bound.
+	if opts.CT == 0 {
+		opts.CT = cost.MaxCost(opts.model(), doc)
+		if b := opts.model().DocBound(); b < opts.CT {
+			opts.CT = b
+		}
+	}
+	return PostorderStream(q, postorder.FromTree(doc), k, opts)
+}
+
+// PostorderStream solves TASM with TASM-postorder (Algorithm 3) over a
+// document given only as a postorder queue. Space is O(m²·cQ + m·k·cT) —
+// independent of the document size (Theorem 5) — and time is O(m²·n).
+//
+// The queue must encode a single well-formed tree (Definition 2).
+// Inconsistent subtree sizes are detected during the scan and returned as
+// errors; a stream encoding a forest of several roots is not detectable
+// in one pass and is ranked as if the roots were siblings — use
+// postorder.Validate when the source is untrusted.
+//
+// The candidate subtrees within the τ bound of Theorem 3 are enumerated by
+// the prefix ring buffer; each candidate's subtrees are traversed in
+// reverse postorder, skipping those at or above the intermediate-ranking
+// bound τ′ = min(τ, max(R)+|Q|) (Lemma 4), and ranked with one
+// TASM-dynamic evaluation per retained subtree.
+//
+// The queue's item labels must be interned in the query's dictionary;
+// the scan compares label identifiers, not strings.
+func PostorderStream(q *tree.Tree, docQ postorder.Queue, k int, opts Options) ([]Match, error) {
+	if err := validate(q, k); err != nil {
+		return nil, err
+	}
+	if docQ == nil {
+		return nil, fmt.Errorf("tasm: document queue must not be nil")
+	}
+	model := opts.model()
+	if err := cost.Validate(model, q); err != nil {
+		return nil, err
+	}
+	m := q.Size()
+	tau := Tau(model, q, k, opts.CT)
+
+	comp := ted.NewComputer(model, q)
+	if opts.Probe != nil {
+		comp.SetProbe(opts.Probe)
+	}
+	r := ranking.New(k)
+	buf := prb.New(docQ, tau)
+	d := q.Dict()
+
+	for {
+		ok, err := buf.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rootID, leafID := buf.Root(), buf.Leaf()
+		if opts.Probe != nil {
+			opts.Probe.Candidate(rootID - leafID + 1)
+		}
+		// Traverse the subtrees of the candidate in reverse postorder
+		// (Algorithm 3, lines 8–18).
+		for rt := rootID; rt >= leafID; {
+			lml := buf.LMLOf(rt)
+			size := rt - lml + 1
+			// τ′ tightens τ once an intermediate ranking exists
+			// (Lemma 4): subtrees of size ≥ max(R)+|Q| cannot improve it.
+			compute := true
+			if r.Full() && !opts.DisableIntermediateBound {
+				tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
+				compute = float64(size) < tauP
+			}
+			if compute {
+				sub, err := buf.Subtree(d, lml, rt)
+				if err != nil {
+					return nil, err
+				}
+				// TASM-dynamic on the subtree: the last row of the tree
+				// distance matrix ranks every subtree of sub at once.
+				row := comp.SubtreeDistances(sub)
+				for j := 0; j < sub.Size(); j++ {
+					e := Match{Dist: row[j], Pos: lml + j, Size: sub.SubtreeSize(j)}
+					if !opts.NoTrees && r.WouldRetain(e) {
+						e.Tree = sub.Subtree(j)
+					}
+					r.Push(e)
+				}
+				rt = lml - 1 // skip everything just ranked
+			} else {
+				if opts.Probe != nil {
+					opts.Probe.Pruned(size)
+				}
+				rt-- // descend to the next subtree in reverse postorder
+			}
+		}
+	}
+	return r.Sorted(), nil
+}

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// fig2 returns the example query G and document H of Figure 2.
+func fig2(t testing.TB) (*tree.Tree, *tree.Tree) {
+	t.Helper()
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b}{c}}")
+	doc := tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	return q, doc
+}
+
+// TestExample2Dynamic reproduces Example 2: TASM-dynamic with k=2 on
+// (G, H) returns the ranking (H6, H3) with distances 0 and 1.
+func TestExample2Dynamic(t *testing.T) {
+	q, doc := fig2(t)
+	got, err := Dynamic(q, doc, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got))
+	}
+	if got[0].Pos != 6 || got[0].Dist != 0 {
+		t.Errorf("first match = pos %d dist %g, want H6 dist 0", got[0].Pos, got[0].Dist)
+	}
+	if got[1].Pos != 3 || got[1].Dist != 1 {
+		t.Errorf("second match = pos %d dist %g, want H3 dist 1", got[1].Pos, got[1].Dist)
+	}
+	if got[0].Tree.String() != "{a{b}{c}}" {
+		t.Errorf("first match tree = %s", got[0].Tree)
+	}
+	if got[1].Tree.String() != "{a{b}{d}}" {
+		t.Errorf("second match tree = %s", got[1].Tree)
+	}
+}
+
+// TestExample2AllAlgorithms runs the same query through all three
+// algorithms.
+func TestExample2AllAlgorithms(t *testing.T) {
+	type algo struct {
+		name string
+		run  func(q, doc *tree.Tree, k int, o Options) ([]Match, error)
+	}
+	for _, a := range []algo{{"naive", Naive}, {"dynamic", Dynamic}, {"postorder", Postorder}} {
+		q, doc := fig2(t)
+		got, err := a.run(q, doc, 2, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if len(got) != 2 || got[0].Pos != 6 || got[0].Dist != 0 || got[1].Pos != 3 || got[1].Dist != 1 {
+			t.Errorf("%s: got %+v", a.name, got)
+		}
+	}
+}
+
+func TestTauUnitCost(t *testing.T) {
+	q, _ := fig2(t)
+	// Unit cost: τ = |Q|(1+1) + k·1 = 2m + k. The paper's running
+	// example: |Q|=15, k=20 → τ=50.
+	if got := Tau(cost.Unit{}, q, 4, 0); got != 10 {
+		t.Errorf("τ = %d, want 10", got)
+	}
+	d := dict.New()
+	q15 := buildWideQuery(d, 15)
+	if got := Tau(cost.Unit{}, q15, 20, 0); got != 50 {
+		t.Errorf("τ for |Q|=15, k=20 = %d, want 50 (paper Section VI-B)", got)
+	}
+}
+
+// buildWideQuery returns a query with exactly n nodes: a root with n-1
+// leaf children.
+func buildWideQuery(d *dict.Dict, n int) *tree.Tree {
+	root := tree.NewNode("q")
+	for i := 1; i < n; i++ {
+		root.AddChild(tree.NewNode("c"))
+	}
+	return tree.FromNode(d, root)
+}
+
+func TestValidation(t *testing.T) {
+	q, doc := fig2(t)
+	if _, err := Dynamic(q, doc, 0, Options{}); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+	if _, err := Dynamic(nil, doc, 1, Options{}); err == nil {
+		t.Error("nil query should be rejected")
+	}
+	if _, err := Dynamic(q, nil, 1, Options{}); err == nil {
+		t.Error("nil document should be rejected")
+	}
+	if _, err := Naive(q, doc, -3, Options{}); err == nil {
+		t.Error("negative k should be rejected")
+	}
+	if _, err := Postorder(q, nil, 1, Options{}); err == nil {
+		t.Error("nil document should be rejected (postorder)")
+	}
+	if _, err := PostorderStream(q, nil, 1, Options{}); err == nil {
+		t.Error("nil queue should be rejected")
+	}
+}
+
+func TestPostorderRejectsForeignDictionary(t *testing.T) {
+	q := tree.MustParse(dict.New(), "{a{b}}")
+	doc := tree.MustParse(dict.New(), "{a{b}{c}}")
+	if _, err := Postorder(q, doc, 1, Options{}); err == nil {
+		t.Error("cross-dictionary postorder run should be rejected")
+	}
+	// Dynamic handles cross-dictionary comparison by string and stays
+	// usable.
+	got, err := Dynamic(q, doc, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != 1 {
+		t.Errorf("cross-dict dynamic distance = %g, want 1", got[0].Dist)
+	}
+}
+
+func TestKLargerThanDocument(t *testing.T) {
+	q, doc := fig2(t)
+	for _, run := range []func(q, doc *tree.Tree, k int, o Options) ([]Match, error){Naive, Dynamic, Postorder} {
+		got, err := run(q, doc, 100, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Definition 1 requires k ≤ n; we relax to min(k, n) results.
+		if len(got) != doc.Size() {
+			t.Errorf("k > n: got %d matches, want %d", len(got), doc.Size())
+		}
+		// The ranking must be sorted by distance.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Errorf("ranking not sorted at %d: %g after %g", i, got[i].Dist, got[i-1].Dist)
+			}
+		}
+	}
+}
+
+func TestSingleNodeEverything(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a}")
+	doc := tree.MustParse(d, "{a}")
+	for _, run := range []func(q, doc *tree.Tree, k int, o Options) ([]Match, error){Naive, Dynamic, Postorder} {
+		got, err := run(q, doc, 1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Dist != 0 || got[0].Pos != 1 {
+			t.Errorf("got %+v", got)
+		}
+	}
+}
+
+// distances projects a match list to its distance sequence.
+func distances(ms []Match) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Dist
+	}
+	return out
+}
+
+// sameDistances compares two distance sequences exactly.
+func sameDistances(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEquivalenceQuick is the central TASM property test: on random
+// query/document pairs the three algorithms return rankings with
+// identical distance sequences (tie positions may legitimately differ at
+// the pruning boundary; Definition 1 admits any of them).
+func TestEquivalenceQuick(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		qn := int(qRaw)%6 + 1
+		tn := int(tRaw)%50 + 1
+		k := int(kRaw)%8 + 1
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: qn, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: tn, MaxFanout: 4, Labels: 4})
+
+		nv, err1 := Naive(q, doc, k, Options{})
+		dy, err2 := Dynamic(q, doc, k, Options{})
+		po, err3 := Postorder(q, doc, k, Options{})
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return sameDistances(distances(nv), distances(dy)) &&
+			sameDistances(distances(dy), distances(po))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEquivalenceFanoutCostsQuick repeats the equivalence check under the
+// fanout-weighted cost model (non-unit costs exercise the τ computation
+// with cQ, cT > 1).
+func TestEquivalenceFanoutCostsQuick(t *testing.T) {
+	model, err := cost.NewFanoutWeighted(0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, qRaw, tRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		qn := int(qRaw)%5 + 1
+		tn := int(tRaw)%40 + 1
+		k := int(kRaw)%5 + 1
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: qn, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: tn, MaxFanout: 4, Labels: 4})
+		opts := Options{Model: model}
+		dy, err1 := Dynamic(q, doc, k, opts)
+		po, err2 := Postorder(q, doc, k, opts)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sameDistances(distances(dy), distances(po))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem3Quick checks that every subtree in the final ranking obeys
+// the size bound τ = |Q|(cQ+1) + k·cT.
+func TestTheorem3Quick(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		qn := int(qRaw)%6 + 1
+		tn := int(tRaw)%60 + 1
+		k := int(kRaw)%6 + 1
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: qn, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: tn, MaxFanout: 4, Labels: 4})
+		tau := Tau(cost.Unit{}, q, k, 0)
+		got, err := Dynamic(q, doc, k, Options{})
+		if err != nil {
+			return false
+		}
+		for _, m := range got {
+			if m.Size > tau {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamEqualsInMemory: PostorderStream on the postorder queue of the
+// document equals Postorder on the document.
+func TestStreamEqualsInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: 4, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 35, MaxFanout: 4, Labels: 4})
+		k := rng.Intn(5) + 1
+		inMem, err := Postorder(q, doc, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The streaming form does not know the document's exact maximum
+		// node cost; with unit costs DocBound is exact so results agree
+		// completely.
+		stream, err := PostorderStream(q, postorder.FromTree(doc), k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameDistances(distances(inMem), distances(stream)) {
+			t.Fatalf("stream %v != in-memory %v", distances(stream), distances(inMem))
+		}
+	}
+}
+
+// TestMatchesCarryCorrectTrees verifies that the materialized subtrees
+// correspond to the reported positions and distances.
+func TestMatchesCarryCorrectTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 30; i++ {
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: 5, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 40, MaxFanout: 4, Labels: 4})
+		for _, run := range []func(q, doc *tree.Tree, k int, o Options) ([]Match, error){Naive, Dynamic, Postorder} {
+			got, err := run(q, doc, 3, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range got {
+				if m.Tree == nil {
+					t.Fatalf("match at pos %d has nil tree", m.Pos)
+				}
+				if !m.Tree.Equal(doc.Subtree(m.Pos - 1)) {
+					t.Fatalf("match at pos %d carries wrong subtree", m.Pos)
+				}
+				if m.Size != m.Tree.Size() {
+					t.Fatalf("match at pos %d reports size %d, tree has %d", m.Pos, m.Size, m.Tree.Size())
+				}
+			}
+		}
+	}
+}
+
+func TestNoTreesOption(t *testing.T) {
+	q, doc := fig2(t)
+	for _, run := range []func(q, doc *tree.Tree, k int, o Options) ([]Match, error){Naive, Dynamic, Postorder} {
+		got, err := run(q, doc, 2, Options{NoTrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range got {
+			if m.Tree != nil {
+				t.Errorf("NoTrees: match at pos %d still carries a tree", m.Pos)
+			}
+		}
+	}
+}
+
+// countingProbe accumulates instrumentation callbacks.
+type countingProbe struct {
+	relevant   []int
+	candidates []int
+	pruned     []int
+}
+
+func (p *countingProbe) RelevantSubtree(size int) { p.relevant = append(p.relevant, size) }
+func (p *countingProbe) Candidate(size int)       { p.candidates = append(p.candidates, size) }
+func (p *countingProbe) Pruned(size int)          { p.pruned = append(p.pruned, size) }
+
+func TestProbeCandidates(t *testing.T) {
+	// On document D with a 1-node query and k=1 (unit costs),
+	// τ = 1·2 + 1 = 3: candidates are the maximal subtrees of size ≤ 3.
+	d := dict.New()
+	q := tree.MustParse(d, "{article}")
+	doc := tree.MustParse(d,
+		"{dblp"+
+			"{article{auth{John}}{title{X1}}}"+
+			"{proceedings{conf{VLDB}}{article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}"+
+			"{book{title{X2}}}}")
+	p := &countingProbe{}
+	if _, err := Postorder(q, doc, 1, Options{Probe: p}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.candidates) == 0 {
+		t.Fatal("no candidate callbacks")
+	}
+	for _, s := range p.candidates {
+		if s > 3 {
+			t.Errorf("candidate of size %d exceeds τ=3", s)
+		}
+	}
+	if len(p.relevant) == 0 {
+		t.Error("no relevant-subtree callbacks")
+	}
+}
+
+// TestPostorderPrunesLargeSubtrees verifies that TASM-postorder's TED work
+// is bounded by τ while TASM-dynamic evaluates the whole document.
+func TestPostorderPrunesLargeSubtrees(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{article{auth}{title}}")
+	root := tree.NewNode("dblp")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		root.AddChild(tree.NewNode("article",
+			tree.NewNode("auth", tree.NewNode("nm")),
+			tree.NewNode("title", tree.NewNode("tt")),
+			tree.NewNode("year", tree.NewNode("yy"))))
+		_ = rng
+	}
+	doc := tree.FromNode(d, root)
+	k := 3
+	tau := Tau(cost.Unit{}, q, k, 0)
+
+	pDyn := &countingProbe{}
+	if _, err := Dynamic(q, doc, k, Options{Probe: pDyn, NoTrees: true}); err != nil {
+		t.Fatal(err)
+	}
+	pPos := &countingProbe{}
+	if _, err := Postorder(q, doc, k, Options{Probe: pPos, NoTrees: true}); err != nil {
+		t.Fatal(err)
+	}
+	maxDyn, maxPos := 0, 0
+	for _, s := range pDyn.relevant {
+		if s > maxDyn {
+			maxDyn = s
+		}
+	}
+	for _, s := range pPos.relevant {
+		if s > maxPos {
+			maxPos = s
+		}
+	}
+	if maxDyn != doc.Size() {
+		t.Errorf("dynamic should evaluate the whole document (%d), max relevant = %d", doc.Size(), maxDyn)
+	}
+	if maxPos > tau {
+		t.Errorf("postorder evaluated a relevant subtree of size %d > τ=%d", maxPos, tau)
+	}
+}
+
+// TestRankingIsCorrectTopK verifies against a brute-force check that the
+// k reported distances are the k smallest subtree distances.
+func TestRankingIsCorrectTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 25; i++ {
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: 4, MaxFanout: 3, Labels: 3})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 30, MaxFanout: 4, Labels: 3})
+		k := rng.Intn(6) + 1
+		got, err := Postorder(q, doc, k, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: all subtree distances, sorted.
+		var all []float64
+		for j := 0; j < doc.Size(); j++ {
+			all = append(all, ted.Distance(cost.Unit{}, q, doc.Subtree(j)))
+		}
+		sortFloats(all)
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		if !sameDistances(distances(got), want) {
+			t.Fatalf("top-%d distances = %v, want %v", k, distances(got), want)
+		}
+	}
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestPrunedCallbacksRespectBound(t *testing.T) {
+	// With k=1 and an exact match present, τ′ collapses to max(R)+|Q| =
+	// 0+|Q|; everything at or above |Q| nodes must be pruned after the
+	// match is found.
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b}{c}}")
+	root := tree.NewNode("root")
+	root.AddChild(tree.NewNode("a", tree.NewNode("b"), tree.NewNode("c"))) // exact match early
+	for i := 0; i < 50; i++ {
+		root.AddChild(tree.NewNode("z", tree.NewNode("y", tree.NewNode("x"), tree.NewNode("w"))))
+	}
+	doc := tree.FromNode(d, root)
+	p := &countingProbe{}
+	got, err := Postorder(q, doc, 1, Options{Probe: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != 0 {
+		t.Fatalf("top-1 dist = %g, want 0", got[0].Dist)
+	}
+	if len(p.pruned) == 0 {
+		t.Error("expected τ′ pruning to fire")
+	}
+	for _, s := range p.pruned {
+		if float64(s) < 0+float64(q.Size()) {
+			t.Errorf("pruned subtree of size %d below bound %d", s, q.Size())
+		}
+	}
+}

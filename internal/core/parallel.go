@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"tasm/internal/cost"
+	"tasm/internal/postorder"
+	"tasm/internal/prb"
+	"tasm/internal/ranking"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// PostorderParallel is TASM-postorder with the tree-edit-distance work
+// fanned out to a worker pool — an extension beyond the paper, whose
+// evaluation is explicitly single-threaded. The prefix ring buffer scan
+// stays sequential (it is a cheap streaming pass); candidate subtrees are
+// handed to workers, each owning its own distance computer, and all
+// workers share one ranking.
+//
+// The returned distances are identical to PostorderStream's: candidate
+// evaluations are independent, and the intermediate bound τ′ only ever
+// discards subtrees that cannot beat the current k-th distance, so
+// processing order does not affect the final distance multiset (reported
+// tie positions at the pruning boundary may differ, as Definition 1
+// permits). workers ≤ 0 selects GOMAXPROCS.
+func PostorderParallel(q *tree.Tree, docQ postorder.Queue, k, workers int, opts Options) ([]Match, error) {
+	if err := validate(q, k); err != nil {
+		return nil, err
+	}
+	if docQ == nil {
+		return nil, fmt.Errorf("tasm: document queue must not be nil")
+	}
+	model := opts.model()
+	if err := cost.Validate(model, q); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := q.Size()
+	tau := Tau(model, q, k, opts.CT)
+	d := q.Dict()
+
+	shared := &sharedRanking{heap: ranking.New(k)}
+	work := make(chan workItem, 2*workers)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			comp := ted.NewComputer(model, q)
+			if opts.Probe != nil {
+				comp.SetProbe(&lockedProbe{p: opts.Probe, mu: &shared.mu})
+			}
+			for item := range work {
+				if err := rankCandidate(comp, item, m, tau, shared, opts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Producer: sequential prefix ring buffer scan, exactly as in the
+	// sequential algorithm; each candidate is materialized once and
+	// shipped to a worker.
+	var produceErr error
+	buf := prb.New(docQ, tau)
+scan:
+	for {
+		ok, err := buf.Next()
+		if err != nil {
+			produceErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		cand, err := buf.Subtree(d, buf.Leaf(), buf.Root())
+		if err != nil {
+			produceErr = err
+			break
+		}
+		if opts.Probe != nil {
+			shared.mu.Lock()
+			opts.Probe.Candidate(cand.Size())
+			shared.mu.Unlock()
+		}
+		select {
+		case work <- workItem{cand: cand, leafID: buf.Leaf()}:
+		case err := <-errs:
+			produceErr = err
+			break scan
+		}
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	if produceErr != nil {
+		return nil, produceErr
+	}
+	if err, ok := <-errs; ok {
+		return nil, err
+	}
+	return shared.heap.Sorted(), nil
+}
+
+// workItem is one candidate subtree with its global position offset.
+type workItem struct {
+	cand   *tree.Tree
+	leafID int // 1-based document postorder id of the candidate's first node
+}
+
+// sharedRanking guards the global top-k heap.
+type sharedRanking struct {
+	mu   sync.Mutex
+	heap *ranking.Heap
+}
+
+// bound returns the current τ′ numerator (max(R)) and whether the ranking
+// is full.
+func (s *sharedRanking) bound() (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.heap.Full() {
+		return 0, false
+	}
+	return s.heap.Max().Dist, true
+}
+
+// rankCandidate runs the inner loop of Algorithm 3 on one materialized
+// candidate: reverse-postorder traversal with τ′ pruning, one
+// TASM-dynamic evaluation per retained subtree.
+func rankCandidate(comp *ted.Computer, item workItem, m, tau int, shared *sharedRanking, opts Options) error {
+	cand := item.cand
+	for rt := cand.Root(); rt >= 0; {
+		lml := cand.LML(rt)
+		size := rt - lml + 1
+		compute := true
+		if !opts.DisableIntermediateBound {
+			if maxDist, full := shared.bound(); full {
+				tauP := math.Min(float64(tau), maxDist+float64(m))
+				compute = float64(size) < tauP
+			}
+		}
+		if compute {
+			sub := cand.Subtree(rt)
+			row := comp.SubtreeDistances(sub)
+			shared.mu.Lock()
+			for j := 0; j < sub.Size(); j++ {
+				e := Match{Dist: row[j], Pos: item.leafID + lml + j, Size: sub.SubtreeSize(j)}
+				if !opts.NoTrees && shared.heap.WouldRetain(e) {
+					e.Tree = sub.Subtree(j)
+				}
+				shared.heap.Push(e)
+			}
+			shared.mu.Unlock()
+			rt = lml - 1
+		} else {
+			if opts.Probe != nil {
+				shared.mu.Lock()
+				opts.Probe.Pruned(size)
+				shared.mu.Unlock()
+			}
+			rt--
+		}
+	}
+	return nil
+}
+
+// lockedProbe serializes probe callbacks from concurrent workers.
+type lockedProbe struct {
+	p  Probe
+	mu *sync.Mutex
+}
+
+func (l *lockedProbe) RelevantSubtree(size int) {
+	l.mu.Lock()
+	l.p.RelevantSubtree(size)
+	l.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+// TestParallelMatchesSequentialQuick: the parallel variant returns the
+// same distance sequence as the sequential algorithm on random instances,
+// for various worker counts.
+func TestParallelMatchesSequentialQuick(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw, kRaw, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: int(qRaw)%6 + 1, MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: int(tRaw)%60 + 1, MaxFanout: 4, Labels: 4})
+		k := int(kRaw)%6 + 1
+		workers := int(wRaw)%4 + 1
+
+		seq, err1 := Postorder(q, doc, k, Options{NoTrees: true})
+		par, err2 := PostorderParallel(q, postorder.FromTree(doc), k, workers, Options{NoTrees: true})
+		if err1 != nil || err2 != nil || len(seq) != len(par) {
+			return false
+		}
+		for i := range seq {
+			if seq[i].Dist != par[i].Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelExample2(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b}{c}}")
+	doc := tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	got, err := PostorderParallel(q, postorder.FromTree(doc), 2, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Dist != 0 || got[1].Dist != 1 {
+		t.Errorf("got %+v", got)
+	}
+	// Trees must be materialized and correct in parallel mode too.
+	if got[0].Tree == nil || got[0].Tree.String() != "{a{b}{c}}" {
+		t.Errorf("first match tree = %v", got[0].Tree)
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(2))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 4, MaxFanout: 3, Labels: 3})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 200, MaxFanout: 5, Labels: 5})
+	// workers ≤ 0 must select GOMAXPROCS and still work.
+	got, err := PostorderParallel(q, postorder.FromTree(doc), 3, 0, Options{NoTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Postorder(q, doc, 3, Options{NoTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Dist != want[i].Dist {
+			t.Errorf("rank %d: %g vs %g", i, got[i].Dist, want[i].Dist)
+		}
+	}
+}
+
+func TestParallelValidation(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a}")
+	if _, err := PostorderParallel(nil, postorder.NewSliceQueue(nil), 1, 2, Options{}); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := PostorderParallel(q, nil, 1, 2, Options{}); err == nil {
+		t.Error("nil queue accepted")
+	}
+	if _, err := PostorderParallel(q, postorder.NewSliceQueue(nil), 0, 2, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+type failAfterQueue struct {
+	items []postorder.Item
+	pos   int
+	err   error
+}
+
+func (q *failAfterQueue) Next() (postorder.Item, error) {
+	if q.pos >= len(q.items) {
+		return postorder.Item{}, q.err
+	}
+	it := q.items[q.pos]
+	q.pos++
+	return it, nil
+}
+
+func TestParallelQueueError(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(3))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 4, MaxFanout: 3, Labels: 3})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 100, MaxFanout: 4, Labels: 4})
+	boom := errors.New("boom")
+	items := postorder.Items(doc)
+	_, err := PostorderParallel(q, &failAfterQueue{items: items[:50], err: boom}, 2, 3, Options{NoTrees: true})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestParallelEmptyDocument(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a}")
+	got, err := PostorderParallel(q, postorder.NewSliceQueue(nil), 2, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty document returned %d matches", len(got))
+	}
+}
+
+func TestParallelWithProbe(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(4))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 4, MaxFanout: 3, Labels: 3})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 300, MaxFanout: 5, Labels: 5})
+	p := &countingProbe{}
+	if _, err := PostorderParallel(q, postorder.FromTree(doc), 2, 4, Options{Probe: p, NoTrees: true}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.candidates) == 0 || len(p.relevant) == 0 {
+		t.Errorf("probe: %d candidates, %d relevant", len(p.candidates), len(p.relevant))
+	}
+}

@@ -1,0 +1,144 @@
+// Package cost implements the node cost models of the TASM paper
+// (Section IV-D, Definition 4).
+//
+// A cost model assigns every node x a cost cst(x) ≥ 1. The cost of a node
+// alignment γ(q, t) is derived from node costs: deleting q costs cst(q),
+// inserting t costs cst(t), renaming costs (cst(q)+cst(t))/2 when the
+// labels differ and 0 otherwise. The tree edit distance is the minimum
+// total alignment cost over all edit mappings.
+//
+// The paper's upper bound τ = |Q|·(cQ+1) + k·cT uses cQ and cT, the
+// maximum node costs in the query and document. cQ is computed exactly
+// from the query; for streamed documents cT comes from the model's a
+// priori DocBound.
+package cost
+
+import (
+	"fmt"
+
+	"tasm/internal/tree"
+)
+
+// Model assigns a cost ≥ 1 to every node of a tree.
+type Model interface {
+	// Cost returns cst of node i of t. Implementations must return
+	// values ≥ 1 (Definition 4 requires cst(x) ≥ 1; the size bound of
+	// Theorem 3 and Lemma 3 depend on it).
+	Cost(t *tree.Tree, i int) float64
+	// DocBound returns an upper bound on the cost of any document node,
+	// used as cT when the document is streamed and cannot be scanned in
+	// advance. For in-memory documents MaxCost gives the exact value.
+	DocBound() float64
+}
+
+// Unit is the unit cost model: every node costs 1, and the tree edit
+// distance is the minimum number of edit operations.
+type Unit struct{}
+
+// Cost implements Model.
+func (Unit) Cost(*tree.Tree, int) float64 { return 1 }
+
+// DocBound implements Model.
+func (Unit) DocBound() float64 { return 1 }
+
+// PerLabel assigns costs by node label, with a default for labels not in
+// the table. In XML settings this models per-element-type costs ("in XML,
+// the node cost can depend on the element type").
+type PerLabel struct {
+	// Table maps label strings to costs. Values must be ≥ 1.
+	Table map[string]float64
+	// Default is the cost of labels absent from Table. Must be ≥ 1.
+	Default float64
+}
+
+// NewPerLabel returns a PerLabel model after validating that every cost is
+// at least 1.
+func NewPerLabel(table map[string]float64, def float64) (*PerLabel, error) {
+	if def < 1 {
+		return nil, fmt.Errorf("cost: default cost %g < 1", def)
+	}
+	for l, c := range table {
+		if c < 1 {
+			return nil, fmt.Errorf("cost: label %q has cost %g < 1", l, c)
+		}
+	}
+	return &PerLabel{Table: table, Default: def}, nil
+}
+
+// Cost implements Model.
+func (m *PerLabel) Cost(t *tree.Tree, i int) float64 {
+	if c, ok := m.Table[t.Label(i)]; ok {
+		return c
+	}
+	return m.Default
+}
+
+// DocBound implements Model.
+func (m *PerLabel) DocBound() float64 {
+	b := m.Default
+	for _, c := range m.Table {
+		if c > b {
+			b = c
+		}
+	}
+	return b
+}
+
+// FanoutWeighted makes edit operations on non-leaf nodes more expensive,
+// following the fanout-weighted tree edit distance of Augsten et al. [21]
+// cited in Section IV-D: structure-changing insertions and deletions of
+// internal nodes should cost more than leaf edits.
+//
+// cst(x) = 1 + Weight·fanout(x), capped at Cap.
+type FanoutWeighted struct {
+	// Weight scales the fanout contribution; must be ≥ 0.
+	Weight float64
+	// Cap bounds the node cost (and serves as DocBound). Must be ≥ 1.
+	Cap float64
+}
+
+// NewFanoutWeighted returns a validated FanoutWeighted model.
+func NewFanoutWeighted(weight, cap float64) (*FanoutWeighted, error) {
+	if weight < 0 {
+		return nil, fmt.Errorf("cost: fanout weight %g < 0", weight)
+	}
+	if cap < 1 {
+		return nil, fmt.Errorf("cost: fanout cap %g < 1", cap)
+	}
+	return &FanoutWeighted{Weight: weight, Cap: cap}, nil
+}
+
+// Cost implements Model.
+func (m *FanoutWeighted) Cost(t *tree.Tree, i int) float64 {
+	c := 1 + m.Weight*float64(t.Fanout(i))
+	if c > m.Cap {
+		return m.Cap
+	}
+	return c
+}
+
+// DocBound implements Model.
+func (m *FanoutWeighted) DocBound() float64 { return m.Cap }
+
+// MaxCost returns the maximum node cost of t under m: cQ (or cT for a
+// memory-resident document) in the paper's notation.
+func MaxCost(m Model, t *tree.Tree) float64 {
+	mx := 0.0
+	for i := 0; i < t.Size(); i++ {
+		if c := m.Cost(t, i); c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// Validate checks that m assigns cost ≥ 1 to every node of t. The TASM
+// bounds are unsound otherwise.
+func Validate(m Model, t *tree.Tree) error {
+	for i := 0; i < t.Size(); i++ {
+		if c := m.Cost(t, i); c < 1 {
+			return fmt.Errorf("cost: node %d (%q) has cost %g < 1", i, t.Label(i), c)
+		}
+	}
+	return nil
+}

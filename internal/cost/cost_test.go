@@ -1,0 +1,115 @@
+package cost
+
+import (
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/tree"
+)
+
+func sample(t *testing.T) *tree.Tree {
+	t.Helper()
+	return tree.MustParse(dict.New(), "{a{b{x}{y}{z}}{c}}")
+}
+
+func TestUnit(t *testing.T) {
+	tr := sample(t)
+	m := Unit{}
+	for i := 0; i < tr.Size(); i++ {
+		if m.Cost(tr, i) != 1 {
+			t.Errorf("unit cost of node %d != 1", i)
+		}
+	}
+	if m.DocBound() != 1 {
+		t.Error("unit DocBound != 1")
+	}
+	if MaxCost(m, tr) != 1 {
+		t.Error("unit MaxCost != 1")
+	}
+	if err := Validate(m, tr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerLabel(t *testing.T) {
+	tr := sample(t)
+	m, err := NewPerLabel(map[string]float64{"a": 3, "b": 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if got := m.Cost(tr, root); got != 3 {
+		t.Errorf("cost(a) = %g, want 3", got)
+	}
+	if got := m.Cost(tr, 0); got != 1 { // leaf x uses the default
+		t.Errorf("cost(x) = %g, want 1", got)
+	}
+	if got := m.DocBound(); got != 3 {
+		t.Errorf("DocBound = %g, want 3", got)
+	}
+	if got := MaxCost(m, tr); got != 3 {
+		t.Errorf("MaxCost = %g, want 3", got)
+	}
+}
+
+func TestPerLabelValidation(t *testing.T) {
+	if _, err := NewPerLabel(nil, 0.5); err == nil {
+		t.Error("default < 1 accepted")
+	}
+	if _, err := NewPerLabel(map[string]float64{"x": 0.2}, 1); err == nil {
+		t.Error("table cost < 1 accepted")
+	}
+}
+
+func TestFanoutWeighted(t *testing.T) {
+	tr := sample(t)
+	m, err := NewFanoutWeighted(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b has 3 children: cost 1 + 2·3 = 7.
+	bIdx := -1
+	for i := 0; i < tr.Size(); i++ {
+		if tr.Label(i) == "b" {
+			bIdx = i
+		}
+	}
+	if got := m.Cost(tr, bIdx); got != 7 {
+		t.Errorf("cost(b) = %g, want 7", got)
+	}
+	// Leaves cost 1.
+	if got := m.Cost(tr, 0); got != 1 {
+		t.Errorf("cost(leaf) = %g, want 1", got)
+	}
+	// Cap applies.
+	capped, err := NewFanoutWeighted(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := capped.Cost(tr, bIdx); got != 5 {
+		t.Errorf("capped cost = %g, want 5", got)
+	}
+	if capped.DocBound() != 5 {
+		t.Error("DocBound != cap")
+	}
+}
+
+func TestFanoutWeightedValidation(t *testing.T) {
+	if _, err := NewFanoutWeighted(-1, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewFanoutWeighted(1, 0.5); err == nil {
+		t.Error("cap < 1 accepted")
+	}
+}
+
+type brokenModel struct{}
+
+func (brokenModel) Cost(*tree.Tree, int) float64 { return 0.5 }
+func (brokenModel) DocBound() float64            { return 0.5 }
+
+func TestValidateRejectsSubUnitCosts(t *testing.T) {
+	if err := Validate(brokenModel{}, sample(t)); err == nil {
+		t.Error("cost < 1 passed validation")
+	}
+}

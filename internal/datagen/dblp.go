@@ -1,0 +1,63 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"tasm/internal/tree"
+)
+
+// DBLP returns a bibliography document shaped like the DBLP corpus used in
+// Section VII-B of the paper: a single dblp root with a very large number
+// of small publication records directly below it. This extreme
+// shallow-and-wide shape is what makes the simple pruning of Section V-B
+// degenerate (over 99% of the root's children are below any reasonable τ)
+// and motivates the prefix ring buffer.
+//
+// records is the number of publication entries; each entry has roughly
+// 9–18 nodes (the paper quotes ~15 nodes for a typical DBLP article),
+// so the document has about 13·records nodes.
+func DBLP(records int) *Dataset {
+	return &Dataset{
+		name: "dblp",
+		root: group{
+			label: "dblp",
+			count: records,
+			make:  dblpRecord,
+		},
+	}
+}
+
+// dblpRecord builds one publication entry.
+func dblpRecord(rng *rand.Rand, i int) *tree.Node {
+	kind := "article"
+	switch rng.Intn(10) {
+	case 0, 1, 2:
+		kind = "inproceedings"
+	case 3:
+		kind = "book"
+	}
+	rec := tree.NewNode(kind)
+	for a := 0; a < 1+rng.Intn(3); a++ {
+		rec.AddChild(tree.NewNode("author", tree.NewNode(personName(rng))))
+	}
+	rec.AddChild(tree.NewNode("title", tree.NewNode(phrase(rng))))
+	rec.AddChild(tree.NewNode("year", tree.NewNode(yearStr(rng))))
+	switch kind {
+	case "article":
+		rec.AddChild(tree.NewNode("journal", tree.NewNode(venue(rng))))
+		rec.AddChild(tree.NewNode("volume", tree.NewNode(itoa(1+rng.Intn(40)))))
+	case "inproceedings":
+		rec.AddChild(tree.NewNode("booktitle", tree.NewNode(venue(rng))))
+		rec.AddChild(tree.NewNode("pages", tree.NewNode(itoa(1+rng.Intn(400)))))
+	case "book":
+		rec.AddChild(tree.NewNode("publisher", tree.NewNode(word(rng))))
+		if rng.Intn(2) == 0 {
+			rec.AddChild(tree.NewNode("isbn", tree.NewNode(itoa(100000000+rng.Intn(899999999)))))
+		}
+	}
+	if rng.Intn(4) == 0 {
+		// Bounded reference space, like shared DOI prefixes.
+		rec.AddChild(tree.NewNode("ee", tree.NewNode("db/"+venue(rng)+"/"+itoa(rng.Intn(500)))))
+	}
+	return rec
+}

@@ -1,0 +1,188 @@
+package datagen
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+)
+
+func TestDatasetsWellFormed(t *testing.T) {
+	for _, ds := range []*Dataset{DBLP(50), XMark(1), PSD(20)} {
+		t.Run(ds.Name(), func(t *testing.T) {
+			d := dict.New()
+			n, err := postorder.Validate(ds.Queue(d, 1))
+			if err != nil {
+				t.Fatalf("queue not well-formed: %v", err)
+			}
+			if n < 10 {
+				t.Fatalf("only %d nodes generated", n)
+			}
+		})
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	for _, mk := range []func() *Dataset{
+		func() *Dataset { return DBLP(30) },
+		func() *Dataset { return XMark(1) },
+		func() *Dataset { return PSD(10) },
+	} {
+		d1, d2 := dict.New(), dict.New()
+		a, err := postorder.Collect(mk().Queue(d1, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := postorder.Collect(mk().Queue(d2, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if d1.Label(a[i].Label) != d2.Label(b[i].Label) || a[i].Size != b[i].Size {
+				t.Fatalf("item %d differs", i)
+			}
+		}
+		// A different seed must give a different document.
+		c, err := postorder.Collect(mk().Queue(dict.New(), 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c) == len(a) {
+			same := true
+			for i := range a {
+				if a[i].Size != c[i].Size {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Error("different seeds produced structurally identical documents")
+			}
+		}
+	}
+}
+
+func TestXMarkScalesLinearly(t *testing.T) {
+	n1, err := XMark(1).Nodes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n4, err := XMark(4).Nodes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(n4) / float64(n1)
+	if ratio < 3.3 || ratio > 4.7 {
+		t.Errorf("XMark(4)/XMark(1) = %d/%d = %.2f, want ≈ 4", n4, n1, ratio)
+	}
+}
+
+func TestXMarkConstantHeight(t *testing.T) {
+	d := dict.New()
+	t1, err := XMark(1).Tree(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := XMark(3).Tree(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h3 := t1.Height(), t3.Height()
+	if h1 < 8 || h1 > 16 {
+		t.Errorf("XMark height = %d, want a two-digit-ish constant like the paper's 13", h1)
+	}
+	if h3 != h1 {
+		t.Errorf("height varies with scale: %d vs %d", h1, h3)
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	d := dict.New()
+	tr, err := DBLP(300).Tree(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h < 3 || h > 6 {
+		t.Errorf("DBLP height = %d, want shallow (3–6)", h)
+	}
+	if f := tr.Fanout(tr.Root()); f != 300 {
+		t.Errorf("DBLP root fanout = %d, want 300 records", f)
+	}
+	// The paper quotes ~15 nodes per article; allow a broad band.
+	avg := float64(tr.Size()-1) / 300
+	if avg < 7 || avg > 25 {
+		t.Errorf("average record size = %.1f, want within [7,25]", avg)
+	}
+}
+
+func TestPSDShape(t *testing.T) {
+	d := dict.New()
+	tr, err := PSD(50).Tree(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h < 5 || h > 9 {
+		t.Errorf("PSD height = %d, want ≈ 7", h)
+	}
+	if f := tr.Fanout(tr.Root()); f != 50 {
+		t.Errorf("PSD root fanout = %d, want 50", f)
+	}
+}
+
+func TestQueueStreamsWithoutMaterializing(t *testing.T) {
+	// Drain a large document item by item; the point is that this
+	// terminates with bounded buffers (the emitter holds one record at a
+	// time), and the final root item covers everything.
+	d := dict.New()
+	q := XMark(2).Queue(d, 5)
+	n := 0
+	var last postorder.Item
+	for {
+		it, err := q.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		last = it
+	}
+	if last.Size != n {
+		t.Errorf("root item size %d != node count %d", last.Size, n)
+	}
+	if d.Label(last.Label) != "site" {
+		t.Errorf("root label = %s, want site", d.Label(last.Label))
+	}
+}
+
+func TestQueryFromDocument(t *testing.T) {
+	d := dict.New()
+	doc, err := XMark(1).Tree(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, want := range []int{4, 8, 16, 32, 64} {
+		q, err := QueryFromDocument(doc, rng, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("size %d: invalid query: %v", want, err)
+		}
+		// Exact-window hits are preferred, but the generator may fall
+		// back to the nearest available subtree size.
+		if q.Size() < want/2 || q.Size() > 2*want {
+			t.Errorf("size %d: got query of %d nodes", want, q.Size())
+		}
+	}
+	if _, err := QueryFromDocument(doc, rng, 0); err == nil {
+		t.Error("size 0 should error")
+	}
+}

@@ -1,0 +1,80 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"tasm/internal/tree"
+)
+
+// PSD returns a protein-sequence-database document shaped like the
+// PSD7003 corpus of Section VII-B (Georgetown Protein Information
+// Resource): a ProteinDatabase root with ProteinEntry records of moderate
+// nesting, height 7. Each entry has roughly 35–70 nodes.
+func PSD(entries int) *Dataset {
+	return &Dataset{
+		name: "psd",
+		root: group{
+			label: "ProteinDatabase",
+			count: entries,
+			make:  psdEntry,
+		},
+	}
+}
+
+func psdEntry(rng *rand.Rand, i int) *tree.Node {
+	e := tree.NewNode("ProteinEntry",
+		tree.NewNode("header",
+			tree.NewNode("uid", tree.NewNode("PSD"+itoa(100000+i))),
+			tree.NewNode("accession", tree.NewNode("A"+itoa(10000+rng.Intn(89999)))),
+			tree.NewNode("created_date", tree.NewNode(yearStr(rng))),
+		),
+		tree.NewNode("protein",
+			tree.NewNode("name", tree.NewNode(phrase(rng))),
+			tree.NewNode("classification",
+				tree.NewNode("superfamily", tree.NewNode(phrase(rng))),
+			),
+		),
+		tree.NewNode("organism",
+			tree.NewNode("source", tree.NewNode(word(rng)+" "+word(rng))),
+			tree.NewNode("common", tree.NewNode(word(rng))),
+		),
+	)
+	// 1–3 literature references with nested author lists.
+	for r := 0; r < 1+rng.Intn(3); r++ {
+		ref := tree.NewNode("reference")
+		refinfo := tree.NewNode("refinfo",
+			tree.NewNode("refid", tree.NewNode("R"+itoa(rng.Intn(100000)))),
+		)
+		authors := tree.NewNode("authors")
+		for a := 0; a < 1+rng.Intn(4); a++ {
+			authors.AddChild(tree.NewNode("author", tree.NewNode(personName(rng))))
+		}
+		refinfo.AddChild(authors)
+		refinfo.AddChild(tree.NewNode("citation", tree.NewNode(phrase(rng))))
+		refinfo.AddChild(tree.NewNode("year", tree.NewNode(yearStr(rng))))
+		ref.AddChild(refinfo)
+		if rng.Intn(2) == 0 {
+			ref.AddChild(tree.NewNode("accinfo",
+				tree.NewNode("mol-type", tree.NewNode("complete cds")),
+			))
+		}
+		e.AddChild(ref)
+	}
+	// Features: regions and sites within the sequence.
+	if rng.Intn(3) > 0 {
+		ft := tree.NewNode("feature-table")
+		for f := 0; f < 1+rng.Intn(3); f++ {
+			ft.AddChild(tree.NewNode("feature",
+				tree.NewNode("feature-type", tree.NewNode(word(rng))),
+				tree.NewNode("description", tree.NewNode(phrase(rng))),
+				tree.NewNode("seq-spec", tree.NewNode(itoa(1+rng.Intn(200))+"-"+itoa(200+rng.Intn(300)))),
+			))
+		}
+		e.AddChild(ft)
+	}
+	e.AddChild(tree.NewNode("summary",
+		tree.NewNode("length", tree.NewNode(itoa(100+rng.Intn(900)))),
+	))
+	e.AddChild(tree.NewNode("sequence", tree.NewNode(aminoSequence(rng, 30+rng.Intn(40)))))
+	return e
+}

@@ -1,0 +1,113 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// The vocabularies below feed the text leaves of the generated documents.
+// XMark fills its text content with a Shakespeare-derived word list; a
+// deterministic subset of common words stands in here.
+
+var words = []string{
+	"time", "person", "year", "way", "day", "thing", "man", "world",
+	"life", "hand", "part", "child", "eye", "woman", "place", "work",
+	"week", "case", "point", "government", "company", "number", "group",
+	"problem", "fact", "night", "water", "room", "mother", "area",
+	"money", "story", "month", "lot", "right", "study", "book", "word",
+	"business", "issue", "side", "kind", "head", "house", "service",
+	"friend", "father", "power", "hour", "game", "line", "end", "member",
+	"law", "car", "city", "community", "name", "president", "team",
+	"minute", "idea", "body", "information", "back", "parent", "face",
+	"others", "level", "office", "door", "health", "art", "war",
+	"history", "party", "result", "change", "morning", "reason",
+	"research", "girl", "guy", "moment", "air", "teacher", "force",
+	"education", "foot", "boy", "age", "policy", "process", "music",
+	"market", "sense", "nation", "plan", "college", "interest",
+}
+
+var firstNames = []string{
+	"John", "Mary", "Peter", "Anna", "Mike", "Laura", "David", "Sara",
+	"James", "Nina", "Robert", "Julia", "Thomas", "Emma", "Daniel",
+	"Olga", "Martin", "Clara", "Paul", "Irene", "Victor", "Alice",
+	"Hugo", "Elena", "Oscar", "Maria", "Felix", "Vera", "Leo", "Ida",
+}
+
+var lastNames = []string{
+	"Smith", "Mueller", "Rossi", "Tanaka", "Kim", "Silva", "Novak",
+	"Dubois", "Garcia", "Ivanov", "Chen", "Olsen", "Costa", "Weber",
+	"Moreau", "Nagy", "Santos", "Berg", "Koch", "Marino", "Vogel",
+	"Horvat", "Klein", "Sato", "Lindgren", "Petrov", "Lang", "Ricci",
+}
+
+var venues = []string{
+	"VLDB", "SIGMOD", "ICDE", "EDBT", "CIKM", "KDD", "WWW", "SODA",
+	"PODS", "ICDT", "WSDM", "SIGIR", "ICML", "TODS", "TKDE", "VLDBJ",
+}
+
+// word returns one deterministic vocabulary word.
+func word(rng *rand.Rand) string { return words[rng.Intn(len(words))] }
+
+// sentence returns n words joined by spaces.
+func sentence(rng *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = word(rng)
+	}
+	return strings.Join(parts, " ")
+}
+
+// phrasePool bounds the space of distinct multi-word strings. Without it
+// every record would carry a globally unique title and the shared label
+// dictionary — not the matching algorithm — would grow linearly with the
+// document, muddying the memory experiments (Figure 10). 4096 phrases
+// keep text realistic while the dictionary stays O(1) in document size.
+var phrasePool = func() []string {
+	rng := rand.New(rand.NewSource(424242))
+	pool := make([]string, 4096)
+	for i := range pool {
+		pool[i] = sentence(rng, 2+rng.Intn(5))
+	}
+	return pool
+}()
+
+// phrase returns a 2–6 word sentence from the bounded pool.
+func phrase(rng *rand.Rand) string { return phrasePool[rng.Intn(len(phrasePool))] }
+
+// personName returns "First Last".
+func personName(rng *rand.Rand) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+}
+
+// venue returns a publication venue acronym.
+func venue(rng *rand.Rand) string { return venues[rng.Intn(len(venues))] }
+
+// yearStr returns a year in 1990–2009 (the corpora of the paper's era).
+func yearStr(rng *rand.Rand) string {
+	return itoa(1990 + rng.Intn(20))
+}
+
+// itoa converts small non-negative ints without fmt.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// aminoSequence returns a protein-like residue string of length n.
+func aminoSequence(rng *rand.Rand, n int) string {
+	const residues = "ACDEFGHIKLMNPQRSTVWY"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = residues[rng.Intn(len(residues))]
+	}
+	return string(b)
+}

@@ -1,0 +1,59 @@
+// Package dict implements a label dictionary that interns node labels as
+// dense integer identifiers.
+//
+// The TASM paper (Section VII) uses "a dictionary to assign unique integer
+// identifiers to node labels (element/attribute tags as well as text
+// content). The integer identifiers provide compression and faster
+// node-to-node comparisons." A Dict is shared between a query and a
+// document so that equal labels map to equal identifiers.
+package dict
+
+import "fmt"
+
+// Dict interns strings as dense non-negative integer identifiers.
+// The zero value is not ready for use; call New.
+//
+// Dict is not safe for concurrent use. TASM runs are single-threaded per
+// (query, document) pair, mirroring the single-thread setup of the paper's
+// evaluation; callers that share a Dict across goroutines must synchronize.
+type Dict struct {
+	ids    map[string]int
+	labels []string
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{ids: make(map[string]int)}
+}
+
+// Intern returns the identifier for label, assigning a fresh one on first
+// use. Identifiers are assigned densely starting at 0.
+func (d *Dict) Intern(label string) int {
+	if id, ok := d.ids[label]; ok {
+		return id
+	}
+	id := len(d.labels)
+	d.ids[label] = id
+	d.labels = append(d.labels, label)
+	return id
+}
+
+// Lookup returns the identifier for label and whether it is known.
+// Unlike Intern it never modifies the dictionary.
+func (d *Dict) Lookup(label string) (int, bool) {
+	id, ok := d.ids[label]
+	return id, ok
+}
+
+// Label returns the string for an identifier previously returned by Intern.
+// It panics if id was never assigned, which always indicates a programming
+// error (an identifier from a different dictionary).
+func (d *Dict) Label(id int) string {
+	if id < 0 || id >= len(d.labels) {
+		panic(fmt.Sprintf("dict: unknown label id %d (dictionary has %d entries)", id, len(d.labels)))
+	}
+	return d.labels[id]
+}
+
+// Len returns the number of distinct labels interned so far.
+func (d *Dict) Len() int { return len(d.labels) }

@@ -1,0 +1,53 @@
+package dict
+
+import "testing"
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	d := New()
+	if got := d.Intern("a"); got != 0 {
+		t.Errorf("first id = %d, want 0", got)
+	}
+	if got := d.Intern("b"); got != 1 {
+		t.Errorf("second id = %d, want 1", got)
+	}
+	if got := d.Intern("a"); got != 0 {
+		t.Errorf("re-intern = %d, want 0", got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	d := New()
+	labels := []string{"dblp", "article", "", "with space", "ünïcödé"}
+	for _, l := range labels {
+		id := d.Intern(l)
+		if got := d.Label(id); got != l {
+			t.Errorf("Label(Intern(%q)) = %q", l, got)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := New()
+	d.Intern("x")
+	if id, ok := d.Lookup("x"); !ok || id != 0 {
+		t.Errorf("Lookup(x) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("y"); ok {
+		t.Error("Lookup of unknown label reported ok")
+	}
+	if d.Len() != 1 {
+		t.Error("Lookup must not intern")
+	}
+}
+
+func TestLabelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Label(99) should panic")
+		}
+	}()
+	New().Label(99)
+}

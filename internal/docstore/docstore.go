@@ -1,0 +1,170 @@
+// Package docstore implements a binary on-disk document format holding a
+// postorder queue directly: the sequence of (label id, subtree size) pairs
+// plus the label dictionary.
+//
+// The TASM paper argues (Sections III and VIII) that the postorder queue
+// abstracts from the underlying XML storage model and can be implemented
+// by "any XML processing or storage system that allows an efficient
+// postorder traversal", citing interval-encoding relational stores [24].
+// This package is that storage substrate: documents parsed once (from XML
+// or a generator) are persisted in a form whose scan is a straight
+// sequential read with no XML parsing cost, mirroring how a production
+// system would drive TASM from a database rather than a text file.
+//
+// Format (all integers unsigned LEB128 varints):
+//
+//	magic "TASMPQ1\n"
+//	labelCount, then labelCount × (byteLen, bytes)   – the dictionary
+//	nodeCount, then nodeCount × (labelID, size)      – the postorder queue
+package docstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+)
+
+const magic = "TASMPQ1\n"
+
+// WriteItems persists a postorder queue (as a materialized item slice
+// using label identifiers from d) to w. The dictionary is stored ahead of
+// the items, so it must be complete first — which is why this takes a
+// slice rather than a live Queue: sources that discover labels on the fly
+// must finish scanning before their dictionary is final.
+func WriteItems(w io.Writer, d *dict.Dict, items []postorder.Item) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(d.Len()))
+	for i := 0; i < d.Len(); i++ {
+		l := d.Label(i)
+		writeUvarint(bw, uint64(len(l)))
+		if _, err := bw.WriteString(l); err != nil {
+			return err
+		}
+	}
+	writeUvarint(bw, uint64(len(items)))
+	for _, it := range items {
+		if it.Label < 0 || it.Label >= d.Len() {
+			return fmt.Errorf("docstore: item has label id %d outside dictionary of %d", it.Label, d.Len())
+		}
+		if it.Size < 1 {
+			return fmt.Errorf("docstore: item has size %d, want ≥ 1", it.Size)
+		}
+		writeUvarint(bw, uint64(it.Label))
+		writeUvarint(bw, uint64(it.Size))
+	}
+	return bw.Flush()
+}
+
+// Reader streams a persisted document as a postorder queue. Labels are
+// re-interned into the target dictionary on open, so identifiers are
+// compatible with queries interned in the same dictionary.
+type Reader struct {
+	br *bufio.Reader
+	// remap translates stored label ids to ids in the caller's dict.
+	remap []int
+	n     uint64 // remaining items
+	err   error
+}
+
+// NewReader opens a persisted document from r, merging its dictionary
+// into d.
+func NewReader(d *dict.Dict, r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("docstore: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("docstore: bad magic %q", head)
+	}
+	labelCount, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: reading label count: %w", err)
+	}
+	remap := make([]int, labelCount)
+	buf := make([]byte, 0, 64)
+	for i := range remap {
+		n, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: reading label %d: %w", i, err)
+		}
+		if uint64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("docstore: reading label %d: %w", i, err)
+		}
+		remap[i] = d.Intern(string(buf))
+	}
+	count, err := readUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: reading node count: %w", err)
+	}
+	return &Reader{br: br, remap: remap, n: count}, nil
+}
+
+// Next implements postorder.Queue.
+func (r *Reader) Next() (postorder.Item, error) {
+	if r.err != nil {
+		return postorder.Item{}, r.err
+	}
+	if r.n == 0 {
+		return postorder.Item{}, io.EOF
+	}
+	label, err := readUvarint(r.br)
+	if err != nil {
+		r.err = fmt.Errorf("docstore: reading item label: %w", err)
+		return postorder.Item{}, r.err
+	}
+	size, err := readUvarint(r.br)
+	if err != nil {
+		r.err = fmt.Errorf("docstore: reading item size: %w", err)
+		return postorder.Item{}, r.err
+	}
+	if label >= uint64(len(r.remap)) {
+		r.err = fmt.Errorf("docstore: label id %d outside dictionary of %d", label, len(r.remap))
+		return postorder.Item{}, r.err
+	}
+	r.n--
+	return postorder.Item{Label: r.remap[label], Size: int(size)}, nil
+}
+
+// Remaining returns the number of items left to read.
+func (r *Reader) Remaining() uint64 { return r.n }
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	for v >= 0x80 {
+		w.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	w.WriteByte(byte(v))
+}
+
+var errVarintTooLong = errors.New("varint exceeds 64 bits")
+
+func readUvarint(r *bufio.Reader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, errVarintTooLong
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"tasm/internal/core"
+	"tasm/internal/cost"
+	"tasm/internal/datagen"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/prb"
+)
+
+// AblationResult quantifies the two design choices of TASM-postorder that
+// the paper motivates but does not isolate:
+//
+//  1. the dynamic τ′ = min(τ, max(R)+|Q|) bound of Lemma 4 on top of the
+//     static Theorem 3 bound, and
+//  2. the prefix ring buffer against the simple pruning of Section V-B.
+type AblationResult struct {
+	// TauPrime compares TASM-postorder with and without the intermediate
+	// ranking bound: seconds and total TED node volume (Σ sizes of
+	// evaluated relevant subtrees).
+	TauPrimeSecondsWith, TauPrimeSecondsWithout float64
+	TauPrimeNodesWith, TauPrimeNodesWithout     int64
+
+	// Buffering compares the maximum number of simultaneously buffered
+	// nodes: ring buffer capacity (τ+1) versus the simple strategy's
+	// observed peak on a shallow-and-wide document.
+	RingBufferCap    int
+	SimplePeak       int
+	DocumentNodes    int
+	CandidateSubtree int // number of candidate subtrees (identical either way)
+}
+
+// Ablation runs both ablations on a DBLP-shaped document (the paper's
+// worst case for simple pruning) and writes a summary table.
+func Ablation(w io.Writer, cfg Config) (*AblationResult, error) {
+	res := &AblationResult{}
+	d := dict.New()
+	ds := datagen.DBLP(cfg.DBLPRecords)
+	doc, err := ds.Tree(d, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q, err := datagen.QueryFromDocument(doc, rng, 8)
+	if err != nil {
+		return nil, err
+	}
+	items := postorder.Items(doc)
+	k := cfg.K
+
+	// Ablation 1: τ′ on/off.
+	run := func(disable bool) (float64, int64, error) {
+		p := &volumeProbe{}
+		dur, err := timeIt(func() error {
+			_, err := core.PostorderStream(q, postorder.NewSliceQueue(items), k,
+				core.Options{NoTrees: true, Probe: p, DisableIntermediateBound: disable})
+			return err
+		})
+		return dur.Seconds(), p.nodes, err
+	}
+	if res.TauPrimeSecondsWith, res.TauPrimeNodesWith, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.TauPrimeSecondsWithout, res.TauPrimeNodesWithout, err = run(true); err != nil {
+		return nil, err
+	}
+
+	// Ablation 2: ring buffer vs simple pruning.
+	tau := core.Tau(cost.Unit{}, q, k, 0)
+	res.RingBufferCap = tau + 1
+	res.DocumentNodes = doc.Size()
+	cands, stats, err := prb.SimpleCandidates(d, postorder.NewSliceQueue(items), tau)
+	if err != nil {
+		return nil, err
+	}
+	res.SimplePeak = stats.PeakBuffered
+	res.CandidateSubtree = len(cands)
+
+	fmt.Fprintf(w, "Ablation (DBLP-like, %d nodes, |Q|=%d, k=%d, τ=%d)\n", doc.Size(), q.Size(), k, tau)
+	table(w, "variant", "seconds", "TED nodes")
+	table(w, "with τ'", fmt.Sprintf("%.4f", res.TauPrimeSecondsWith), res.TauPrimeNodesWith)
+	table(w, "without τ'", fmt.Sprintf("%.4f", res.TauPrimeSecondsWithout), res.TauPrimeNodesWithout)
+	table(w, "buffering", "peak nodes", "")
+	table(w, "ring buffer", res.RingBufferCap, "")
+	table(w, "simple", res.SimplePeak, "")
+	return res, nil
+}
+
+// volumeProbe sums the sizes of evaluated relevant subtrees.
+type volumeProbe struct{ nodes int64 }
+
+func (p *volumeProbe) RelevantSubtree(size int) { p.nodes += int64(size) }
+func (p *volumeProbe) Candidate(int)            {}
+func (p *volumeProbe) Pruned(int)               {}

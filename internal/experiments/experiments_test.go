@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run the Quick configuration and assert the
+// *structural* claims each figure supports (who wins, what is bounded,
+// what is flat) rather than absolute timings, which depend on the host.
+
+func TestFig9aShapes(t *testing.T) {
+	var sb strings.Builder
+	pts, err := Fig9a(&sb, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// Node counts must grow with scale (linear document sizes).
+	nodesByScale := map[int]int{}
+	for _, p := range pts {
+		nodesByScale[p.Scale] = p.Nodes
+		if p.Seconds < 0 {
+			t.Errorf("negative time: %+v", p)
+		}
+	}
+	if !(nodesByScale[2] > nodesByScale[1]) {
+		t.Errorf("nodes must grow with scale: %v", nodesByScale)
+	}
+	if !strings.Contains(sb.String(), "Figure 9a") {
+		t.Error("missing table header")
+	}
+}
+
+func TestFig9cDynInsensitiveToK(t *testing.T) {
+	pts, err := Fig9c(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect dynamic times by k for the first scale; they must not vary
+	// wildly (the algorithm does identical work regardless of k).
+	var times []float64
+	for _, p := range pts {
+		if p.Algo == "dyn" && p.Scale == 1 {
+			times = append(times, p.Seconds)
+		}
+	}
+	if len(times) < 2 {
+		t.Fatal("not enough dyn points")
+	}
+	min, max := times[0], times[0]
+	for _, v := range times {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min > 0 && max/min > 5 {
+		t.Errorf("dyn time varies %gx with k; expected roughly flat (times %v)", max/min, times)
+	}
+}
+
+func TestFig10MemoryShape(t *testing.T) {
+	pts, err := Fig10(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each query size: postorder peak must not grow with document
+	// scale the way dynamic does. Assert the weaker, robust property that
+	// at the largest scale dyn uses more heap than pos.
+	byKey := map[string]uint64{}
+	maxScale := 0
+	for _, p := range pts {
+		byKey[key3(p.Algo, p.Scale, p.QuerySize)] = p.PeakBytes
+		if p.Scale > maxScale {
+			maxScale = p.Scale
+		}
+	}
+	for _, p := range pts {
+		if p.Scale != maxScale || p.Algo != "dyn" {
+			continue
+		}
+		pos := byKey[key3("pos", p.Scale, p.QuerySize)]
+		if pos == 0 {
+			t.Fatalf("missing pos point for %+v", p)
+		}
+		if p.PeakBytes <= pos {
+			t.Errorf("scale %d |Q|=%d: dyn peak %d ≤ pos peak %d; dynamic must dominate at the largest scale",
+				p.Scale, p.QuerySize, p.PeakBytes, pos)
+		}
+	}
+}
+
+func key3(algo string, a, b int) string {
+	return algo + ":" + itoa(a) + ":" + itoa(b)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFig11Bounds(t *testing.T) {
+	results, err := Fig11(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("want psd and dblp, got %d results", len(results))
+	}
+	for _, r := range results {
+		// TASM-dynamic evaluates the whole document as a relevant subtree.
+		if r.Dyn.MaxSize() != r.Nodes {
+			t.Errorf("%s: dyn max relevant = %d, want whole document %d", r.Dataset, r.Dyn.MaxSize(), r.Nodes)
+		}
+		// TASM-postorder never evaluates a subtree above τ.
+		if r.Pos.MaxSize() > r.Tau {
+			t.Errorf("%s: pos max relevant = %d exceeds τ=%d", r.Dataset, r.Pos.MaxSize(), r.Tau)
+		}
+		if r.Pos.Total() == 0 || r.Dyn.Total() == 0 {
+			t.Errorf("%s: empty histograms", r.Dataset)
+		}
+	}
+}
+
+func TestFig12EndsPositive(t *testing.T) {
+	pts, err := Fig12(io.Discard, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final (largest x) difference per dataset must be positive:
+	// TASM-dynamic does strictly more cumulative work (Section VII-B).
+	last := map[string]int64{}
+	lastX := map[string]int{}
+	for _, p := range pts {
+		if p.X >= lastX[p.Dataset] {
+			lastX[p.Dataset] = p.X
+			last[p.Dataset] = p.Diff
+		}
+	}
+	for ds, diff := range last {
+		if diff <= 0 {
+			t.Errorf("%s: css difference at max x = %d, want > 0", ds, diff)
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	var sb strings.Builder
+	res, err := Ablation(&sb, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// τ′ must not increase the TED volume (it only ever prunes).
+	if res.TauPrimeNodesWith > res.TauPrimeNodesWithout {
+		t.Errorf("τ′ increased TED volume: %d with vs %d without",
+			res.TauPrimeNodesWith, res.TauPrimeNodesWithout)
+	}
+	// On a shallow wide document the simple strategy buffers (nearly) the
+	// whole document, the ring buffer only τ+1 slots.
+	if res.SimplePeak <= res.RingBufferCap {
+		t.Errorf("simple pruning peak %d should exceed ring buffer cap %d",
+			res.SimplePeak, res.RingBufferCap)
+	}
+	if res.SimplePeak < res.DocumentNodes/2 {
+		t.Errorf("simple pruning peak %d unexpectedly small for a %d-node flat document",
+			res.SimplePeak, res.DocumentNodes)
+	}
+	if res.CandidateSubtree == 0 {
+		t.Error("no candidates")
+	}
+	if !strings.Contains(sb.String(), "Ablation") {
+		t.Error("missing table header")
+	}
+}
+
+func TestHist(t *testing.T) {
+	h := NewHist()
+	for _, s := range []int{1, 1, 3, 10, 100} {
+		h.Add(s)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("Count(1) = %d", h.Count(1))
+	}
+	if h.MaxSize() != 100 {
+		t.Errorf("MaxSize = %d", h.MaxSize())
+	}
+	if got := h.CSS(3); got != 1+1+3 {
+		t.Errorf("CSS(3) = %d, want 5", got)
+	}
+	if got := h.CSS(1000); got != 1+1+3+10+100 {
+		t.Errorf("CSS(1000) = %d, want 115", got)
+	}
+	sizes := h.Sizes()
+	if len(sizes) != 4 || sizes[0] != 1 || sizes[3] != 100 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	buckets := h.LogBuckets()
+	if buckets[0].Count != 3 { // sizes 1,1,3 in [1,10)
+		t.Errorf("bucket [1,10) = %d, want 3", buckets[0].Count)
+	}
+}
+
+func TestLogSpaced(t *testing.T) {
+	got := logSpaced(250)
+	want := []int{1, 10, 100, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("logSpaced(250) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logSpaced(250) = %v", got)
+		}
+	}
+}

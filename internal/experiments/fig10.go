@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tasm/internal/core"
+	"tasm/internal/tree"
+)
+
+// Fig10Point is one measurement of the memory experiment of Figure 10.
+type Fig10Point struct {
+	Scale     int
+	Nodes     int
+	QuerySize int
+	Algo      string
+	PeakBytes uint64
+}
+
+// Fig10 reproduces Figure 10: peak heap usage as a function of the
+// document size. TASM-dynamic materializes the document and an O(m·n)
+// distance matrix, so its footprint grows linearly; TASM-postorder holds
+// only the prefix ring buffer and per-candidate state, so its footprint is
+// flat across document sizes.
+//
+// To keep the measurement honest the postorder runs stream straight from
+// the generator: the document is never materialized in the measured
+// process state. The dynamic runs rebuild the document tree inside the
+// measured region, exactly as TASM-dynamic must.
+func Fig10(w io.Writer, cfg Config) ([]Fig10Point, error) {
+	cache := newDocCache(cfg)
+	qsizes := pick(cfg.QuerySizes, 0, 2)
+	fmt.Fprintf(w, "Figure 10: peak heap vs document size (k=%d)\n", cfg.K)
+	table(w, "scale", "nodes", "|Q|", "algo", "peak MB")
+	var out []Fig10Point
+
+	for _, scale := range cfg.Scales {
+		// Query selection needs the materialized tree; select before
+		// measuring, then drop the cache so the measured region is clean.
+		queryBySize := map[int]*tree.Tree{}
+		nodes := 0
+		for _, qs := range qsizes {
+			queries, err := cache.queries(scale, qs, 1)
+			if err != nil {
+				return nil, err
+			}
+			queryBySize[qs] = queries[0]
+		}
+		doc, _, err := cache.tree(scale)
+		if err != nil {
+			return nil, err
+		}
+		nodes = doc.Size()
+		cache.drop(scale)
+
+		for _, qs := range qsizes {
+			q := queryBySize[qs]
+
+			// TASM-postorder: stream from the generator, document never
+			// resident.
+			queue, err := cache.queueNoTree(scale)
+			if err != nil {
+				return nil, err
+			}
+			peakPos, err := peakHeapDuring(func() error {
+				_, err := core.PostorderStream(q, queue, cfg.K, core.Options{NoTrees: true})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			// TASM-dynamic: must materialize the document first.
+			peakDyn, err := peakHeapDuring(func() error {
+				doc, _, err := cache.tree(scale)
+				if err != nil {
+					return err
+				}
+				_, err = core.Dynamic(q, doc, cfg.K, core.Options{NoTrees: true})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			cache.drop(scale)
+
+			out = append(out,
+				Fig10Point{scale, nodes, qs, "dyn", peakDyn},
+				Fig10Point{scale, nodes, qs, "pos", peakPos})
+			table(w, scale, nodes, qs, "dyn", fmt.Sprintf("%.2f", float64(peakDyn)/1e6))
+			table(w, scale, nodes, qs, "pos", fmt.Sprintf("%.2f", float64(peakPos)/1e6))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"tasm/internal/core"
+	"tasm/internal/cost"
+	"tasm/internal/datagen"
+	"tasm/internal/dict"
+)
+
+// Fig11Result holds the TED-computation profiles of one dataset for a
+// top-1 query: the histogram of relevant-subtree sizes evaluated by each
+// algorithm (Figures 11a/11b scatter data and 11c histogram data).
+type Fig11Result struct {
+	Dataset  string
+	Nodes    int
+	Dyn, Pos *Hist
+	Tau      int
+}
+
+// pruningProfile runs both algorithms on one generated document with a
+// |Q|=4 top-1 query and collects the relevant-subtree histograms.
+func pruningProfile(name string, ds *datagen.Dataset, seed int64) (*Fig11Result, error) {
+	d := dict.New()
+	doc, err := ds.Tree(d, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q, err := datagen.QueryFromDocument(doc, rng, 4)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Dataset: name, Nodes: doc.Size(), Tau: core.Tau(cost.Unit{}, q, 1, 0)}
+
+	pDyn := newProbe()
+	if _, err := core.Dynamic(q, doc, 1, core.Options{Probe: pDyn, NoTrees: true}); err != nil {
+		return nil, err
+	}
+	res.Dyn = pDyn.relevant
+
+	pPos := newProbe()
+	if _, err := core.Postorder(q, doc, 1, core.Options{Probe: pPos, NoTrees: true}); err != nil {
+		return nil, err
+	}
+	res.Pos = pPos.relevant
+	return res, nil
+}
+
+// Fig11 reproduces Figure 11: the number of tree-edit-distance
+// computations per relevant-subtree size for a top-1, |Q|=4 query on the
+// PSD-like (scatter, Figures 11a/11b) and DBLP-like (histogram,
+// Figure 11c) documents.
+func Fig11(w io.Writer, cfg Config) ([]*Fig11Result, error) {
+	psd, err := pruningProfile("psd", datagen.PSD(cfg.PSDEntries), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dblp, err := pruningProfile("dblp", datagen.DBLP(cfg.DBLPRecords), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, r := range []*Fig11Result{psd, dblp} {
+		fmt.Fprintf(w, "Figure 11 (%s, %d nodes, top-1, |Q|=4, τ=%d)\n", r.Dataset, r.Nodes, r.Tau)
+		table(w, "bucket", "dyn count", "pos count")
+		dynB := r.Dyn.LogBuckets()
+		posByLo := map[int]int{}
+		for _, b := range r.Pos.LogBuckets() {
+			posByLo[b.Lo] = b.Count
+		}
+		for _, b := range dynB {
+			table(w, fmt.Sprintf("[%d,%d)", b.Lo, b.Hi), b.Count, posByLo[b.Lo])
+		}
+		fmt.Fprintf(w, "max relevant subtree: dyn %d nodes, pos %d nodes\n\n",
+			r.Dyn.MaxSize(), r.Pos.MaxSize())
+	}
+	return []*Fig11Result{psd, dblp}, nil
+}
+
+// Fig12Point is one point of the cumulative-subtree-size-difference curve.
+type Fig12Point struct {
+	Dataset string
+	X       int   // subtree size
+	Diff    int64 // css_dyn(x) − css_pos(x)
+}
+
+// Fig12 reproduces Figure 12: the cumulative subtree size difference
+// css_dyn(x) − css_pos(x) for top-1 queries on the DBLP-like and PSD-like
+// documents. Negative values at small x mean TASM-postorder computes more
+// small subtrees; the curve must end far above zero — TASM-dynamic does
+// strictly more total work.
+func Fig12(w io.Writer, cfg Config) ([]Fig12Point, error) {
+	results, err := Fig11(io.Discard, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig12Point
+	fmt.Fprintln(w, "Figure 12: cumulative subtree size difference (top-1)")
+	table(w, "dataset", "x", "css_dyn-css_pos")
+	for _, r := range results {
+		xs := logSpaced(r.Dyn.MaxSize())
+		for _, x := range xs {
+			diff := r.Dyn.CSS(x) - r.Pos.CSS(x)
+			out = append(out, Fig12Point{Dataset: r.Dataset, X: x, Diff: diff})
+			table(w, r.Dataset, x, diff)
+		}
+	}
+	return out, nil
+}
+
+// logSpaced returns 1, 10, 100, … up to and including a bound ≥ max.
+func logSpaced(max int) []int {
+	var out []int
+	for x := 1; ; x *= 10 {
+		out = append(out, x)
+		if x >= max {
+			return out
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tasm/internal/core"
+	"tasm/internal/tree"
+)
+
+// Fig9Point is one measurement of the runtime experiments of Figure 9.
+type Fig9Point struct {
+	Scale     int     // XMark scale factor (stands in for document MB)
+	Nodes     int     // document node count
+	QuerySize int     // requested |Q|
+	K         int     // result size
+	Algo      string  // "dyn" or "pos"
+	Seconds   float64 // wall-clock seconds, averaged over queries
+}
+
+// runPair times TASM-dynamic and TASM-postorder for one (scale, query, k)
+// configuration, averaging over the configured number of queries.
+// TASM-dynamic consumes the materialized document; TASM-postorder consumes
+// a fresh stream, never touching the materialized tree.
+func (c *docCache) runPair(scale, qsize, k int, queries []*tree.Tree) (dyn, pos float64, nodes int, err error) {
+	doc, _, err := c.tree(scale)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	nodes = doc.Size()
+	opts := core.Options{NoTrees: true}
+	for _, q := range queries {
+		dDyn, err := timeIt(func() error {
+			_, err := core.Dynamic(q, doc, k, opts)
+			return err
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		dyn += dDyn.Seconds()
+
+		queue, err := c.queue(scale)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		dPos, err := timeIt(func() error {
+			_, err := core.PostorderStream(q, queue, k, opts)
+			return err
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		pos += dPos.Seconds()
+	}
+	n := float64(len(queries))
+	return dyn / n, pos / n, nodes, nil
+}
+
+// Fig9a reproduces Figure 9a: execution time as a function of the document
+// size for different query sizes, fixed k.
+func Fig9a(w io.Writer, cfg Config) ([]Fig9Point, error) {
+	cache := newDocCache(cfg)
+	qsizes := pick(cfg.QuerySizes, 0, 1, len(cfg.QuerySizes)-1) // small, medium, largest
+	fmt.Fprintf(w, "Figure 9a: runtime vs document size (k=%d)\n", cfg.K)
+	table(w, "scale", "nodes", "|Q|", "algo", "seconds")
+	var out []Fig9Point
+	for _, scale := range cfg.Scales {
+		for _, qs := range qsizes {
+			queries, err := cache.queries(scale, qs, cfg.QueriesPerSz)
+			if err != nil {
+				return nil, err
+			}
+			dyn, pos, nodes, err := cache.runPair(scale, qs, cfg.K, queries)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out,
+				Fig9Point{scale, nodes, qs, cfg.K, "dyn", dyn},
+				Fig9Point{scale, nodes, qs, cfg.K, "pos", pos})
+			table(w, scale, nodes, qs, "dyn", fmt.Sprintf("%.4f", dyn))
+			table(w, scale, nodes, qs, "pos", fmt.Sprintf("%.4f", pos))
+		}
+	}
+	return out, nil
+}
+
+// Fig9b reproduces Figure 9b: execution time as a function of the query
+// size for different document sizes, fixed k.
+func Fig9b(w io.Writer, cfg Config) ([]Fig9Point, error) {
+	cache := newDocCache(cfg)
+	scales := pick(cfg.Scales, 0, 1, len(cfg.Scales)-1)
+	fmt.Fprintf(w, "Figure 9b: runtime vs query size (k=%d)\n", cfg.K)
+	table(w, "scale", "nodes", "|Q|", "algo", "seconds")
+	var out []Fig9Point
+	for _, qs := range cfg.QuerySizes {
+		for _, scale := range scales {
+			queries, err := cache.queries(scale, qs, cfg.QueriesPerSz)
+			if err != nil {
+				return nil, err
+			}
+			dyn, pos, nodes, err := cache.runPair(scale, qs, cfg.K, queries)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out,
+				Fig9Point{scale, nodes, qs, cfg.K, "dyn", dyn},
+				Fig9Point{scale, nodes, qs, cfg.K, "pos", pos})
+			table(w, scale, nodes, qs, "dyn", fmt.Sprintf("%.4f", dyn))
+			table(w, scale, nodes, qs, "pos", fmt.Sprintf("%.4f", pos))
+		}
+	}
+	return out, nil
+}
+
+// Fig9c reproduces Figure 9c: execution time as a function of k for a
+// fixed query size; TASM-dynamic is insensitive to k while TASM-postorder
+// grows only mildly over four orders of magnitude.
+func Fig9c(w io.Writer, cfg Config) ([]Fig9Point, error) {
+	cache := newDocCache(cfg)
+	scales := pick(cfg.Scales, 0, 1)
+	const qs = 16
+	fmt.Fprintf(w, "Figure 9c: runtime vs k (|Q|=%d)\n", qs)
+	table(w, "scale", "nodes", "k", "algo", "seconds")
+	var out []Fig9Point
+	for _, k := range cfg.Ks {
+		for _, scale := range scales {
+			queries, err := cache.queries(scale, qs, cfg.QueriesPerSz)
+			if err != nil {
+				return nil, err
+			}
+			dyn, pos, nodes, err := cache.runPair(scale, qs, k, queries)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out,
+				Fig9Point{scale, nodes, qs, k, "dyn", dyn},
+				Fig9Point{scale, nodes, qs, k, "pos", pos})
+			table(w, scale, nodes, k, "dyn", fmt.Sprintf("%.4f", dyn))
+			table(w, scale, nodes, k, "pos", fmt.Sprintf("%.4f", pos))
+		}
+	}
+	return out, nil
+}
+
+// pick selects the given indices from s, deduplicated, clamped to range.
+func pick(s []int, idxs ...int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, i := range idxs {
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		if i >= 0 && !seen[i] {
+			seen[i] = true
+			out = append(out, s[i])
+		}
+	}
+	return out
+}

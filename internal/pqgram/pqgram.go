@@ -1,0 +1,165 @@
+// Package pqgram implements the pq-gram distance of Augsten, Böhlen and
+// Gamper (TODS), the approximate tree similarity the TASM paper cites as
+// related work ([21], Sections III–IV): an O(n log n) bag-of-fragments
+// approximation of the (fanout-weighted) tree edit distance.
+//
+// A pq-gram is a small fixed-shape fragment of the tree: a stem of p
+// ancestors ending at an anchor node, plus a base of q consecutive
+// children of the anchor, where missing ancestors and children are padded
+// with dummy nodes (*). The pq-gram profile of a tree is the bag of all
+// its pq-grams; the distance between two trees is the size of the
+// symmetric difference of their profiles (optionally normalized to
+// [0, 1]).
+//
+// In this repository pq-grams serve two roles: a fast related-work
+// baseline to contrast with TASM's exact ranking (see the FilterVerify
+// example and benchmarks), and a demonstration that the exactness of
+// TASM-postorder costs little — the approximation is faster per pair but
+// offers no guarantee that the true top-k survive filtering.
+package pqgram
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"tasm/internal/tree"
+)
+
+// dummy is the padding label of extended trees; it cannot collide with
+// interned labels, which are non-negative.
+const dummy = -1
+
+// Profile is a pq-gram profile: a bag of grams represented by hash, with
+// multiplicities. Hash collisions are possible in principle (64-bit FNV)
+// and would only perturb the approximate distance, never TASM's exact
+// results.
+type Profile struct {
+	p, q  int
+	bag   map[uint64]int
+	total int
+}
+
+// P and Q return the profile's shape parameters.
+func (pr *Profile) P() int { return pr.p }
+func (pr *Profile) Q() int { return pr.q }
+
+// Size returns the number of grams in the profile (with multiplicity):
+// 2·leaves + fanout-sum + (q−1)·non-leaves … fully determined by the
+// tree's shape.
+func (pr *Profile) Size() int { return pr.total }
+
+// New computes the pq-gram profile of t. p ≥ 1 controls stem depth,
+// q ≥ 1 base width; the TODS paper's default (and a good general choice)
+// is p=2, q=3.
+func New(t *tree.Tree, p, q int) (*Profile, error) {
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("pqgram: p and q must be ≥ 1, got p=%d q=%d", p, q)
+	}
+	pr := &Profile{p: p, q: q, bag: map[uint64]int{}}
+
+	// children[i] lists the child indices of node i in sibling order.
+	children := make([][]int, t.Size())
+	for i := 0; i < t.Size()-1; i++ {
+		par := t.Parent(i)
+		children[par] = append(children[par], i)
+	}
+
+	// stem holds the labels of the current anchor's p-1 ancestors plus
+	// the anchor itself, padded with dummies at the top.
+	stem := make([]int, p)
+	for i := range stem {
+		stem[i] = dummy
+	}
+	var walk func(node int, stem []int)
+	walk = func(node int, stem []int) {
+		anchorStem := append(append(make([]int, 0, p), stem[1:]...), t.LabelID(node))
+		kids := children[node]
+		// Slide a q-window over the children extended with q−1 dummies
+		// on each side.
+		base := make([]int, q)
+		for i := range base {
+			base[i] = dummy
+		}
+		emit := func() {
+			h := fnv.New64a()
+			var b [8]byte
+			write := func(v int) {
+				u := uint64(int64(v)) // dummy (-1) stays distinct from labels
+				for i := 0; i < 8; i++ {
+					b[i] = byte(u >> (8 * i))
+				}
+				h.Write(b[:])
+			}
+			for _, v := range anchorStem {
+				write(v)
+			}
+			for _, v := range base {
+				write(v)
+			}
+			pr.bag[h.Sum64()]++
+			pr.total++
+		}
+		// A node with f children contributes f+q−1 windows over the child
+		// sequence extended with q−1 dummies on each side; a leaf thus
+		// contributes q−1 all-dummy windows (none when q=1).
+		if len(kids) == 0 {
+			for w := 0; w < q-1; w++ {
+				emit()
+			}
+			return
+		}
+		shift := func(label int) {
+			copy(base, base[1:])
+			base[len(base)-1] = label
+		}
+		for _, c := range kids {
+			shift(t.LabelID(c))
+			emit()
+		}
+		for w := 0; w < q-1; w++ {
+			shift(dummy)
+			emit()
+		}
+		for _, c := range kids {
+			walk(c, anchorStem)
+		}
+	}
+	walk(t.Root(), stem)
+	return pr, nil
+}
+
+// Distance returns the bag symmetric difference |P1 ⊎ P2| − 2·|P1 ⊓ P2|
+// between two profiles. It is 0 for identical trees and grows with
+// structural divergence; it approximates (and under the fanout-weighted
+// cost model is related to) the tree edit distance at a fraction of the
+// cost.
+func Distance(a, b *Profile) (int, error) {
+	if a.p != b.p || a.q != b.q {
+		return 0, fmt.Errorf("pqgram: incompatible profiles (%d,%d) vs (%d,%d)", a.p, a.q, b.p, b.q)
+	}
+	inter := 0
+	for g, ca := range a.bag {
+		cb := b.bag[g]
+		if cb < ca {
+			inter += cb
+		} else {
+			inter += ca
+		}
+	}
+	return a.total + b.total - 2*inter, nil
+}
+
+// Normalized returns the pq-gram distance scaled to [0, 1]:
+// 1 − 2·|P1 ⊓ P2| / |P1 ⊎ P2|. Two identical trees score 0, trees with
+// disjoint profiles score 1.
+func Normalized(a, b *Profile) (float64, error) {
+	d, err := Distance(a, b)
+	if err != nil {
+		return 0, err
+	}
+	union := a.total + b.total
+	if union == 0 {
+		return 0, nil
+	}
+	return float64(d) / float64(union), nil
+}

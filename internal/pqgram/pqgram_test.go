@@ -1,0 +1,168 @@
+package pqgram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+func mk(t testing.TB, d *dict.Dict, s string) *tree.Tree {
+	t.Helper()
+	return tree.MustParse(d, s)
+}
+
+func TestProfileSizeFormula(t *testing.T) {
+	// A node with f children contributes f+q−1 grams (leaves q−1), so
+	// |profile| = Σ_internal (f+q−1) + Σ_leaf (q−1)
+	//           = (n−1) + (q−1)·n   (edges plus q−1 per node).
+	d := dict.New()
+	cases := []string{"{a}", "{a{b}}", "{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}", "{a{b{c{d{e}}}}}"}
+	for _, s := range cases {
+		tr := mk(t, d, s)
+		for _, q := range []int{1, 2, 3} {
+			pr, err := New(tr, 2, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := (tr.Size() - 1) + (q-1)*tr.Size()
+			if pr.Size() != want {
+				t.Errorf("%s q=%d: profile size %d, want %d", s, q, pr.Size(), want)
+			}
+		}
+	}
+}
+
+func TestIdenticalTreesDistanceZero(t *testing.T) {
+	d := dict.New()
+	a := mk(t, d, "{x{a{b}{d}}{a{b}{c}}}")
+	b := mk(t, d, "{x{a{b}{d}}{a{b}{c}}}")
+	pa, _ := New(a, 2, 3)
+	pb, _ := New(b, 2, 3)
+	if got, _ := Distance(pa, pb); got != 0 {
+		t.Errorf("distance = %d, want 0", got)
+	}
+	if got, _ := Normalized(pa, pb); got != 0 {
+		t.Errorf("normalized = %g, want 0", got)
+	}
+}
+
+func TestDisjointLabelsDistanceMax(t *testing.T) {
+	d := dict.New()
+	a := mk(t, d, "{a{b}{c}}")
+	b := mk(t, d, "{x{y}{z}}")
+	pa, _ := New(a, 2, 2)
+	pb, _ := New(b, 2, 2)
+	dist, _ := Distance(pa, pb)
+	if dist != pa.Size()+pb.Size() {
+		t.Errorf("distance = %d, want total disjoint %d", dist, pa.Size()+pb.Size())
+	}
+	if n, _ := Normalized(pa, pb); n != 1 {
+		t.Errorf("normalized = %g, want 1", n)
+	}
+}
+
+func TestSmallChangeSmallDistance(t *testing.T) {
+	d := dict.New()
+	a := mk(t, d, "{r{a}{b}{c}{d}{e}{f}}")
+	oneRename := mk(t, d, "{r{a}{b}{c}{d}{e}{x}}")
+	reshaped := mk(t, d, "{x{y{a}{b}}{z{c}{d}}{w{e}{f}}}")
+	pa, _ := New(a, 2, 3)
+	p1, _ := New(oneRename, 2, 3)
+	p2, _ := New(reshaped, 2, 3)
+	d1, _ := Distance(pa, p1)
+	d2, _ := Distance(pa, p2)
+	if d1 == 0 {
+		t.Error("rename not detected")
+	}
+	if d1 >= d2 {
+		t.Errorf("one rename (%d) should be cheaper than full reshaping (%d)", d1, d2)
+	}
+}
+
+func TestSensitiveToSiblingOrder(t *testing.T) {
+	d := dict.New()
+	a := mk(t, d, "{r{a}{b}{c}}")
+	b := mk(t, d, "{r{c}{b}{a}}")
+	pa, _ := New(a, 2, 2)
+	pb, _ := New(b, 2, 2)
+	if got, _ := Distance(pa, pb); got == 0 {
+		t.Error("pq-grams with q≥2 must distinguish sibling orders")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := dict.New()
+	tr := mk(t, d, "{a}")
+	if _, err := New(tr, 0, 2); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := New(tr, 2, 0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	pa, _ := New(tr, 2, 2)
+	pb, _ := New(tr, 3, 2)
+	if _, err := Distance(pa, pb); err == nil {
+		t.Error("incompatible profiles accepted")
+	}
+	if _, err := Normalized(pa, pb); err == nil {
+		t.Error("incompatible profiles accepted (normalized)")
+	}
+}
+
+// TestMetricPropertiesQuick: symmetry and identity on random trees, and
+// the triangle inequality which the bag symmetric difference satisfies.
+func TestMetricPropertiesQuick(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		mkr := func(raw uint8) *Profile {
+			n := int(raw)%12 + 1
+			tr := tree.Random(d, rng, tree.RandomConfig{Nodes: n, MaxFanout: 3, Labels: 3})
+			p, _ := New(tr, 2, 3)
+			return p
+		}
+		pa, pb, pc := mkr(aRaw), mkr(bRaw), mkr(cRaw)
+		dab, _ := Distance(pa, pb)
+		dba, _ := Distance(pb, pa)
+		daa, _ := Distance(pa, pa)
+		dac, _ := Distance(pa, pc)
+		dcb, _ := Distance(pc, pb)
+		return daa == 0 && dab == dba && dab <= dac+dcb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCorrelatesWithTED: across random pairs, pq-gram distance must rank
+// a near-identical pair below a heavily edited pair most of the time —
+// the property that makes it useful as a filter.
+func TestCorrelatesWithTED(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	agree := 0
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		d := dict.New()
+		base := tree.Random(d, rng, tree.RandomConfig{Nodes: 14, MaxFanout: 3, Labels: 4})
+		near := tree.Random(d, rng, tree.RandomConfig{Nodes: 14, MaxFanout: 3, Labels: 4})
+		far := tree.Random(d, rng, tree.RandomConfig{Nodes: 14, MaxFanout: 3, Labels: 40})
+		tNear := ted.Distance(cost.Unit{}, base, near)
+		tFar := ted.Distance(cost.Unit{}, base, far)
+		pb0, _ := New(base, 2, 3)
+		pn, _ := New(near, 2, 3)
+		pf, _ := New(far, 2, 3)
+		gNear, _ := Distance(pb0, pn)
+		gFar, _ := Distance(pb0, pf)
+		if (tNear < tFar) == (gNear < gFar) {
+			agree++
+		}
+	}
+	if agree < trials*6/10 {
+		t.Errorf("pq-gram agreed with TED ordering only %d/%d times", agree, trials)
+	}
+}

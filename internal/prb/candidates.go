@@ -1,0 +1,170 @@
+package prb
+
+import (
+	"errors"
+	"io"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+// Candidate is one element of the candidate set cand(T, τ): a maximal
+// subtree of the document within the size threshold.
+type Candidate struct {
+	// Root is the 1-based postorder id of the subtree's root node in the
+	// document (the paper's node index of t_i for subtree T_i).
+	Root int
+	// Tree is the materialized subtree.
+	Tree *tree.Tree
+}
+
+// Candidates runs the paper's prb-pruning (Algorithm 1): it consumes the
+// whole postorder queue and returns the candidate set cand(T, τ) in
+// document postorder. Labels of materialized subtrees are resolved in d.
+func Candidates(d *dict.Dict, q postorder.Queue, tau int) ([]Candidate, error) {
+	var out []Candidate
+	buf := New(q, tau)
+	for {
+		ok, err := buf.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		t, err := buf.Subtree(d, buf.Leaf(), buf.Root())
+		if err != nil {
+			return out, err
+		}
+		out = append(out, Candidate{Root: buf.Root(), Tree: t})
+	}
+}
+
+// CandidatesOf computes cand(T, τ) directly from Definition 9 on a
+// memory-resident tree: the 0-based postorder indices i with |T_i| ≤ τ and
+// |T_a| > τ for every proper ancestor a. It is the correctness oracle for
+// the ring-buffer pruning in tests and returns indices in postorder.
+func CandidatesOf(t *tree.Tree, tau int) []int {
+	var out []int
+	for i := 0; i < t.Size(); i++ {
+		if t.SubtreeSize(i) > tau {
+			continue
+		}
+		maximal := true
+		for a := t.Parent(i); a != -1; a = t.Parent(a) {
+			if t.SubtreeSize(a) <= tau {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SimpleStats reports the buffering behaviour of the simple pruning
+// strategy of Section V-B, which appends nodes until a non-candidate node
+// arrives and only then releases the candidate subtrees rooted among its
+// children. Its buffer grows with the document (O(n) worst case, and the
+// worst case is the common case for shallow, wide XML), which is the
+// motivation for the prefix ring buffer. This implementation exists as an
+// ablation baseline for the memory experiments and as a second pruning
+// oracle in tests.
+type SimpleStats struct {
+	// PeakBuffered is the maximum number of nodes simultaneously buffered.
+	PeakBuffered int
+	// Nodes is the document size.
+	Nodes int
+}
+
+// SimpleCandidates prunes with the simple strategy and returns the
+// candidate set together with buffering statistics.
+func SimpleCandidates(d *dict.Dict, q postorder.Queue, tau int) ([]Candidate, SimpleStats, error) {
+	type buffered struct {
+		item postorder.Item
+		id   int // 1-based postorder id
+	}
+	var (
+		buf   []buffered
+		out   []Candidate
+		stats SimpleStats
+		id    int
+	)
+	// emit materializes the maximal ≤τ subtrees in the buffered range, in
+	// postorder. Once a non-candidate node arrives, every ancestor of a
+	// buffered complete subtree is guaranteed to exceed τ (its subtree
+	// interval would have to span the non-candidate node), so a buffered
+	// subtree is a candidate exactly when no larger buffered ≤τ subtree
+	// covers it. Coverage is marked right to left.
+	emit := func() error {
+		n := len(buf)
+		covered := make([]bool, n)
+		roots := make([]int, 0, 4)
+		for i := n - 1; i >= 0; i-- {
+			if covered[i] {
+				continue
+			}
+			sz := buf[i].item.Size
+			lo := i - sz + 1
+			if lo < 0 {
+				// Unreachable for well-formed queues: a subtree reaching
+				// past the buffer start would span the non-candidate node
+				// that cleared it. Skip defensively.
+				continue
+			}
+			roots = append(roots, i)
+			for j := lo; j < i; j++ {
+				covered[j] = true
+			}
+		}
+		// roots were collected right to left; emit in postorder.
+		for i, j := 0, len(roots)-1; i < j; i, j = i+1, j-1 {
+			roots[i], roots[j] = roots[j], roots[i]
+		}
+		for _, ri := range roots {
+			sz := buf[ri].item.Size
+			labels := make([]int, sz)
+			sizes := make([]int, sz)
+			for j := 0; j < sz; j++ {
+				labels[j] = buf[ri-sz+1+j].item.Label
+				sizes[j] = buf[ri-sz+1+j].item.Size
+			}
+			t, err := tree.FromPostorder(d, labels, sizes)
+			if err != nil {
+				return err
+			}
+			out = append(out, Candidate{Root: buf[ri].id, Tree: t})
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		it, err := q.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return out, stats, err
+		}
+		id++
+		if it.Size > tau {
+			// Non-candidate node: everything buffered resolves now.
+			if err := emit(); err != nil {
+				return out, stats, err
+			}
+			continue
+		}
+		buf = append(buf, buffered{item: it, id: id})
+		if len(buf) > stats.PeakBuffered {
+			stats.PeakBuffered = len(buf)
+		}
+	}
+	if err := emit(); err != nil {
+		return out, stats, err
+	}
+	stats.Nodes = id
+	return out, stats, nil
+}

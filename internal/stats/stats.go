@@ -1,0 +1,143 @@
+// Package stats computes structural profiles of documents directly from
+// their postorder queues, in one streaming pass with memory proportional
+// to the document height.
+//
+// The TASM paper characterizes each evaluation corpus by exactly these
+// numbers — "DBLP (26M nodes, 476MB, height 6)", "XML documents tend to be
+// shallow and wide" — because the shape determines both the Zhang–Shasha
+// complexity (height factor) and the effectiveness of ring-buffer pruning
+// (root fanout). The profile also powers cmd/tasmstat and sanity checks in
+// the experiment harness.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"tasm/internal/postorder"
+)
+
+// Profile is the structural summary of one document.
+type Profile struct {
+	// Nodes is the total node count |T|.
+	Nodes int
+	// Height is the number of nodes on the longest root-to-leaf path.
+	Height int
+	// Leaves is the number of nodes without children.
+	Leaves int
+	// MaxFanout is the largest number of children of any node.
+	MaxFanout int
+	// RootFanout is the number of children of the root; data-centric XML
+	// has RootFanout close to the record count.
+	RootFanout int
+	// AvgFanout is the mean child count over internal (non-leaf) nodes.
+	AvgFanout float64
+	// DistinctLabels is the number of distinct label identifiers seen.
+	DistinctLabels int
+	// MaxSubtree is the largest proper subtree size (the root's biggest
+	// child subtree); it bounds how uneven the top-level partition is.
+	MaxSubtree int
+	// SizeLE counts, for a few interesting thresholds, how many subtrees
+	// are within that size; used to reason about candidate-set sizes.
+	SizeLE map[int]int
+}
+
+// Thresholds are the subtree-size thresholds tabulated in Profile.SizeLE.
+var Thresholds = []int{10, 50, 100, 500}
+
+// Compute drains the queue and returns the document's profile. The queue
+// must encode a single well-formed tree.
+func Compute(q postorder.Queue) (*Profile, error) {
+	p := &Profile{SizeLE: map[int]int{}}
+	labels := map[int]struct{}{}
+
+	// The stack holds, per completed subtree not yet adopted by a parent,
+	// its size and height. A node of size s adopts the maximal run of
+	// completed subtrees whose sizes sum to s-1.
+	type sub struct{ size, height int }
+	var stack []sub
+	internal := 0
+	childrenTotal := 0
+
+	for {
+		it, err := q.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Nodes++
+		labels[it.Label] = struct{}{}
+		if it.Size < 1 {
+			return nil, fmt.Errorf("stats: node %d has size %d", p.Nodes, it.Size)
+		}
+		for _, th := range Thresholds {
+			if it.Size <= th {
+				p.SizeLE[th]++
+			}
+		}
+
+		need := it.Size - 1
+		fanout := 0
+		maxChildHeight := 0
+		maxChildSize := 0
+		for need > 0 {
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("stats: node %d (size %d) needs more descendants than available", p.Nodes, it.Size)
+			}
+			top := stack[len(stack)-1]
+			if top.size > need {
+				return nil, fmt.Errorf("stats: node %d (size %d) splits subtree of size %d", p.Nodes, it.Size, top.size)
+			}
+			stack = stack[:len(stack)-1]
+			need -= top.size
+			fanout++
+			if top.height > maxChildHeight {
+				maxChildHeight = top.height
+			}
+			if top.size > maxChildSize {
+				maxChildSize = top.size
+			}
+		}
+		if fanout == 0 {
+			p.Leaves++
+		} else {
+			internal++
+			childrenTotal += fanout
+		}
+		if fanout > p.MaxFanout {
+			p.MaxFanout = fanout
+		}
+		p.RootFanout = fanout       // last node processed is the root
+		p.MaxSubtree = maxChildSize // likewise
+		stack = append(stack, sub{size: it.Size, height: maxChildHeight + 1})
+	}
+	if p.Nodes == 0 {
+		return nil, fmt.Errorf("stats: empty document")
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("stats: stream encodes %d trees, want exactly 1", len(stack))
+	}
+	p.Height = stack[0].height
+	p.DistinctLabels = len(labels)
+	if internal > 0 {
+		p.AvgFanout = float64(childrenTotal) / float64(internal)
+	}
+	return p, nil
+}
+
+// Format renders the profile as the compact block used by cmd/tasmstat.
+func (p *Profile) Format(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s: %d nodes, height %d\n", name, p.Nodes, p.Height)
+	fmt.Fprintf(w, "  leaves           %d (%.1f%%)\n", p.Leaves, 100*float64(p.Leaves)/float64(p.Nodes))
+	fmt.Fprintf(w, "  distinct labels  %d\n", p.DistinctLabels)
+	fmt.Fprintf(w, "  root fanout      %d\n", p.RootFanout)
+	fmt.Fprintf(w, "  max fanout       %d\n", p.MaxFanout)
+	fmt.Fprintf(w, "  avg fanout       %.2f (internal nodes)\n", p.AvgFanout)
+	fmt.Fprintf(w, "  largest subtree  %d nodes\n", p.MaxSubtree)
+	for _, th := range Thresholds {
+		fmt.Fprintf(w, "  subtrees ≤ %-4d  %d\n", th, p.SizeLE[th])
+	}
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+func profileOf(t *testing.T, s string) *Profile {
+	t.Helper()
+	d := dict.New()
+	tr := tree.MustParse(d, s)
+	p, err := Compute(postorder.FromTree(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileSingleNode(t *testing.T) {
+	p := profileOf(t, "{a}")
+	if p.Nodes != 1 || p.Height != 1 || p.Leaves != 1 || p.MaxFanout != 0 || p.RootFanout != 0 {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.DistinctLabels != 1 {
+		t.Errorf("labels = %d", p.DistinctLabels)
+	}
+	if p.MaxSubtree != 0 {
+		t.Errorf("MaxSubtree = %d, want 0 (no children)", p.MaxSubtree)
+	}
+}
+
+func TestProfilePaperDocumentD(t *testing.T) {
+	p := profileOf(t,
+		"{dblp"+
+			"{article{auth{John}}{title{X1}}}"+
+			"{proceedings{conf{VLDB}}{article{auth{Peter}}{title{X3}}}{article{auth{Mike}}{title{X4}}}}"+
+			"{book{title{X2}}}}")
+	if p.Nodes != 22 {
+		t.Errorf("nodes = %d, want 22", p.Nodes)
+	}
+	if p.Height != 5 { // dblp → proceedings → article → auth → Peter
+		t.Errorf("height = %d, want 5", p.Height)
+	}
+	if p.RootFanout != 3 {
+		t.Errorf("root fanout = %d, want 3", p.RootFanout)
+	}
+	if p.MaxFanout != 3 {
+		t.Errorf("max fanout = %d, want 3", p.MaxFanout)
+	}
+	if p.MaxSubtree != 13 { // proceedings
+		t.Errorf("largest subtree = %d, want 13", p.MaxSubtree)
+	}
+	if p.Leaves != 8 { // John, X1, VLDB, Peter, X3, Mike, X4, X2
+		t.Errorf("leaves = %d, want 8", p.Leaves)
+	}
+	// Subtrees of size ≤ 10: everything except proceedings(13) and dblp(22).
+	if got := p.SizeLE[10]; got != 20 {
+		t.Errorf("subtrees ≤ 10 = %d, want 20", got)
+	}
+}
+
+// TestProfileMatchesTreeQuick compares the streaming profile against
+// values computed from the materialized tree on random inputs.
+func TestProfileMatchesTreeQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%80 + 1
+		d := dict.New()
+		tr := tree.Random(d, rand.New(rand.NewSource(seed)), tree.DefaultRandomConfig(n))
+		p, err := Compute(postorder.FromTree(tr))
+		if err != nil {
+			return false
+		}
+		if p.Nodes != tr.Size() || p.Height != tr.Height() {
+			return false
+		}
+		leaves, maxFan := 0, 0
+		labels := map[int]struct{}{}
+		for i := 0; i < tr.Size(); i++ {
+			if tr.IsLeaf(i) {
+				leaves++
+			}
+			if tr.Fanout(i) > maxFan {
+				maxFan = tr.Fanout(i)
+			}
+			labels[tr.LabelID(i)] = struct{}{}
+		}
+		if p.Leaves != leaves || p.MaxFanout != maxFan || p.DistinctLabels != len(labels) {
+			return false
+		}
+		if p.RootFanout != tr.Fanout(tr.Root()) {
+			return false
+		}
+		for _, th := range Thresholds {
+			want := 0
+			for i := 0; i < tr.Size(); i++ {
+				if tr.SubtreeSize(i) <= th {
+					want++
+				}
+			}
+			if p.SizeLE[th] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	d := dict.New()
+	a := d.Intern("a")
+	bad := [][]postorder.Item{
+		{},
+		{{Label: a, Size: 1}, {Label: a, Size: 1}}, // two roots
+		{{Label: a, Size: 0}},
+		{{Label: a, Size: 5}},
+	}
+	for i, items := range bad {
+		if _, err := Compute(postorder.NewSliceQueue(items)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := profileOf(t, "{a{b}{c{d}}}")
+	var sb strings.Builder
+	p.Format(&sb, "demo")
+	out := sb.String()
+	for _, want := range []string{"demo: 4 nodes, height 3", "leaves", "root fanout      2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package ted
+
+import (
+	"testing"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/tree"
+)
+
+// TestGoldenDistances pins down unit-cost distances for a curated corpus
+// of tree pairs. Each case is small enough to verify by hand and each
+// exercises a distinct mechanism of the edit distance; together they are
+// the regression anchor for any future change to the dynamic program.
+func TestGoldenDistances(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want float64
+	}{
+		{"identical single", "{a}", "{a}", 0},
+		{"rename single", "{a}", "{b}", 1},
+		{"identical deep", "{a{b{c}}}", "{a{b{c}}}", 0},
+		{"grow leaf", "{a}", "{a{b}}", 1},
+		{"shrink leaf", "{a{b}}", "{a}", 1},
+		{"rename root only", "{a{b}{c}}", "{x{b}{c}}", 1},
+		{"rename leaf only", "{a{b}{c}}", "{a{b}{x}}", 1},
+		{"swap sibling labels", "{a{b}{c}}", "{a{c}{b}}", 2},
+		{"delete inner node", "{a{b{c}{d}}}", "{a{c}{d}}", 1},
+		{"insert inner node", "{a{c}{d}}", "{a{b{c}{d}}}", 1},
+		{"split children (no move op)", "{a{b{c}{d}}}", "{a{b{c}}{b{d}}}", 3},
+		{"chain vs star 3 (ancestorship kept)", "{a{b{c}}}", "{a{b}{c}}", 2},
+		{"chain vs star 4", "{a{b{c{d}}}}", "{a{b}{c}{d}}", 4},
+		{"reverse chain labels", "{a{b{c}}}", "{c{b{a}}}", 2},
+		{"disjoint 3v3", "{a{b}{c}}", "{x{y}{z}}", 3},
+		{"paper fig2", "{a{b}{c}}", "{x{a{b}{d}}{a{b}{c}}}", 4},
+		{"prefix sharing", "{a{b}{c}{d}}", "{a{b}{c}}", 1},
+		{"suffix sharing", "{a{b}{c}{d}}", "{a{c}{d}}", 1},
+		{"middle removal", "{a{b}{c}{d}}", "{a{b}{d}}", 1},
+		{"grow by two levels", "{a}", "{a{b{c}}}", 2},
+		{"all leaves renamed", "{r{a}{b}{c}}", "{r{x}{y}{z}}", 3},
+		{"move subtree across (rename+del+ins)", "{r{a{x}{y}}{b}}", "{r{a}{b{x}{y}}}", 3},
+		{"deep vs shallow same labels", "{a{a{a}}}", "{a}", 2},
+		{"single vs big star", "{a}", "{a{b}{c}{d}{e}{f}}", 5},
+		{"two renames two inserts", "{p{q}{r}}", "{p{x{q}}{y{r}}}", 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := dict.New()
+			a := tree.MustParse(d, c.a)
+			b := tree.MustParse(d, c.b)
+			if got := Distance(cost.Unit{}, a, b); got != c.want {
+				t.Errorf("δ(%s, %s) = %g, want %g", c.a, c.b, got, c.want)
+			}
+			// Symmetry comes free with the symmetric cost model.
+			if got := Distance(cost.Unit{}, b, a); got != c.want {
+				t.Errorf("δ(%s, %s) = %g, want %g (symmetry)", c.b, c.a, got, c.want)
+			}
+			// The independent reference implementation must agree.
+			if got := ReferenceDistance(cost.Unit{}, a, b); got != c.want {
+				t.Errorf("reference δ = %g, want %g", got, c.want)
+			}
+			// And an optimal edit script must realize the distance.
+			var sum float64
+			for _, op := range NewComputer(cost.Unit{}, a).EditScript(b) {
+				sum += op.Cost
+			}
+			if sum != c.want {
+				t.Errorf("edit script cost %g, want %g", sum, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package ted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/tree"
+)
+
+func TestEditScriptPaperExample(t *testing.T) {
+	q, doc := fig2(t)
+	c := NewComputer(cost.Unit{}, q)
+	script := c.EditScript(doc)
+	var sum float64
+	for _, op := range script {
+		sum += op.Cost
+	}
+	if sum != 4 {
+		t.Errorf("script cost = %g, want δ(G,H) = 4; script: %v", sum, script)
+	}
+	checkScriptValid(t, cost.Unit{}, q, doc, script)
+}
+
+func TestEditScriptIdentity(t *testing.T) {
+	d := dict.New()
+	a := tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	b := tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	script := NewComputer(cost.Unit{}, a).EditScript(b)
+	if len(script) != a.Size() {
+		t.Fatalf("script has %d ops, want %d matches", len(script), a.Size())
+	}
+	for _, op := range script {
+		if op.Op != OpMatch || op.Cost != 0 {
+			t.Errorf("non-match op on identical trees: %+v", op)
+		}
+	}
+}
+
+// checkScriptValid verifies the Definition 3 mapping conditions and the
+// cost/coverage accounting of an edit script.
+func checkScriptValid(t *testing.T, m cost.Model, q, doc *tree.Tree, script []EditOp) {
+	t.Helper()
+	qSeen := make([]bool, q.Size())
+	tSeen := make([]bool, doc.Size())
+	type pair struct{ qi, tj int }
+	var aligned []pair
+	var sum float64
+	for _, op := range script {
+		sum += op.Cost
+		switch op.Op {
+		case OpDelete:
+			if op.QNode < 0 || op.TNode != -1 {
+				t.Fatalf("malformed delete %+v", op)
+			}
+			if qSeen[op.QNode] {
+				t.Fatalf("query node %d edited twice", op.QNode)
+			}
+			qSeen[op.QNode] = true
+			if want := m.Cost(q, op.QNode); op.Cost != want {
+				t.Errorf("delete cost %g, want %g", op.Cost, want)
+			}
+		case OpInsert:
+			if op.TNode < 0 || op.QNode != -1 {
+				t.Fatalf("malformed insert %+v", op)
+			}
+			if tSeen[op.TNode] {
+				t.Fatalf("document node %d edited twice", op.TNode)
+			}
+			tSeen[op.TNode] = true
+		case OpMatch, OpRename:
+			if op.QNode < 0 || op.TNode < 0 {
+				t.Fatalf("malformed alignment %+v", op)
+			}
+			if qSeen[op.QNode] || tSeen[op.TNode] {
+				t.Fatalf("node aligned twice: %+v", op)
+			}
+			qSeen[op.QNode] = true
+			tSeen[op.TNode] = true
+			if op.Op == OpMatch && q.Label(op.QNode) != doc.Label(op.TNode) {
+				t.Errorf("match with different labels: %+v", op)
+			}
+			if op.Op == OpRename && q.Label(op.QNode) == doc.Label(op.TNode) {
+				t.Errorf("rename with equal labels: %+v", op)
+			}
+			aligned = append(aligned, pair{op.QNode, op.TNode})
+		}
+	}
+	// Every node must be covered exactly once (Definition 3, condition 1).
+	for i, s := range qSeen {
+		if !s {
+			t.Errorf("query node %d not covered", i)
+		}
+	}
+	for j, s := range tSeen {
+		if !s {
+			t.Errorf("document node %d not covered", j)
+		}
+	}
+	// Ancestor and order conditions (Definition 3, condition 2).
+	for a := 0; a < len(aligned); a++ {
+		for b := 0; b < len(aligned); b++ {
+			if a == b {
+				continue
+			}
+			p1, p2 := aligned[a], aligned[b]
+			if q.IsAncestor(p1.qi, p2.qi) != doc.IsAncestor(p1.tj, p2.tj) {
+				t.Fatalf("ancestor condition violated by (%d,%d) and (%d,%d)", p1.qi, p1.tj, p2.qi, p2.tj)
+			}
+			leftQ := p1.qi < p2.qi && !q.IsAncestor(p2.qi, p1.qi)
+			leftT := p1.tj < p2.tj && !doc.IsAncestor(p2.tj, p1.tj)
+			if leftQ != leftT {
+				t.Fatalf("order condition violated by (%d,%d) and (%d,%d)", p1.qi, p1.tj, p2.qi, p2.tj)
+			}
+		}
+	}
+	// The script cost must equal the distance.
+	if want := NewComputer(m, q).Distance(doc); math.Abs(sum-want) > 1e-9 {
+		t.Errorf("script cost %g != distance %g", sum, want)
+	}
+}
+
+// TestEditScriptQuick validates scripts on random tree pairs under unit
+// costs.
+func TestEditScriptQuick(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw uint8) bool {
+		qn := int(qRaw)%10 + 1
+		tn := int(tRaw)%14 + 1
+		q, doc := randPair(seed, qn, tn)
+		c := NewComputer(cost.Unit{}, q)
+		script := c.EditScript(doc)
+		var sum float64
+		qCover := make([]bool, q.Size())
+		tCover := make([]bool, doc.Size())
+		for _, op := range script {
+			sum += op.Cost
+			if op.QNode >= 0 {
+				if qCover[op.QNode] {
+					return false
+				}
+				qCover[op.QNode] = true
+			}
+			if op.TNode >= 0 {
+				if tCover[op.TNode] {
+					return false
+				}
+				tCover[op.TNode] = true
+			}
+		}
+		for _, s := range qCover {
+			if !s {
+				return false
+			}
+		}
+		for _, s := range tCover {
+			if !s {
+				return false
+			}
+		}
+		return math.Abs(sum-c.Distance(doc)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEditScriptFullValidityRandom runs the complete Definition 3 check on
+// a few dozen random pairs (the full check is quadratic in script length).
+func TestEditScriptFullValidityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: rng.Intn(8) + 1, MaxFanout: 3, Labels: 3})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: rng.Intn(12) + 1, MaxFanout: 3, Labels: 3})
+		c := NewComputer(cost.Unit{}, q)
+		checkScriptValid(t, cost.Unit{}, q, doc, c.EditScript(doc))
+	}
+}
+
+// TestEditScriptFanoutCosts validates scripts under a non-unit model.
+func TestEditScriptFanoutCosts(t *testing.T) {
+	m, err := cost.NewFanoutWeighted(0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 25; i++ {
+		d := dict.New()
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: rng.Intn(7) + 1, MaxFanout: 3, Labels: 3})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: rng.Intn(9) + 1, MaxFanout: 3, Labels: 3})
+		c := NewComputer(m, q)
+		script := c.EditScript(doc)
+		var sum float64
+		for _, op := range script {
+			sum += op.Cost
+		}
+		if want := c.Distance(doc); math.Abs(sum-want) > 1e-9 {
+			t.Errorf("script cost %g != distance %g", sum, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpMatch: "match", OpRename: "rename", OpDelete: "delete", OpInsert: "insert", Op(9): "Op(9)"} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}

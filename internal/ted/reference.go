@@ -1,0 +1,99 @@
+package ted
+
+import (
+	"fmt"
+
+	"tasm/internal/cost"
+	"tasm/internal/tree"
+)
+
+// ReferenceDistance computes δ(q, t) directly from the recursive forest
+// distance definition with memoization over forest pairs. It makes no use
+// of keyroots or prefix sharing and serves as an independent correctness
+// oracle for the Zhang–Shasha implementation in tests. It is exponential
+// in the worst case without the memo and still far slower than
+// Zhang–Shasha with it; restrict it to small trees.
+func ReferenceDistance(m cost.Model, q, t *tree.Tree) float64 {
+	r := &refComputer{model: m, q: q, t: t, memo: make(map[string]float64)}
+	return r.forest(forestOf(q), forestOf(t))
+}
+
+// forest identifies a subforest of a tree as a list of root indices of
+// disjoint consecutive subtrees, left to right.
+type forest []int
+
+// forestOf returns the forest consisting of the whole tree.
+func forestOf(t *tree.Tree) forest { return forest{t.Root()} }
+
+type refComputer struct {
+	model cost.Model
+	q, t  *tree.Tree
+	memo  map[string]float64
+}
+
+// children returns the forest of root indices of i's children in t.
+func children(t *tree.Tree, i int) forest {
+	var f forest
+	for c := t.LML(i); c < i; c++ {
+		if t.Parent(c) == i {
+			f = append(f, c)
+		}
+	}
+	return f
+}
+
+// key builds a memo key for a forest pair.
+func key(fq, ft forest) string {
+	return fmt.Sprint(fq, "|", ft)
+}
+
+// forest computes the edit distance between two forests by the textbook
+// recurrence: delete the rightmost root of fq, insert the rightmost root
+// of ft, or align the two rightmost subtrees (renaming their roots) and
+// recurse on the remainders.
+func (r *refComputer) forest(fq, ft forest) float64 {
+	if len(fq) == 0 && len(ft) == 0 {
+		return 0
+	}
+	k := key(fq, ft)
+	if d, ok := r.memo[k]; ok {
+		return d
+	}
+	var d float64
+	switch {
+	case len(fq) == 0:
+		// Insert everything that remains in ft.
+		j := ft[len(ft)-1]
+		rest := append(append(forest{}, ft[:len(ft)-1]...), children(r.t, j)...)
+		d = r.forest(fq, rest) + r.model.Cost(r.t, j)
+	case len(ft) == 0:
+		i := fq[len(fq)-1]
+		rest := append(append(forest{}, fq[:len(fq)-1]...), children(r.q, i)...)
+		d = r.forest(rest, ft) + r.model.Cost(r.q, i)
+	default:
+		i := fq[len(fq)-1]
+		j := ft[len(ft)-1]
+		// Delete the rightmost root of the query forest: its children
+		// join the forest in its place.
+		delF := append(append(forest{}, fq[:len(fq)-1]...), children(r.q, i)...)
+		del := r.forest(delF, ft) + r.model.Cost(r.q, i)
+		// Insert the rightmost root of the document forest.
+		insF := append(append(forest{}, ft[:len(ft)-1]...), children(r.t, j)...)
+		ins := r.forest(fq, insF) + r.model.Cost(r.t, j)
+		// Align the rightmost trees with each other.
+		ren := r.forest(children(r.q, i), children(r.t, j)) +
+			r.forest(fq[:len(fq)-1], ft[:len(ft)-1]) +
+			r.alignCost(i, j)
+		d = min3(del, ins, ren)
+	}
+	r.memo[k] = d
+	return d
+}
+
+// alignCost is γ(q_i, t_j) for two non-empty nodes.
+func (r *refComputer) alignCost(i, j int) float64 {
+	if r.q.Label(i) == r.t.Label(j) {
+		return 0
+	}
+	return (r.model.Cost(r.q, i) + r.model.Cost(r.t, j)) / 2
+}

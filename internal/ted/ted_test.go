@@ -1,0 +1,320 @@
+package ted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/tree"
+)
+
+// fig2 returns the example query G and document H of Figure 2 of the
+// paper, sharing one dictionary.
+func fig2(t *testing.T) (q, doc *tree.Tree) {
+	t.Helper()
+	d := dict.New()
+	q = tree.MustParse(d, "{a{b}{c}}")
+	doc = tree.MustParse(d, "{x{a{b}{d}}{a{b}{c}}}")
+	return q, doc
+}
+
+// TestPaperExampleMatrix reproduces Figure 3: the full tree distance
+// matrix between the example query G and document H under unit costs.
+func TestPaperExampleMatrix(t *testing.T) {
+	q, doc := fig2(t)
+	want := [3][7]float64{
+		{0, 1, 2, 0, 1, 2, 6}, // G1 = {b}
+		{1, 1, 3, 1, 0, 2, 6}, // G2 = {c}
+		{2, 3, 1, 2, 2, 0, 4}, // G3 = {a{b}{c}}
+	}
+	got := NewComputer(cost.Unit{}, q).Matrix(doc)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 7; j++ {
+			if got[i][j] != want[i][j] {
+				t.Errorf("td[G%d][H%d] = %g, want %g", i+1, j+1, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestDistancePaperExample(t *testing.T) {
+	q, doc := fig2(t)
+	if got := Distance(cost.Unit{}, q, doc); got != 4 {
+		t.Errorf("δ(G,H) = %g, want 4", got)
+	}
+}
+
+func TestSubtreeDistancesIsLastMatrixRow(t *testing.T) {
+	q, doc := fig2(t)
+	c := NewComputer(cost.Unit{}, q)
+	row := c.SubtreeDistances(doc)
+	want := []float64{2, 3, 1, 2, 2, 0, 4}
+	for j, w := range want {
+		if row[j] != w {
+			t.Errorf("row[%d] = %g, want %g", j, row[j], w)
+		}
+	}
+}
+
+func TestDistanceIdenticalTrees(t *testing.T) {
+	d := dict.New()
+	for _, s := range []string{"{a}", "{a{b}}", "{x{a{b}{d}}{a{b}{c}}}"} {
+		a := tree.MustParse(d, s)
+		b := tree.MustParse(d, s)
+		if got := Distance(cost.Unit{}, a, b); got != 0 {
+			t.Errorf("δ(%s,%s) = %g, want 0", s, s, got)
+		}
+	}
+}
+
+func TestDistanceSingleNodes(t *testing.T) {
+	d := dict.New()
+	a := tree.MustParse(d, "{a}")
+	b := tree.MustParse(d, "{b}")
+	if got := Distance(cost.Unit{}, a, b); got != 1 {
+		t.Errorf("rename cost: δ({a},{b}) = %g, want 1", got)
+	}
+	a2 := tree.MustParse(d, "{a}")
+	if got := Distance(cost.Unit{}, a, a2); got != 0 {
+		t.Errorf("δ({a},{a}) = %g, want 0", got)
+	}
+}
+
+func TestDistanceInsertDelete(t *testing.T) {
+	d := dict.New()
+	small := tree.MustParse(d, "{a}")
+	big := tree.MustParse(d, "{a{b}{c}{d}}")
+	// Transforming {a} into the big tree requires 3 insertions.
+	if got := Distance(cost.Unit{}, small, big); got != 3 {
+		t.Errorf("δ = %g, want 3", got)
+	}
+	// And symmetrically 3 deletions.
+	if got := Distance(cost.Unit{}, big, small); got != 3 {
+		t.Errorf("δ = %g, want 3", got)
+	}
+}
+
+func TestDistanceDeleteInnerNode(t *testing.T) {
+	d := dict.New()
+	// Deleting the inner b (connecting c to a) transforms one into the other.
+	withB := tree.MustParse(d, "{a{b{c}}}")
+	withoutB := tree.MustParse(d, "{a{c}}")
+	if got := Distance(cost.Unit{}, withB, withoutB); got != 1 {
+		t.Errorf("δ = %g, want 1 (single inner deletion)", got)
+	}
+}
+
+func TestPerLabelCosts(t *testing.T) {
+	d := dict.New()
+	m, err := cost.NewPerLabel(map[string]float64{"expensive": 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tree.MustParse(d, "{r{expensive}}")
+	b := tree.MustParse(d, "{r}")
+	// Deleting the expensive node would cost 5, but the optimal mapping
+	// renames expensive→r for (5+1)/2 = 3 and deletes the cheap r for 1.
+	if got := Distance(m, a, b); got != 4 {
+		t.Errorf("δ = %g, want 4", got)
+	}
+	if got := ReferenceDistance(m, a, b); got != 4 {
+		t.Errorf("reference δ = %g, want 4", got)
+	}
+	// Renaming expensive → cheap costs (5+1)/2 = 3.
+	c := tree.MustParse(d, "{r{cheap}}")
+	if got := Distance(m, a, c); got != 3 {
+		t.Errorf("δ = %g, want 3", got)
+	}
+}
+
+func TestFanoutWeightedCosts(t *testing.T) {
+	d := dict.New()
+	m, err := cost.NewFanoutWeighted(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the root of a 3-child node costs 1 + 1·3 = 4; leaf costs 1.
+	a := tree.MustParse(d, "{r{x{p}{q}{s}}}")
+	b := tree.MustParse(d, "{r{p}{q}{s}}")
+	if got := Distance(m, a, b); got != 4 {
+		t.Errorf("delete fanout-3 node: δ = %g, want 4", got)
+	}
+}
+
+func TestProbeCountsRelevantSubtrees(t *testing.T) {
+	q, doc := fig2(t)
+	c := NewComputer(cost.Unit{}, q)
+	var sizes []int
+	c.SetProbe(probeFunc(func(s int) { sizes = append(sizes, s) }))
+	c.Distance(doc)
+	// Example 1: relevant subtrees of H are H2, H5, H6, H7 with sizes
+	// 1, 1, 3, 7.
+	want := map[int]int{1: 2, 3: 1, 7: 1}
+	got := map[int]int{}
+	for _, s := range sizes {
+		got[s]++
+	}
+	for s, n := range want {
+		if got[s] != n {
+			t.Errorf("relevant subtrees of size %d: got %d, want %d (all: %v)", s, got[s], n, sizes)
+		}
+	}
+	if len(sizes) != 4 {
+		t.Errorf("relevant subtree count = %d, want 4", len(sizes))
+	}
+}
+
+type probeFunc func(int)
+
+func (f probeFunc) RelevantSubtree(size int) { f(size) }
+
+// randPair builds a random query/document pair over a small shared
+// alphabet so that label collisions (renames and exact matches) occur.
+func randPair(seed int64, qn, tn int) (*tree.Tree, *tree.Tree) {
+	rng := rand.New(rand.NewSource(seed))
+	d := dict.New()
+	cfg := tree.RandomConfig{Nodes: qn, MaxFanout: 3, Labels: 3}
+	q := tree.Random(d, rng, cfg)
+	cfg.Nodes = tn
+	t := tree.Random(d, rng, cfg)
+	return q, t
+}
+
+// TestAgainstReference cross-checks Zhang–Shasha against the independent
+// memoized recursive implementation on random small trees.
+func TestAgainstReference(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw uint8) bool {
+		qn := int(qRaw)%8 + 1
+		tn := int(tRaw)%8 + 1
+		q, doc := randPair(seed, qn, tn)
+		zs := Distance(cost.Unit{}, q, doc)
+		ref := ReferenceDistance(cost.Unit{}, q, doc)
+		return zs == ref
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAgainstReferenceFanoutCosts repeats the cross-check under a
+// non-uniform cost model.
+func TestAgainstReferenceFanoutCosts(t *testing.T) {
+	m, err := cost.NewFanoutWeighted(0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, qRaw, tRaw uint8) bool {
+		qn := int(qRaw)%7 + 1
+		tn := int(tRaw)%7 + 1
+		q, doc := randPair(seed, qn, tn)
+		zs := Distance(m, q, doc)
+		ref := ReferenceDistance(m, q, doc)
+		return math.Abs(zs-ref) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricProperties checks identity, symmetry and the triangle
+// inequality on random small trees (the tree edit distance with a
+// symmetric cost model is a metric).
+func TestMetricProperties(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		mk := func(raw uint8) *tree.Tree {
+			n := int(raw)%7 + 1
+			return tree.Random(d, rng, tree.RandomConfig{Nodes: n, MaxFanout: 3, Labels: 3})
+		}
+		a, b, c := mk(aRaw), mk(bRaw), mk(cRaw)
+		dab := Distance(cost.Unit{}, a, b)
+		dba := Distance(cost.Unit{}, b, a)
+		dac := Distance(cost.Unit{}, a, c)
+		dcb := Distance(cost.Unit{}, c, b)
+		daa := Distance(cost.Unit{}, a, a)
+		if daa != 0 {
+			return false
+		}
+		if dab != dba {
+			return false
+		}
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma3 checks |T| ≤ δ(Q,T) + |Q| (Lemma 3) and the trivial upper
+// bound δ(Q,T) ≤ cost(delete all of Q) + cost(insert all of T).
+func TestLemma3(t *testing.T) {
+	f := func(seed int64, qRaw, tRaw uint8) bool {
+		qn := int(qRaw)%9 + 1
+		tn := int(tRaw)%9 + 1
+		q, doc := randPair(seed, qn, tn)
+		dist := Distance(cost.Unit{}, q, doc)
+		if float64(doc.Size()) > dist+float64(q.Size()) {
+			return false
+		}
+		// Trivial upper bound with unit costs: |Q| + |T|.
+		return dist <= float64(q.Size()+doc.Size())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComputerReuse verifies that one Computer produces correct results
+// across documents of varying size (buffer growth and stale td values).
+func TestComputerReuse(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b}{c}}")
+	c := NewComputer(cost.Unit{}, q)
+	docs := []string{
+		"{x{a{b}{d}}{a{b}{c}}}",
+		"{a{b}{c}}",
+		"{z}",
+		"{x{a{b}{d}}{a{b}{c}}}",
+		"{a{a{a{a{b}{c}}}}}",
+	}
+	want := []float64{4, 0, 3, 4, 3}
+	for i, s := range docs {
+		doc := tree.MustParse(d, s)
+		if got := c.Distance(doc); got != want[i] {
+			t.Errorf("doc %d (%s): δ = %g, want %g", i, s, got, want[i])
+		}
+	}
+}
+
+// TestComputerReuseQuick compares a reused Computer against fresh ones on
+// a random document sequence.
+func TestComputerReuseQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	d := dict.New()
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 5, MaxFanout: 3, Labels: 3})
+	reused := NewComputer(cost.Unit{}, q)
+	for i := 0; i < 60; i++ {
+		n := rng.Intn(12) + 1
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: n, MaxFanout: 3, Labels: 3})
+		fresh := NewComputer(cost.Unit{}, q)
+		if got, want := reused.Distance(doc), fresh.Distance(doc); got != want {
+			t.Fatalf("iteration %d: reused %g != fresh %g for %s", i, got, want, doc)
+		}
+	}
+}
+
+func TestCrossDictionaryDistance(t *testing.T) {
+	// Trees interned in different dictionaries must still compare labels
+	// correctly (by string).
+	d1, d2 := dict.New(), dict.New()
+	d2.Intern("shift")
+	q := tree.MustParse(d1, "{a{b}{c}}")
+	doc := tree.MustParse(d2, "{a{b}{c}}")
+	if got := Distance(cost.Unit{}, q, doc); got != 0 {
+		t.Errorf("δ across dicts = %g, want 0", got)
+	}
+}

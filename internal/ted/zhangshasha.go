@@ -1,0 +1,224 @@
+// Package ted computes the tree edit distance between ordered labeled
+// trees with the dynamic-programming algorithm of Zhang and Shasha
+// (SIAM J. Computing 1989), the algorithm the TASM paper builds on
+// (Section IV-E).
+//
+// The algorithm decomposes both trees into their relevant subtrees (rooted
+// at the LR-keyroots) and computes, for every pair of keyroots, the edit
+// distance between all pairs of prefixes of the two subtrees. Prefix pairs
+// that are themselves whole subtrees are recorded in the permanent tree
+// distance matrix td, so a single run yields the distance between every
+// pair of subtrees of the two inputs — the property TASM-dynamic exploits:
+// the last row of td holds the distance from the whole query to every
+// subtree of the document.
+package ted
+
+import (
+	"tasm/internal/cost"
+	"tasm/internal/tree"
+)
+
+// Probe receives instrumentation callbacks from distance computations.
+// It exists to reproduce Figures 11 and 12 of the paper, which count the
+// relevant subtrees (per size) a TASM algorithm evaluates.
+type Probe interface {
+	// RelevantSubtree is called once for every relevant subtree of the
+	// document-side tree whose prefix distances are computed, with the
+	// subtree's size.
+	RelevantSubtree(size int)
+}
+
+// Computer computes tree edit distances between a fixed query and
+// documents under a fixed cost model, reusing internal buffers across
+// calls. It is the unit of work TASM-postorder performs per candidate
+// subtree, so avoiding per-call allocation matters.
+//
+// A Computer is not safe for concurrent use.
+type Computer struct {
+	model cost.Model
+	q     *tree.Tree
+	qKey  []int     // keyroots of the query
+	qCost []float64 // per-node costs of the query
+
+	// fd is the forest-distance working matrix, (m+1)×(τmax+1) rows grown
+	// on demand; td is the permanent tree distance matrix for the current
+	// document.
+	fd [][]float64
+	td [][]float64
+
+	probe Probe
+}
+
+// NewComputer returns a Computer for query q under model m.
+// The query must be non-empty.
+func NewComputer(m cost.Model, q *tree.Tree) *Computer {
+	c := &Computer{model: m, q: q, qKey: q.Keyroots()}
+	c.qCost = make([]float64, q.Size())
+	for i := 0; i < q.Size(); i++ {
+		c.qCost[i] = m.Cost(q, i)
+	}
+	return c
+}
+
+// SetProbe installs a probe receiving relevant-subtree callbacks; nil
+// disables instrumentation (the default).
+func (c *Computer) SetProbe(p Probe) { c.probe = p }
+
+// Query returns the query tree the computer was built for.
+func (c *Computer) Query() *tree.Tree { return c.q }
+
+// Distance returns δ(Q, T), the tree edit distance between the query and t.
+func (c *Computer) Distance(t *tree.Tree) float64 {
+	c.run(t)
+	return c.td[c.q.Size()-1][t.Size()-1]
+}
+
+// SubtreeDistances returns the distance from the whole query Q to every
+// subtree T_j of t: row Q of the tree distance matrix (Figure 3 of the
+// paper). Index j of the result corresponds to the subtree rooted at
+// postorder node j of t. The returned slice is valid until the next call
+// on the computer.
+func (c *Computer) SubtreeDistances(t *tree.Tree) []float64 {
+	c.run(t)
+	return c.td[c.q.Size()-1]
+}
+
+// Matrix returns the full tree distance matrix td where td[i][j] is the
+// distance between the query subtree rooted at its postorder node i and
+// the document subtree rooted at postorder node j. The matrix is valid
+// until the next call on the computer.
+func (c *Computer) Matrix(t *tree.Tree) [][]float64 {
+	c.run(t)
+	return c.td[:c.q.Size()]
+}
+
+// run executes the Zhang–Shasha dynamic program for (c.q, t).
+func (c *Computer) run(t *tree.Tree) {
+	m, n := c.q.Size(), t.Size()
+	c.ensure(m, n)
+	q := c.q
+
+	tCost := make([]float64, n)
+	for j := 0; j < n; j++ {
+		tCost[j] = c.model.Cost(t, j)
+	}
+	tKey := t.Keyroots()
+	if c.probe != nil {
+		for _, kt := range tKey {
+			c.probe.RelevantSubtree(t.SubtreeSize(kt))
+		}
+	}
+
+	for _, kq := range c.qKey {
+		lq := q.LML(kq)
+		for _, kt := range tKey {
+			lt := t.LML(kt)
+			c.forestDist(t, tCost, kq, lq, kt, lt)
+		}
+	}
+}
+
+// forestDist fills the forest distance matrix for the keyroot pair
+// (kq, kt) and records tree distances for prefix pairs that are whole
+// subtrees. Forest indices are 1-based offsets relative to the leftmost
+// leaves lq and lt; row/column 0 is the empty forest.
+func (c *Computer) forestDist(t *tree.Tree, tCost []float64, kq, lq, kt, lt int) {
+	q := c.q
+	fd, td := c.fd, c.td
+
+	fd[0][0] = 0
+	for i := lq; i <= kq; i++ {
+		fd[i-lq+1][0] = fd[i-lq][0] + c.qCost[i] // delete q_i
+	}
+	for j := lt; j <= kt; j++ {
+		fd[0][j-lt+1] = fd[0][j-lt] + tCost[j] // insert t_j
+	}
+	for i := lq; i <= kq; i++ {
+		di := i - lq + 1
+		qlmlIsLq := q.LML(i) == lq
+		for j := lt; j <= kt; j++ {
+			dj := j - lt + 1
+			del := fd[di-1][dj] + c.qCost[i]
+			ins := fd[di][dj-1] + tCost[j]
+			if qlmlIsLq && t.LML(j) == lt {
+				// Both prefixes are whole subtrees: the third option is a
+				// rename (or match) of the two roots.
+				ren := fd[di-1][dj-1] + c.renameCost(i, t, tCost, j)
+				d := min3(del, ins, ren)
+				fd[di][dj] = d
+				td[i][j] = d
+			} else {
+				// At least one prefix is a proper forest: the third option
+				// aligns the two rightmost subtrees using the already
+				// computed tree distance.
+				sub := fd[q.LML(i)-lq][t.LML(j)-lt] + td[i][j]
+				fd[di][dj] = min3(del, ins, sub)
+			}
+		}
+	}
+}
+
+// renameCost returns γ(q_i, t_j) for two non-empty nodes (Definition 4):
+// 0 on equal labels, the mean node cost otherwise.
+func (c *Computer) renameCost(i int, t *tree.Tree, tCost []float64, j int) float64 {
+	if c.q.LabelID(i) == t.LabelID(j) && c.q.Dict() == t.Dict() {
+		return 0
+	}
+	if c.q.Dict() != t.Dict() && c.q.Label(i) == t.Label(j) {
+		return 0
+	}
+	return (c.qCost[i] + tCost[j]) / 2
+}
+
+// ensure grows the working matrices to at least (m+1)×(n+1) / m×n.
+func (c *Computer) ensure(m, n int) {
+	if len(c.fd) < m+1 || len(c.fd) > 0 && len(c.fd[0]) < n+1 {
+		rows := m + 1
+		cols := n + 1
+		if len(c.fd) > rows {
+			rows = len(c.fd)
+		}
+		if len(c.fd) > 0 && len(c.fd[0]) > cols {
+			cols = len(c.fd[0])
+		}
+		c.fd = allocMatrix(rows, cols)
+	}
+	if len(c.td) < m || len(c.td) > 0 && len(c.td[0]) < n {
+		rows := m
+		cols := n
+		if len(c.td) > rows {
+			rows = len(c.td)
+		}
+		if len(c.td) > 0 && len(c.td[0]) > cols {
+			cols = len(c.td[0])
+		}
+		c.td = allocMatrix(rows, cols)
+	}
+}
+
+// allocMatrix allocates a rows×cols matrix backed by one contiguous slice.
+func allocMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Distance is a convenience wrapper computing δ(q, t) with a fresh
+// Computer. Prefer a long-lived Computer when evaluating one query against
+// many documents.
+func Distance(m cost.Model, q, t *tree.Tree) float64 {
+	return NewComputer(m, q).Distance(t)
+}

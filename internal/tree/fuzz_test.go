@@ -1,0 +1,81 @@
+package tree
+
+import (
+	"testing"
+
+	"tasm/internal/dict"
+)
+
+// FuzzParseBracket checks that the bracket parser never panics, and that
+// every successfully parsed tree is structurally valid and round-trips
+// through String.
+func FuzzParseBracket(f *testing.F) {
+	for _, seed := range []string{
+		"{a}",
+		"{a{b}{c}}",
+		"{x{a{b}{d}}{a{b}{c}}}",
+		`{we\{ird\}{child}}`,
+		"{a{b{c{d{e}}}}}",
+		"{}",
+		"{a}{b}",
+		"{{}}",
+		`{a\`,
+		"{a{b}",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d := dict.New()
+		tr, err := Parse(d, s)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("parsed tree invalid: %v (input %q)", err, s)
+		}
+		again, err := Parse(dict.New(), tr.String())
+		if err != nil {
+			t.Fatalf("String() not reparseable: %v (input %q, out %q)", err, s, tr.String())
+		}
+		if !tr.Equal(again) {
+			t.Fatalf("round trip mismatch for %q: %q vs %q", s, tr, again)
+		}
+	})
+}
+
+// FuzzFromPostorder checks that arbitrary (label, size) arrays either
+// build a valid tree or are rejected, never panicking or producing an
+// inconsistent structure.
+func FuzzFromPostorder(f *testing.F) {
+	f.Add([]byte{1, 1, 3})    // valid: {a{b}{c}} shape
+	f.Add([]byte{1, 2})       // valid: chain
+	f.Add([]byte{1, 1})       // invalid: two roots
+	f.Add([]byte{2})          // invalid: size too large
+	f.Add([]byte{0})          // invalid: zero size
+	f.Add([]byte{1, 2, 1, 4}) // valid
+	f.Fuzz(func(t *testing.T, sizesRaw []byte) {
+		if len(sizesRaw) == 0 || len(sizesRaw) > 64 {
+			return
+		}
+		d := dict.New()
+		l := d.Intern("x")
+		labels := make([]int, len(sizesRaw))
+		sizes := make([]int, len(sizesRaw))
+		for i, b := range sizesRaw {
+			labels[i] = l
+			sizes[i] = int(b)
+		}
+		tr, err := FromPostorder(d, labels, sizes)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted invalid postorder %v: %v", sizes, err)
+		}
+		for i := 0; i < tr.Size(); i++ {
+			if tr.SubtreeSize(i) != sizes[i] {
+				t.Fatalf("size changed at %d: %d vs %d", i, tr.SubtreeSize(i), sizes[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package tree
+
+// Navigation helpers over the postorder representation. None of them are
+// needed by the TASM algorithms themselves (which work on the parallel
+// arrays directly), but downstream users of matched subtrees want
+// conventional traversal: children, siblings, paths and visits.
+
+// Children returns the postorder indices of node i's children in
+// left-to-right sibling order.
+func (t *Tree) Children(i int) []int {
+	t.check(i)
+	if t.nchild[i] == 0 {
+		return nil
+	}
+	out := make([]int, 0, t.nchild[i])
+	for c := t.lml[i]; c < i; c++ {
+		if t.parent[c] == i {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Child returns the postorder index of the n-th child (0-based) of node i,
+// or -1 if i has fewer children.
+func (t *Tree) Child(i, n int) int {
+	t.check(i)
+	if n < 0 || n >= t.nchild[i] {
+		return -1
+	}
+	seen := 0
+	for c := t.lml[i]; c < i; c++ {
+		if t.parent[c] == i {
+			if seen == n {
+				return c
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+// NextSibling returns the postorder index of the sibling immediately to
+// the right of node i, or -1 if i is the rightmost child or the root.
+func (t *Tree) NextSibling(i int) int {
+	t.check(i)
+	p := t.parent[i]
+	if p == -1 {
+		return -1
+	}
+	// The next sibling's subtree starts right after i; its root is the
+	// first node > i whose parent is p.
+	for c := i + 1; c < p; c++ {
+		if t.parent[c] == p {
+			return c
+		}
+	}
+	return -1
+}
+
+// Depth returns the number of edges from the root to node i (0 for the
+// root).
+func (t *Tree) Depth(i int) int {
+	t.check(i)
+	d := 0
+	for p := t.parent[i]; p != -1; p = t.parent[p] {
+		d++
+	}
+	return d
+}
+
+// Path returns the labels from the root down to node i, inclusive —
+// the XPath-like location of a match.
+func (t *Tree) Path(i int) []string {
+	t.check(i)
+	var rev []int
+	for n := i; n != -1; n = t.parent[n] {
+		rev = append(rev, n)
+	}
+	out := make([]string, len(rev))
+	for j := range rev {
+		out[j] = t.Label(rev[len(rev)-1-j])
+	}
+	return out
+}
+
+// Walk visits every node of the subtree rooted at i in postorder, calling
+// visit with each node's index. Walk of the root visits the whole tree.
+func (t *Tree) Walk(i int, visit func(node int)) {
+	t.check(i)
+	for n := t.lml[i]; n <= i; n++ {
+		visit(n)
+	}
+}
+
+// Find returns the postorder indices of all nodes with the given label, in
+// postorder. It is a linear scan; callers needing repeated lookups should
+// build their own index.
+func (t *Tree) Find(label string) []int {
+	id, ok := t.dict.Lookup(label)
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i := 0; i < len(t.labels); i++ {
+		if t.labels[i] == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tasm/internal/dict"
+)
+
+func navTree(t *testing.T) *Tree {
+	t.Helper()
+	// Postorder: John(0) auth(1) X1(2) title(3) article(4) X2(5)
+	//            title(6) book(7) dblp(8)
+	return MustParse(dict.New(), "{dblp{article{auth{John}}{title{X1}}}{book{title{X2}}}}")
+}
+
+func TestChildren(t *testing.T) {
+	tr := navTree(t)
+	root := tr.Root()
+	kids := tr.Children(root)
+	if len(kids) != 2 || tr.Label(kids[0]) != "article" || tr.Label(kids[1]) != "book" {
+		t.Errorf("children of root = %v", kids)
+	}
+	if got := tr.Children(0); got != nil {
+		t.Errorf("children of leaf = %v, want nil", got)
+	}
+	// Children of article: auth, title.
+	art := kids[0]
+	ak := tr.Children(art)
+	if len(ak) != 2 || tr.Label(ak[0]) != "auth" || tr.Label(ak[1]) != "title" {
+		t.Errorf("children of article = %v", ak)
+	}
+}
+
+func TestChild(t *testing.T) {
+	tr := navTree(t)
+	root := tr.Root()
+	if got := tr.Child(root, 0); tr.Label(got) != "article" {
+		t.Errorf("Child(root,0) = %d (%s)", got, tr.Label(got))
+	}
+	if got := tr.Child(root, 1); tr.Label(got) != "book" {
+		t.Errorf("Child(root,1) = %d", got)
+	}
+	if got := tr.Child(root, 2); got != -1 {
+		t.Errorf("Child(root,2) = %d, want -1", got)
+	}
+	if got := tr.Child(root, -1); got != -1 {
+		t.Errorf("Child(root,-1) = %d, want -1", got)
+	}
+	if got := tr.Child(0, 0); got != -1 {
+		t.Errorf("Child(leaf,0) = %d, want -1", got)
+	}
+}
+
+func TestNextSibling(t *testing.T) {
+	tr := navTree(t)
+	art := tr.Child(tr.Root(), 0)
+	book := tr.Child(tr.Root(), 1)
+	if got := tr.NextSibling(art); got != book {
+		t.Errorf("NextSibling(article) = %d, want %d", got, book)
+	}
+	if got := tr.NextSibling(book); got != -1 {
+		t.Errorf("NextSibling(book) = %d, want -1", got)
+	}
+	if got := tr.NextSibling(tr.Root()); got != -1 {
+		t.Errorf("NextSibling(root) = %d, want -1", got)
+	}
+	// auth's next sibling inside article is title.
+	auth := tr.Child(art, 0)
+	title := tr.Child(art, 1)
+	if got := tr.NextSibling(auth); got != title {
+		t.Errorf("NextSibling(auth) = %d, want %d", got, title)
+	}
+}
+
+func TestDepthAndPath(t *testing.T) {
+	tr := navTree(t)
+	if got := tr.Depth(tr.Root()); got != 0 {
+		t.Errorf("Depth(root) = %d", got)
+	}
+	john := tr.Find("John")
+	if len(john) != 1 {
+		t.Fatalf("Find(John) = %v", john)
+	}
+	if got := tr.Depth(john[0]); got != 3 {
+		t.Errorf("Depth(John) = %d, want 3", got)
+	}
+	path := tr.Path(john[0])
+	if strings.Join(path, "/") != "dblp/article/auth/John" {
+		t.Errorf("Path(John) = %v", path)
+	}
+	if p := tr.Path(tr.Root()); len(p) != 1 || p[0] != "dblp" {
+		t.Errorf("Path(root) = %v", p)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := navTree(t)
+	var visited []int
+	tr.Walk(tr.Root(), func(n int) { visited = append(visited, n) })
+	if len(visited) != tr.Size() {
+		t.Fatalf("walk visited %d nodes, want %d", len(visited), tr.Size())
+	}
+	for i, n := range visited {
+		if n != i {
+			t.Fatalf("walk order broken at %d: %v", i, visited)
+		}
+	}
+	// Walking a subtree visits only its range.
+	art := tr.Child(tr.Root(), 0)
+	visited = visited[:0]
+	tr.Walk(art, func(n int) { visited = append(visited, n) })
+	if len(visited) != tr.SubtreeSize(art) {
+		t.Errorf("subtree walk visited %d, want %d", len(visited), tr.SubtreeSize(art))
+	}
+}
+
+func TestFind(t *testing.T) {
+	tr := navTree(t)
+	titles := tr.Find("title")
+	if len(titles) != 2 {
+		t.Errorf("Find(title) = %v", titles)
+	}
+	if got := tr.Find("nope"); got != nil {
+		t.Errorf("Find(nope) = %v", got)
+	}
+}
+
+// TestNavigationConsistencyQuick cross-checks the helpers against the
+// parent array on random trees.
+func TestNavigationConsistencyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(60) + 1
+		tr := Random(dict.New(), rng, DefaultRandomConfig(n))
+		for i := 0; i < tr.Size(); i++ {
+			kids := tr.Children(i)
+			if len(kids) != tr.Fanout(i) {
+				t.Fatalf("node %d: %d children vs fanout %d", i, len(kids), tr.Fanout(i))
+			}
+			for idx, c := range kids {
+				if tr.Parent(c) != i {
+					t.Fatalf("child %d of %d has parent %d", c, i, tr.Parent(c))
+				}
+				if got := tr.Child(i, idx); got != c {
+					t.Fatalf("Child(%d,%d) = %d, want %d", i, idx, got, c)
+				}
+				var wantSib = -1
+				if idx+1 < len(kids) {
+					wantSib = kids[idx+1]
+				}
+				if got := tr.NextSibling(c); got != wantSib {
+					t.Fatalf("NextSibling(%d) = %d, want %d", c, got, wantSib)
+				}
+			}
+			// Depth equals the length of Path minus one.
+			if tr.Depth(i) != len(tr.Path(i))-1 {
+				t.Fatalf("node %d: depth %d vs path %v", i, tr.Depth(i), tr.Path(i))
+			}
+		}
+	}
+}

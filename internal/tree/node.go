@@ -1,0 +1,167 @@
+// Package tree implements the ordered labeled trees of the TASM paper
+// (Section IV-A): rooted, directed, acyclic graphs whose nodes carry labels
+// and whose children are totally ordered.
+//
+// Two representations are provided:
+//
+//   - Node: a conventional pointer structure, convenient for construction
+//     and for parsers/generators.
+//   - Tree: a flattened postorder representation (labels, subtree sizes,
+//     leftmost leaves, parents as parallel arrays) which is what every
+//     algorithm in this repository operates on. Postorder positions are
+//     0-based internally; the paper's 1-based node t_i is index i-1.
+//
+// Node labels are interned in a dict.Dict so that label comparisons inside
+// the edit distance inner loops are integer comparisons.
+package tree
+
+import (
+	"fmt"
+	"strings"
+
+	"tasm/internal/dict"
+)
+
+// Node is one node of an ordered labeled tree in pointer form.
+type Node struct {
+	Label    string
+	Children []*Node
+}
+
+// NewNode returns a node with the given label and children.
+func NewNode(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// AddChild appends c as the new rightmost child of n and returns n.
+func (n *Node) AddChild(c *Node) *Node {
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Height returns the number of nodes on the longest root-to-leaf path.
+// A single node has height 1; a nil node has height 0.
+func (n *Node) Height() int {
+	if n == nil {
+		return 0
+	}
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// String renders the subtree in bracket notation, e.g. "{a{b}{c}}".
+// Labels containing '{', '}' or '\' are escaped with a backslash.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.encode(&b)
+	return b.String()
+}
+
+func (n *Node) encode(b *strings.Builder) {
+	b.WriteByte('{')
+	// Escape byte-wise: labels are arbitrary byte strings (XML text can
+	// carry any encoding) and must round-trip exactly, so no rune
+	// decoding that would substitute U+FFFD for invalid UTF-8.
+	for i := 0; i < len(n.Label); i++ {
+		c := n.Label[i]
+		if c == '{' || c == '}' || c == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(c)
+	}
+	for _, c := range n.Children {
+		c.encode(b)
+	}
+	b.WriteByte('}')
+}
+
+// Equal reports whether two trees in pointer form are identical in both
+// structure and labels.
+func (n *Node) Equal(o *Node) bool {
+	if n == nil || o == nil {
+		return n == o
+	}
+	if n.Label != o.Label || len(n.Children) != len(o.Children) {
+		return false
+	}
+	for i, c := range n.Children {
+		if !c.Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromNode flattens a pointer-form tree into the postorder representation,
+// interning labels in d. It panics if root is nil: an empty tree is not an
+// ordered labeled tree under Definition 1 ("non-empty graph").
+func FromNode(d *dict.Dict, root *Node) *Tree {
+	if root == nil {
+		panic("tree: FromNode called with nil root")
+	}
+	t := &Tree{dict: d}
+	t.appendNode(root)
+	return t
+}
+
+// appendNode appends the subtree rooted at n in postorder and returns its
+// root index.
+func (t *Tree) appendNode(n *Node) int {
+	first := len(t.labels) // index the leftmost leaf of n will get
+	childRoots := make([]int, len(n.Children))
+	for i, c := range n.Children {
+		childRoots[i] = t.appendNode(c)
+	}
+	idx := len(t.labels)
+	t.labels = append(t.labels, t.dict.Intern(n.Label))
+	t.sizes = append(t.sizes, idx-first+1)
+	if len(n.Children) == 0 {
+		t.lml = append(t.lml, idx)
+	} else {
+		t.lml = append(t.lml, t.lml[childRoots[0]])
+	}
+	t.parent = append(t.parent, -1)
+	for _, r := range childRoots {
+		t.parent[r] = idx
+	}
+	t.nchild = append(t.nchild, len(n.Children))
+	return idx
+}
+
+// Node reconstructs the pointer form of the subtree rooted at postorder
+// index i (0-based). Node(t.Root()) rebuilds the whole tree. Children are
+// the nodes whose parent is i; they appear in increasing postorder, which
+// is exactly their left-to-right sibling order.
+func (t *Tree) Node(i int) *Node {
+	t.check(i)
+	n := &Node{Label: t.dict.Label(t.labels[i])}
+	for c := t.lml[i]; c < i; c++ {
+		if t.parent[c] == i {
+			n.Children = append(n.Children, t.Node(c))
+		}
+	}
+	return n
+}
+
+func (t *Tree) check(i int) {
+	if i < 0 || i >= len(t.labels) {
+		panic(fmt.Sprintf("tree: postorder index %d out of range [0,%d)", i, len(t.labels)))
+	}
+}

@@ -1,0 +1,99 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+
+	"tasm/internal/dict"
+)
+
+// Parse reads a tree in bracket notation, the compact format customary in
+// the tree-edit-distance literature: "{a{b}{c}}" is a root labeled a with
+// children b and c. Labels may contain any characters; '{', '}' and '\'
+// must be escaped with a backslash. Whitespace between subtrees is ignored.
+// Labels are interned in d.
+func Parse(d *dict.Dict, s string) (*Tree, error) {
+	n, rest, err := parseNode(s)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("tree: trailing input %q after root subtree", rest)
+	}
+	return FromNode(d, n), nil
+}
+
+// MustParse is Parse for tests and examples with known-good literals; it
+// panics on malformed input.
+func MustParse(d *dict.Dict, s string) *Tree {
+	t, err := Parse(d, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ParseNode reads a tree in bracket notation into pointer form without
+// interning labels.
+func ParseNode(s string) (*Node, error) {
+	n, rest, err := parseNode(s)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("tree: trailing input %q after root subtree", rest)
+	}
+	return n, nil
+}
+
+func parseNode(s string) (n *Node, rest string, err error) {
+	s = strings.TrimLeft(s, " \t\r\n")
+	if s == "" {
+		return nil, "", fmt.Errorf("tree: empty input, want '{'")
+	}
+	if s[0] != '{' {
+		return nil, "", fmt.Errorf("tree: want '{', got %q", s[0])
+	}
+	s = s[1:]
+
+	// Read the label up to the first unescaped '{' or '}'.
+	var label strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '\\' {
+			if i+1 >= len(s) {
+				return nil, "", fmt.Errorf("tree: dangling escape at end of input")
+			}
+			label.WriteByte(s[i+1])
+			i += 2
+			continue
+		}
+		if c == '{' || c == '}' {
+			break
+		}
+		label.WriteByte(c)
+		i++
+	}
+	if i >= len(s) {
+		return nil, "", fmt.Errorf("tree: unterminated subtree (missing '}')")
+	}
+	n = &Node{Label: label.String()}
+	s = s[i:]
+
+	for {
+		s = strings.TrimLeft(s, " \t\r\n")
+		if s == "" {
+			return nil, "", fmt.Errorf("tree: unterminated subtree (missing '}')")
+		}
+		if s[0] == '}' {
+			return n, s[1:], nil
+		}
+		child, rest, err := parseNode(s)
+		if err != nil {
+			return nil, "", err
+		}
+		n.Children = append(n.Children, child)
+		s = rest
+	}
+}

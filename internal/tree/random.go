@@ -1,0 +1,65 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tasm/internal/dict"
+)
+
+// RandomConfig controls Random tree generation. The zero value is not
+// valid; use DefaultRandomConfig as a starting point.
+type RandomConfig struct {
+	// Nodes is the exact number of nodes to generate (≥ 1).
+	Nodes int
+	// MaxFanout bounds the number of children of any node (≥ 1).
+	MaxFanout int
+	// Labels is the alphabet size; labels are "l0" … "l<Labels-1>" (≥ 1).
+	Labels int
+}
+
+// DefaultRandomConfig returns a configuration producing n-node trees with
+// fanout up to 4 over an alphabet of max(2, n/3) labels — enough label
+// collisions to exercise renames and enough distinct labels to exercise
+// structure.
+func DefaultRandomConfig(n int) RandomConfig {
+	labels := n / 3
+	if labels < 2 {
+		labels = 2
+	}
+	return RandomConfig{Nodes: n, MaxFanout: 4, Labels: labels}
+}
+
+// Random generates a uniformly shaped random ordered labeled tree with
+// exactly cfg.Nodes nodes, deterministic in rng. Shapes are produced by
+// attaching each new node as a child of a uniformly chosen node with spare
+// fanout capacity, then materializing in insertion order (children keep
+// their attachment order).
+func Random(d *dict.Dict, rng *rand.Rand, cfg RandomConfig) *Tree {
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("tree: Random config needs Nodes ≥ 1, got %d", cfg.Nodes))
+	}
+	if cfg.MaxFanout < 1 {
+		panic(fmt.Sprintf("tree: Random config needs MaxFanout ≥ 1, got %d", cfg.MaxFanout))
+	}
+	if cfg.Labels < 1 {
+		panic(fmt.Sprintf("tree: Random config needs Labels ≥ 1, got %d", cfg.Labels))
+	}
+	nodes := make([]*Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = &Node{Label: fmt.Sprintf("l%d", rng.Intn(cfg.Labels))}
+	}
+	// open holds indices of nodes that can still accept children.
+	open := []int{0}
+	for i := 1; i < cfg.Nodes; i++ {
+		pi := rng.Intn(len(open))
+		p := open[pi]
+		nodes[p].AddChild(nodes[i])
+		if len(nodes[p].Children) >= cfg.MaxFanout {
+			open[pi] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		open = append(open, i)
+	}
+	return FromNode(d, nodes[0])
+}

@@ -1,0 +1,358 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/dict"
+)
+
+// paperH returns the example document H of Figure 2 of the paper:
+// postorder h1=b, h2=d, h3=a, h4=b, h5=c, h6=a, h7=x.
+func paperH(t *testing.T) *Tree {
+	t.Helper()
+	return MustParse(dict.New(), "{x{a{b}{d}}{a{b}{c}}}")
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"{a}",
+		"{a{b}}",
+		"{a{b}{c}}",
+		"{x{a{b}{d}}{a{b}{c}}}",
+		"{root{x{y{z}}}{w}}",
+		"{label with spaces{child}}",
+	}
+	for _, s := range cases {
+		d := dict.New()
+		tr, err := Parse(d, s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := tr.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Errorf("Parse(%q).Validate(): %v", s, err)
+		}
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	d := dict.New()
+	tr, err := Parse(d, `{a\{b\}\\{c}}`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := tr.Label(tr.Root()); got != `a{b}\` {
+		t.Errorf("root label = %q, want %q", got, `a{b}\`)
+	}
+	if tr.Size() != 2 {
+		t.Errorf("size = %d, want 2", tr.Size())
+	}
+	// Round-trip through String.
+	again, err := Parse(dict.New(), tr.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !tr.Equal(again) {
+		t.Errorf("round trip mismatch: %q vs %q", tr, again)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a",
+		"{a",
+		"{a}}",
+		"{a}{b}",
+		"{a{b}",
+		`{a\`,
+		"}",
+	}
+	for _, s := range bad {
+		if _, err := Parse(dict.New(), s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestPostorderNumbering(t *testing.T) {
+	h := paperH(t)
+	wantLabels := []string{"b", "d", "a", "b", "c", "a", "x"}
+	wantSizes := []int{1, 1, 3, 1, 1, 3, 7}
+	wantLML := []int{0, 1, 0, 3, 4, 3, 0}
+	wantParent := []int{2, 2, 6, 5, 5, 6, -1}
+	if h.Size() != 7 {
+		t.Fatalf("size = %d, want 7", h.Size())
+	}
+	for i := 0; i < 7; i++ {
+		if got := h.Label(i); got != wantLabels[i] {
+			t.Errorf("label(%d) = %q, want %q", i, got, wantLabels[i])
+		}
+		if got := h.SubtreeSize(i); got != wantSizes[i] {
+			t.Errorf("size(%d) = %d, want %d", i, got, wantSizes[i])
+		}
+		if got := h.LML(i); got != wantLML[i] {
+			t.Errorf("lml(%d) = %d, want %d", i, got, wantLML[i])
+		}
+		if got := h.Parent(i); got != wantParent[i] {
+			t.Errorf("parent(%d) = %d, want %d", i, got, wantParent[i])
+		}
+	}
+}
+
+func TestKeyrootsPaperExample(t *testing.T) {
+	// Example 1: the relevant subtrees of H are H2, H5, H6, H7 —
+	// 0-based keyroots {1, 4, 5, 6}.
+	h := paperH(t)
+	got := h.Keyroots()
+	want := []int{1, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("keyroots = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keyroots = %v, want %v", got, want)
+		}
+	}
+	// Example 1 for the query G: relevant subtrees G2 and G3.
+	g := MustParse(dict.New(), "{a{b}{c}}")
+	gotG := g.Keyroots()
+	wantG := []int{1, 2}
+	if len(gotG) != 2 || gotG[0] != wantG[0] || gotG[1] != wantG[1] {
+		t.Fatalf("query keyroots = %v, want %v", gotG, wantG)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	h := paperH(t)
+	// H6 is the subtree {a{b}{c}} rooted at 0-based index 5.
+	h6 := h.Subtree(5)
+	if err := h6.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := h6.String(); got != "{a{b}{c}}" {
+		t.Errorf("H6 = %q, want {a{b}{c}}", got)
+	}
+	// Subtree of a leaf is a single node.
+	h1 := h.Subtree(0)
+	if h1.Size() != 1 || h1.Label(0) != "b" {
+		t.Errorf("H1 = %q (size %d), want single b", h1, h1.Size())
+	}
+	// Subtree at the root is the whole tree.
+	if !h.Subtree(h.Root()).Equal(h) {
+		t.Errorf("Subtree(root) != tree")
+	}
+}
+
+func TestHeightAndFanout(t *testing.T) {
+	h := paperH(t)
+	if got := h.Height(); got != 3 {
+		t.Errorf("height = %d, want 3", got)
+	}
+	if got := h.Fanout(6); got != 2 {
+		t.Errorf("fanout(root) = %d, want 2", got)
+	}
+	if got := h.Fanout(0); got != 0 {
+		t.Errorf("fanout(leaf) = %d, want 0", got)
+	}
+	single := MustParse(dict.New(), "{a}")
+	if got := single.Height(); got != 1 {
+		t.Errorf("height of single node = %d, want 1", got)
+	}
+	chain := MustParse(dict.New(), "{a{b{c{d}}}}")
+	if got := chain.Height(); got != 4 {
+		t.Errorf("height of chain = %d, want 4", got)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	h := paperH(t)
+	cases := []struct {
+		a, i int
+		want bool
+	}{
+		{6, 0, true},  // root is ancestor of everything
+		{2, 0, true},  // h3 over h1
+		{2, 1, true},  // h3 over h2
+		{5, 3, true},  // h6 over h4
+		{2, 3, false}, // different branches
+		{5, 0, false},
+		{0, 2, false}, // descendant is not ancestor
+		{3, 3, false}, // not a proper ancestor of itself
+	}
+	for _, c := range cases {
+		if got := h.IsAncestor(c.a, c.i); got != c.want {
+			t.Errorf("IsAncestor(%d,%d) = %v, want %v", c.a, c.i, got, c.want)
+		}
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	h := paperH(t)
+	n := h.Node(h.Root())
+	again := FromNode(dict.New(), n)
+	if !h.Equal(again) {
+		t.Errorf("Node round trip mismatch: %q vs %q", h, again)
+	}
+}
+
+func TestEqualDifferentDicts(t *testing.T) {
+	a := MustParse(dict.New(), "{a{b}{c}}")
+	d2 := dict.New()
+	d2.Intern("zzz") // shift identifiers
+	b := MustParse(d2, "{a{b}{c}}")
+	if !a.Equal(b) {
+		t.Errorf("trees with same labels but different dicts should be Equal")
+	}
+	c := MustParse(dict.New(), "{a{b}{d}}")
+	if a.Equal(c) {
+		t.Errorf("trees with different labels should not be Equal")
+	}
+}
+
+func TestRandomTreesAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 1; n <= 60; n++ {
+		tr := Random(dict.New(), rng, DefaultRandomConfig(n))
+		if tr.Size() != n {
+			t.Fatalf("Random(%d).Size() = %d", n, tr.Size())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Random(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(dict.New(), rand.New(rand.NewSource(7)), DefaultRandomConfig(25))
+	b := Random(dict.New(), rand.New(rand.NewSource(7)), DefaultRandomConfig(25))
+	if !a.Equal(b) {
+		t.Errorf("same seed should produce identical trees")
+	}
+}
+
+func TestFromPostorder(t *testing.T) {
+	h := paperH(t)
+	labels := make([]int, h.Size())
+	sizes := make([]int, h.Size())
+	for i := 0; i < h.Size(); i++ {
+		labels[i] = h.LabelID(i)
+		sizes[i] = h.SubtreeSize(i)
+	}
+	got, err := FromPostorder(h.Dict(), labels, sizes)
+	if err != nil {
+		t.Fatalf("FromPostorder: %v", err)
+	}
+	if !got.Equal(h) {
+		t.Errorf("FromPostorder mismatch: %q vs %q", got, h)
+	}
+}
+
+func TestFromPostorderErrors(t *testing.T) {
+	d := dict.New()
+	l := d.Intern("a")
+	cases := []struct {
+		name   string
+		labels []int
+		sizes  []int
+	}{
+		{"empty", nil, nil},
+		{"mismatched lengths", []int{l, l}, []int{1}},
+		{"zero size", []int{l}, []int{0}},
+		{"size too large", []int{l, l}, []int{1, 3}},
+		{"two roots", []int{l, l}, []int{1, 1}},
+		{"splits subtree", []int{l, l, l, l}, []int{1, 2, 1, 3}},
+	}
+	for _, c := range cases {
+		if _, err := FromPostorder(d, c.labels, c.sizes); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+}
+
+// TestFromPostorderQuick checks the round trip tree → (labels, sizes) →
+// tree on random trees.
+func TestFromPostorderQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		d := dict.New()
+		tr := Random(d, rand.New(rand.NewSource(seed)), DefaultRandomConfig(n))
+		labels := make([]int, n)
+		sizes := make([]int, n)
+		for i := 0; i < n; i++ {
+			labels[i] = tr.LabelID(i)
+			sizes[i] = tr.SubtreeSize(i)
+		}
+		got, err := FromPostorder(d, labels, sizes)
+		return err == nil && got.Equal(tr)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyrootsQuick checks the keyroot characterization on random trees:
+// i is a keyroot iff no larger node shares its leftmost leaf.
+func TestKeyrootsQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		tr := Random(dict.New(), rand.New(rand.NewSource(seed)), DefaultRandomConfig(n))
+		isKey := make([]bool, n)
+		for _, k := range tr.Keyroots() {
+			isKey[k] = true
+		}
+		for i := 0; i < n; i++ {
+			want := true
+			for j := i + 1; j < n; j++ {
+				if tr.LML(j) == tr.LML(i) {
+					want = false
+					break
+				}
+			}
+			if isKey[i] != want {
+				return false
+			}
+		}
+		// The root must always be a keyroot.
+		return isKey[n-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	n := NewNode("we{ird}\\label", NewNode("plain"))
+	s := n.String()
+	if !strings.Contains(s, `\{`) || !strings.Contains(s, `\}`) || !strings.Contains(s, `\\`) {
+		t.Errorf("String() = %q: special characters not escaped", s)
+	}
+	back, err := ParseNode(s)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !n.Equal(back) {
+		t.Errorf("escape round trip failed: %q", s)
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	n := NewNode("a", NewNode("b"), NewNode("c", NewNode("d")))
+	if got := n.Size(); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
+	}
+	if got := n.Height(); got != 3 {
+		t.Errorf("Height = %d, want 3", got)
+	}
+	var nilNode *Node
+	if nilNode.Size() != 0 || nilNode.Height() != 0 {
+		t.Errorf("nil node should have size and height 0")
+	}
+}

@@ -1,0 +1,48 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+)
+
+// FuzzReader checks that the streaming XML reader never panics and that
+// every stream it accepts is a well-formed postorder queue (sizes
+// consistent, single root).
+func FuzzReader(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`,
+		`<a><b>text</b></a>`,
+		`<a k="v"><b/></a>`,
+		`<a>`,
+		`</a>`,
+		`<a/><b/>`,
+		`<!-- c --><a/>`,
+		`<?xml version="1.0"?><a>x</a>`,
+		`<a><b></a></b>`,
+		"<a>\xff\xfe</a>",
+		`<a k="">&amp;</a>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		d := dict.New()
+		n, err := postorder.Validate(NewReader(d, strings.NewReader(doc)))
+		if err != nil {
+			return // malformed inputs must error, not panic
+		}
+		if n < 1 {
+			t.Fatalf("accepted %q with %d nodes", doc, n)
+		}
+		// Accepted documents must also materialize into a valid tree.
+		tr, err := ParseTree(dict.New(), strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("Validate accepted %q but BuildTree failed: %v", doc, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree from %q invalid: %v", doc, err)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package xmlstream connects XML documents to the postorder-queue world of
+// TASM using only encoding/xml.
+//
+// An XML element maps to a node labeled with its tag; each attribute maps
+// to a child node labeled "@name" with a single child holding the value;
+// each non-whitespace text run maps to a leaf holding the trimmed text.
+// This is the node model of the paper's evaluation, where "element and
+// attribute tags as well as text content" are dictionary-interned labels.
+//
+// Because an element's end tag is seen only after all of its content, a
+// SAX-style scan of an XML document visits nodes exactly in postorder, and
+// the subtree size of an element is known the moment it closes. The Reader
+// below therefore streams a document of any size into a postorder queue
+// with memory proportional to the document depth — the property that lets
+// TASM-postorder run over gigabyte-scale documents.
+package xmlstream
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+// Reader is a postorder.Queue that parses an XML document incrementally.
+type Reader struct {
+	dec  *xml.Decoder
+	dict *dict.Dict
+
+	// stack holds the number of nodes emitted so far inside each open
+	// element (excluding the element itself).
+	stack []int
+
+	// out buffers items that became ready during the last token step:
+	// attributes of a start element, a text leaf, or a closed element.
+	out []postorder.Item
+
+	rootSeen bool // a root element has been fully emitted
+	done     bool
+	err      error
+}
+
+// NewReader returns a Reader streaming the XML document from r, interning
+// labels in d.
+func NewReader(d *dict.Dict, r io.Reader) *Reader {
+	dec := xml.NewDecoder(r)
+	// XML corpora in the wild (DBLP in particular) rely on entities and
+	// non-strict quirks; keep strict mode but map unknown entities to
+	// their literal names so bibliography-style files parse.
+	dec.Strict = false
+	return &Reader{dec: dec, dict: d}
+}
+
+// Next implements postorder.Queue.
+func (r *Reader) Next() (postorder.Item, error) {
+	for {
+		if len(r.out) > 0 {
+			it := r.out[0]
+			r.out = r.out[1:]
+			return it, nil
+		}
+		if r.err != nil {
+			return postorder.Item{}, r.err
+		}
+		if r.done {
+			return postorder.Item{}, io.EOF
+		}
+		r.step()
+	}
+}
+
+// step consumes one XML token and appends any completed nodes to r.out.
+func (r *Reader) step() {
+	tok, err := r.dec.Token()
+	if err == io.EOF {
+		if len(r.stack) > 0 {
+			r.err = fmt.Errorf("xmlstream: unexpected EOF with %d open elements", len(r.stack))
+			return
+		}
+		if !r.rootSeen {
+			r.err = fmt.Errorf("xmlstream: document contains no element")
+			return
+		}
+		r.done = true
+		return
+	}
+	if err != nil {
+		r.err = fmt.Errorf("xmlstream: %w", err)
+		return
+	}
+	switch t := tok.(type) {
+	case xml.StartElement:
+		if r.rootSeen {
+			r.err = fmt.Errorf("xmlstream: multiple root elements")
+			return
+		}
+		r.stack = append(r.stack, 0)
+		// Attributes become the element's first children, in document
+		// order: a leaf "@name" with a value child when non-empty.
+		for _, a := range t.Attr {
+			name := "@" + attrName(a.Name)
+			if a.Value == "" {
+				r.emit(r.dict.Intern(name), 1)
+				continue
+			}
+			// The value leaf is part of the "@name" subtree: only the
+			// subtree root is credited to the enclosing element.
+			r.out = append(r.out, postorder.Item{Label: r.dict.Intern(a.Value), Size: 1})
+			r.emit(r.dict.Intern(name), 2)
+		}
+	case xml.EndElement:
+		if len(r.stack) == 0 {
+			r.err = fmt.Errorf("xmlstream: unmatched end tag </%s>", t.Name.Local)
+			return
+		}
+		inner := r.stack[len(r.stack)-1]
+		r.stack = r.stack[:len(r.stack)-1]
+		r.emit(r.dict.Intern(t.Name.Local), inner+1)
+		if len(r.stack) == 0 {
+			r.rootSeen = true
+		}
+	case xml.CharData:
+		text := strings.TrimSpace(string(t))
+		if text == "" || len(r.stack) == 0 {
+			return
+		}
+		r.emit(r.dict.Intern(text), 1)
+	default:
+		// Comments, directives and processing instructions carry no tree
+		// structure; skip them.
+	}
+}
+
+// emit appends a completed node and credits it to the enclosing element.
+func (r *Reader) emit(label, size int) {
+	r.out = append(r.out, postorder.Item{Label: label, Size: size})
+	if len(r.stack) > 0 {
+		r.stack[len(r.stack)-1] += size
+	}
+}
+
+func attrName(n xml.Name) string {
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}
+
+// ParseTree parses a whole XML document into a materialized tree; a
+// convenience for queries and small documents.
+func ParseTree(d *dict.Dict, r io.Reader) (*tree.Tree, error) {
+	return postorder.BuildTree(d, NewReader(d, r))
+}

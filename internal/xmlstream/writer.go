@@ -1,0 +1,99 @@
+package xmlstream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"tasm/internal/tree"
+)
+
+// WriteTree serializes a tree produced by this package's node model back
+// to XML. Nodes whose label starts with "@" become attributes of their
+// parent element (their single child, if any, is the attribute value);
+// leaf nodes that have a sibling-less text shape are emitted as character
+// data when they are leaves under an element; all other nodes become
+// elements. Labels that are not valid XML names are emitted as elements
+// named "_node" with a "label" attribute, so arbitrary trees round-trip
+// into well-formed XML.
+func WriteTree(w io.Writer, t *tree.Tree) error {
+	bw := bufio.NewWriter(w)
+	if err := writeNode(bw, t.Node(t.Root()), 0); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeNode(w *bufio.Writer, n *tree.Node, depth int) error {
+	// Leaves that are not valid element names render as text content at
+	// depth > 0 — the inverse of the reader's text mapping.
+	if len(n.Children) == 0 && depth > 0 && !isName(n.Label) {
+		_, err := w.WriteString(escapeText(n.Label))
+		return err
+	}
+	name := n.Label
+	extra := ""
+	if !isName(name) {
+		extra = fmt.Sprintf(" label=%q", name)
+		name = "_node"
+	}
+	if _, err := fmt.Fprintf(w, "<%s%s", name, extra); err != nil {
+		return err
+	}
+	// Leading "@" children become attributes.
+	rest := n.Children
+	for len(rest) > 0 && strings.HasPrefix(rest[0].Label, "@") {
+		a := rest[0]
+		val := ""
+		if len(a.Children) == 1 && len(a.Children[0].Children) == 0 {
+			val = a.Children[0].Label
+		}
+		attr := a.Label[1:]
+		if !isName(attr) {
+			break // not representable as an attribute; fall through to elements
+		}
+		if _, err := fmt.Fprintf(w, " %s=%q", attr, val); err != nil {
+			return err
+		}
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		_, err := w.WriteString("/>")
+		return err
+	}
+	if _, err := w.WriteString(">"); err != nil {
+		return err
+	}
+	for _, c := range rest {
+		if err := writeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", name)
+	return err
+}
+
+// isName reports whether s is usable as an XML element/attribute name.
+func isName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,185 @@
+package xmlstream
+
+import (
+	"strings"
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+func TestSimpleDocument(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(
+		`<dblp><article><auth>John</auth><title>X1</title></article></dblp>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{dblp{article{auth{John}}{title{X1}}}}"
+	if got := tr.String(); got != want {
+		t.Errorf("parsed tree = %s, want %s", got, want)
+	}
+}
+
+func TestPostorderSizes(t *testing.T) {
+	// The element closes after its content, so subtree sizes must match
+	// Figure 4's postorder queue semantics.
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(`<a><b>t1</b><c/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Postorder: t1(1), b(2), c(1), a(4).
+	wantSizes := []int{1, 2, 1, 4}
+	wantLabels := []string{"t1", "b", "c", "a"}
+	for i := range wantSizes {
+		if tr.SubtreeSize(i) != wantSizes[i] || tr.Label(i) != wantLabels[i] {
+			t.Errorf("node %d = (%s,%d), want (%s,%d)",
+				i, tr.Label(i), tr.SubtreeSize(i), wantLabels[i], wantSizes[i])
+		}
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(`<article key="x/1" mdate="2009"><title>T</title></article>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{article{@key{x/1}}{@mdate{2009}}{title{T}}}"
+	if got := tr.String(); got != want {
+		t.Errorf("parsed tree = %s, want %s", got, want)
+	}
+}
+
+func TestEmptyAttribute(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(`<a flag=""/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.String(); got != "{a{@flag}}" {
+		t.Errorf("parsed tree = %s", got)
+	}
+}
+
+func TestWhitespaceIgnored(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader("<a>\n  <b>x</b>\n  \t<c/>\n</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.String(); got != "{a{b{x}}{c}}" {
+		t.Errorf("parsed tree = %s", got)
+	}
+}
+
+func TestCommentsAndPIsSkipped(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(
+		`<?xml version="1.0"?><!-- hi --><a><!-- inner --><b/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.String(); got != "{a{b}}" {
+		t.Errorf("parsed tree = %s", got)
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(`<p>before<b>bold</b>after</p>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.String(); got != "{p{before}{b{bold}}{after}}" {
+		t.Errorf("parsed tree = %s", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"no root":   "  <!-- only a comment --> ",
+		"unclosed":  "<a><b></b>",
+		"two roots": "<a/><b/>",
+	}
+	for name, doc := range cases {
+		d := dict.New()
+		if _, err := ParseTree(d, strings.NewReader(doc)); err == nil {
+			t.Errorf("%s (%q): want error", name, doc)
+		}
+	}
+}
+
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	const doc = `<site><people><person id="p1"><name>Jo</name></person><person id="p2"><name>Al</name></person></people><regions><europe><item><name>thing</name></item></europe></regions></site>`
+	d := dict.New()
+	items, err := postorder.Collect(NewReader(d, strings.NewReader(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTree(dict.New(), strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != tr.Size() {
+		t.Fatalf("stream has %d items, tree has %d nodes", len(items), tr.Size())
+	}
+	for i, it := range items {
+		if d.Label(it.Label) != tr.Label(i) || it.Size != tr.SubtreeSize(i) {
+			t.Errorf("item %d = (%s,%d), tree node = (%s,%d)",
+				i, d.Label(it.Label), it.Size, tr.Label(i), tr.SubtreeSize(i))
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	docs := []string{
+		`<dblp><article k="1"><auth>John Smith</auth><title>a title</title></article></dblp>`,
+		`<a><b>x</b><c><d/></c></a>`,
+	}
+	for _, doc := range docs {
+		d := dict.New()
+		tr, err := ParseTree(d, strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WriteTree(&sb, tr); err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseTree(dict.New(), strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", sb.String(), err)
+		}
+		if !tr.Equal(again) {
+			t.Errorf("round trip mismatch:\n in: %s\nxml: %s\nout: %s", tr, strings.TrimSpace(sb.String()), again)
+		}
+	}
+}
+
+func TestWriteArbitraryLabels(t *testing.T) {
+	// Labels that are not XML names must still produce well-formed XML.
+	d := dict.New()
+	tr := tree.MustParse(d, "{weird label{<&>}{ok}}")
+	var sb strings.Builder
+	if err := WriteTree(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTree(dict.New(), strings.NewReader(sb.String())); err != nil {
+		t.Errorf("emitted XML not parseable: %v\n%s", err, sb.String())
+	}
+}
+
+func TestEntities(t *testing.T) {
+	d := dict.New()
+	tr, err := ParseTree(d, strings.NewReader(`<a>x &amp; y</a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Label(0); got != "x & y" {
+		t.Errorf("entity decoding: %q", got)
+	}
+}

@@ -1,0 +1,28 @@
+package keyword_test
+
+import (
+	"fmt"
+	"strings"
+
+	"tasm"
+	"tasm/keyword"
+)
+
+func Example() {
+	m := tasm.New()
+	doc, _ := m.ParseXML(strings.NewReader(
+		`<library>
+		   <book><author>Knuth</author><year>1968</year></book>
+		   <book><author>Codd</author><year>1970</year></book>
+		 </library>`))
+
+	s, _ := keyword.New(m.Dict(), []string{"Knuth", "1968"}, keyword.WithK(1))
+	results, _ := s.RunTree(doc)
+
+	best := results[0]
+	// Score 3 = wildcard rename (1) + two cheap context nodes absorbed
+	// (author, year); both keywords covered.
+	fmt.Printf("score %.0f, missing %d keywords: %s\n", best.Score, len(best.Missing), best.Tree)
+	// Output:
+	// score 3, missing 0 keywords: {book{author{Knuth}}{year{1968}}}
+}
