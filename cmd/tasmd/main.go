@@ -1,0 +1,83 @@
+// Command tasmd is the TASM query daemon: it serves top-k approximate
+// subtree matching over a corpus of persisted documents via a JSON HTTP
+// API.
+//
+// Usage:
+//
+//	tasmd -dir ./corpus -addr :8421
+//
+// Endpoints:
+//
+//	POST /v1/topk   – answer a top-k query across the corpus
+//	                  {"query":"{a{b}}","k":5} or {"queryXml":"<a>…</a>",…};
+//	                  optional "docs":[…], "trees":true, "workers":N,
+//	                  "exhaustive":true
+//	POST /v1/docs   – ingest a document: JSON {"name":…,"xml":…} or a raw
+//	                  XML body with ?name=…
+//	GET  /v1/docs   – list the corpus manifest
+//	GET  /healthz   – liveness and document count
+//
+// Results are cached in a bounded LRU keyed on the corpus generation, so
+// ingesting a document transparently invalidates every cached answer.
+// In-flight top-k computations are bounded by -max-concurrent; further
+// requests queue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"tasm/corpus"
+)
+
+func main() {
+	var (
+		dir           = flag.String("dir", "", "corpus directory (created if missing)")
+		addr          = flag.String("addr", ":8421", "listen address")
+		cacheSize     = flag.Int("cache", 256, "result cache entries (0 disables)")
+		maxConcurrent = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight top-k computations (0 = unbounded)")
+		workers       = flag.Int("workers", 0, "default per-request worker pool (0 = sequential, -1 = GOMAXPROCS)")
+		maxK          = flag.Int("max-k", 10000, "largest k a request may ask for")
+	)
+	flag.Parse()
+	if err := run(*dir, *addr, *cacheSize, *maxConcurrent, *workers, *maxK); err != nil {
+		fmt.Fprintln(os.Stderr, "tasmd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, addr string, cacheSize, maxConcurrent, workers, maxK int) error {
+	if dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	c, err := corpus.Open(dir)
+	if err != nil {
+		return err
+	}
+	handler := newServer(c, serverConfig{
+		cacheSize:     cacheSize,
+		maxConcurrent: maxConcurrent,
+		workers:       workers,
+		maxK:          maxK,
+	})
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: handler,
+		// Slow-client protection: without these a client trickling header
+		// or body bytes pins a connection and goroutine forever, never
+		// reaching the body cap or the concurrency semaphore. Write and
+		// idle timeouts are generous because large-k scans over big
+		// corpora legitimately take a while.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("tasmd: serving corpus %s (%d documents) on %s", dir, c.Len(), addr)
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"tasm/corpus"
+	"tasm/internal/tree"
+)
+
+// maxBodyBytes caps request bodies: queries are small, and ingested
+// documents beyond this belong on the filesystem next to the corpus, not
+// in an HTTP body.
+const maxBodyBytes = 64 << 20
+
+// serverConfig tunes the daemon.
+type serverConfig struct {
+	// cacheSize bounds the (query, k) result LRU; ≤ 0 disables caching.
+	cacheSize int
+	// maxConcurrent bounds in-flight top-k computations; ≤ 0 means
+	// unbounded.
+	maxConcurrent int
+	// workers is the per-request worker pool applied when a request does
+	// not choose its own (0 = sequential scan).
+	workers int
+	// maxK rejects requests asking for more results than the server is
+	// willing to rank.
+	maxK int
+}
+
+// server routes the tasmd HTTP API over one shared corpus.
+type server struct {
+	c     *corpus.Corpus
+	cfg   serverConfig
+	cache *lruCache
+	sem   chan struct{}
+}
+
+// newServer returns the daemon's http.Handler.
+func newServer(c *corpus.Corpus, cfg serverConfig) http.Handler {
+	if cfg.maxK <= 0 {
+		cfg.maxK = 10000
+	}
+	s := &server{c: c, cfg: cfg, cache: newLRUCache(cfg.cacheSize)}
+	if cfg.maxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.maxConcurrent)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/docs", s.handleIngest)
+	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// topkRequest is the body of POST /v1/topk. Exactly one of Query
+// (bracket notation) and QueryXML must be set.
+type topkRequest struct {
+	Query    string `json:"query,omitempty"`
+	QueryXML string `json:"queryXml,omitempty"`
+	K        int    `json:"k"`
+	// Docs restricts the query to the named documents; empty means all.
+	Docs []string `json:"docs,omitempty"`
+	// Workers overrides the server's per-request worker pool for this
+	// request (0 = server default, -1 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Trees includes each matched subtree in bracket notation.
+	Trees bool `json:"trees,omitempty"`
+	// Exhaustive disables the pq-gram prefilter for this request; the
+	// results are identical, only slower. Meant for debugging and
+	// verification.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+}
+
+type topkMatch struct {
+	Doc   string  `json:"doc"`
+	DocID int     `json:"docId"`
+	Pos   int     `json:"pos"`
+	Dist  float64 `json:"dist"`
+	Size  int     `json:"size"`
+	Tree  string  `json:"tree,omitempty"`
+}
+
+type topkStats struct {
+	Scanned int  `json:"scanned"`
+	Skipped int  `json:"skipped"`
+	Cached  bool `json:"cached"`
+}
+
+type topkResponse struct {
+	Matches []topkMatch `json:"matches"`
+	Stats   topkStats   `json:"stats"`
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req topkRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if (req.Query == "") == (req.QueryXML == "") {
+		httpError(w, http.StatusBadRequest, "exactly one of query and queryXml is required")
+		return
+	}
+	if req.K < 1 {
+		httpError(w, http.StatusBadRequest, "k must be ≥ 1, got %d", req.K)
+		return
+	}
+	if req.K > s.cfg.maxK {
+		httpError(w, http.StatusBadRequest, "k %d exceeds the server limit %d", req.K, s.cfg.maxK)
+		return
+	}
+
+	key := s.cacheKey(&req)
+	if cached, ok := s.cache.get(key); ok {
+		var resp topkResponse
+		if err := json.Unmarshal(cached, &resp); err == nil {
+			resp.Stats.Cached = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+
+	var (
+		q   *tree.Tree
+		err error
+	)
+	if req.Query != "" {
+		q, err = s.c.ParseBracket(req.Query)
+	} else {
+		q, err = s.c.ParseXML(strings.NewReader(req.QueryXML))
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing query: %v", err)
+		return
+	}
+
+	var stats corpus.Stats
+	opts := []corpus.QueryOption{corpus.WithStats(&stats)}
+	if len(req.Docs) > 0 {
+		opts = append(opts, corpus.WithDocs(req.Docs...))
+	}
+	if !req.Trees {
+		opts = append(opts, corpus.WithoutTrees())
+	}
+	if req.Exhaustive {
+		opts = append(opts, corpus.WithoutFilter())
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.workers
+	}
+	if workers != 0 {
+		opts = append(opts, corpus.WithWorkers(workers))
+	}
+	matches, err := s.c.TopK(q, req.K, opts...)
+	if err != nil {
+		// Scan failures are corpus-side state (missing or corrupt store
+		// files); everything else is a caller mistake (unknown doc
+		// selection, malformed query).
+		var scanErr *corpus.ScanError
+		if errors.As(err, &scanErr) {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	resp := topkResponse{
+		Matches: make([]topkMatch, len(matches)),
+		Stats:   topkStats{Scanned: stats.Scanned, Skipped: stats.Skipped},
+	}
+	for i, m := range matches {
+		resp.Matches[i] = topkMatch{
+			Doc: m.Doc.Name, DocID: m.Doc.ID, Pos: m.Pos, Dist: m.Dist, Size: m.Size,
+		}
+		if m.Tree != nil {
+			resp.Matches[i].Tree = m.Tree.String()
+		}
+	}
+	if data, err := json.Marshal(resp); err == nil {
+		s.cache.put(key, data)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheKey identifies a topk result: the corpus generation plus every
+// request field that can change the response bytes. Workers is
+// deliberately absent — results are identical in all worker modes, so
+// keying on it would only fragment the cache.
+func (s *server) cacheKey(req *topkRequest) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v\x00q%s\x00x%s",
+		s.c.Generation(), req.K, req.Trees, req.Exhaustive, req.Query, req.QueryXML)
+	for _, d := range req.Docs {
+		sb.WriteByte(0)
+		sb.WriteString(d)
+	}
+	return sb.String()
+}
+
+// ingestRequest is the JSON body of POST /v1/docs. Raw XML bodies with a
+// ?name= query parameter are accepted as well.
+type ingestRequest struct {
+	Name string `json:"name"`
+	XML  string `json:"xml"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var name string
+	var xml io.Reader
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req ingestRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+			return
+		}
+		name, xml = req.Name, strings.NewReader(req.XML)
+	} else {
+		name, xml = r.URL.Query().Get("name"), body
+	}
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "document name is required (JSON field \"name\" or ?name=)")
+		return
+	}
+	info, err := s.c.AddXML(name, xml)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"docs": s.c.Docs()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"docs":       s.c.Len(),
+		"generation": s.c.Generation(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		// The response is already committed; nothing useful to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"tasm/corpus"
+)
+
+func newTestServer(t *testing.T, cfg serverConfig) (http.Handler, *corpus.Corpus) {
+	t.Helper()
+	c, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(c, cfg), c
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		r = bytes.NewReader(nil)
+	case string:
+		r = bytes.NewReader([]byte(b))
+	default:
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = bytes.NewReader(data)
+	}
+	req := httptest.NewRequest(method, path, r)
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func ingest(t *testing.T, h http.Handler, name, xml string) {
+	t.Helper()
+	w := doJSON(t, h, "POST", "/v1/docs", ingestRequest{Name: name, XML: xml})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("ingest %q: status %d: %s", name, w.Code, w.Body)
+	}
+}
+
+func topk(t *testing.T, h http.Handler, req topkRequest) topkResponse {
+	t.Helper()
+	w := doJSON(t, h, "POST", "/v1/topk", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("topk: status %d: %s", w.Code, w.Body)
+	}
+	var resp topkResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("topk: %v in %s", err, w.Body)
+	}
+	return resp
+}
+
+func TestBadInput(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", `{{{`, http.StatusBadRequest},
+		{"no query", `{"k":3}`, http.StatusBadRequest},
+		{"both queries", `{"query":"{a}","queryXml":"<a/>","k":3}`, http.StatusBadRequest},
+		{"k zero", `{"query":"{a}","k":0}`, http.StatusBadRequest},
+		{"k negative", `{"query":"{a}","k":-2}`, http.StatusBadRequest},
+		{"k over limit", `{"query":"{a}","k":1000000}`, http.StatusBadRequest},
+		{"unknown field", `{"query":"{a}","k":1,"nope":true}`, http.StatusBadRequest},
+		{"bad bracket query", `{"query":"{a","k":1}`, http.StatusBadRequest},
+		{"unknown doc", `{"query":"{a}","k":1,"docs":["ghost"]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if w := doJSON(t, h, "POST", "/v1/topk", tc.body); w.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, w.Code, tc.want, w.Body)
+		}
+	}
+	// Ingest errors.
+	if w := doJSON(t, h, "POST", "/v1/docs", ingestRequest{Name: "", XML: "<a/>"}); w.Code != http.StatusBadRequest {
+		t.Errorf("empty name: status %d, want 400", w.Code)
+	}
+	if w := doJSON(t, h, "POST", "/v1/docs", ingestRequest{Name: "x", XML: "<a><b"}); w.Code != http.StatusBadRequest {
+		t.Errorf("bad xml: status %d, want 400", w.Code)
+	}
+	ingest(t, h, "x", "<a/>")
+	if w := doJSON(t, h, "POST", "/v1/docs", ingestRequest{Name: "x", XML: "<a/>"}); w.Code != http.StatusConflict {
+		t.Errorf("duplicate name: status %d, want 409", w.Code)
+	}
+}
+
+func TestIngestListQueryHealthz(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{})
+	ingest(t, h, "d1", `<r><a><b>x</b></a></r>`)
+	// Raw XML ingest path.
+	req := httptest.NewRequest("POST", "/v1/docs?name=d2", strings.NewReader(`<r><c>y</c></r>`))
+	req.Header.Set("Content-Type", "application/xml")
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("raw XML ingest: status %d: %s", w.Code, w.Body)
+	}
+
+	lw := doJSON(t, h, "GET", "/v1/docs", nil)
+	if lw.Code != http.StatusOK || !strings.Contains(lw.Body.String(), `"d2"`) {
+		t.Fatalf("list: status %d body %s", lw.Code, lw.Body)
+	}
+	hw := doJSON(t, h, "GET", "/healthz", nil)
+	var health struct {
+		Status string `json:"status"`
+		Docs   int    `json:"docs"`
+	}
+	if err := json.Unmarshal(hw.Body.Bytes(), &health); err != nil || health.Status != "ok" || health.Docs != 2 {
+		t.Fatalf("healthz: %s (err %v)", hw.Body, err)
+	}
+
+	resp := topk(t, h, topkRequest{Query: "{a{b{x}}}", K: 2, Trees: true})
+	if len(resp.Matches) != 2 || resp.Matches[0].Dist != 0 || resp.Matches[0].Doc != "d1" {
+		t.Fatalf("unexpected matches: %+v", resp.Matches)
+	}
+	if resp.Matches[0].Tree == "" {
+		t.Fatal("trees requested but not returned")
+	}
+}
+
+// TestFilterSkipsOverHTTP is the acceptance-criterion integration test:
+// on a crafted corpus the prefilter must skip at least one document while
+// the response matches the exhaustive scan byte for byte.
+func TestFilterSkipsOverHTTP(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{})
+	ingest(t, h, "near", `<r><a><b>x</b><c>y</c></a><a><b>x</b></a></r>`)
+	ingest(t, h, "far", `<zoo><pen><yak>z</yak></pen><pen><emu>w</emu></pen></zoo>`)
+
+	filtered := doJSON(t, h, "POST", "/v1/topk",
+		`{"query":"{a{b{x}}{c{y}}}","k":2,"trees":true}`)
+	exhaustive := doJSON(t, h, "POST", "/v1/topk",
+		`{"query":"{a{b{x}}{c{y}}}","k":2,"trees":true,"exhaustive":true}`)
+	if filtered.Code != http.StatusOK || exhaustive.Code != http.StatusOK {
+		t.Fatalf("status %d / %d", filtered.Code, exhaustive.Code)
+	}
+	var fr, er topkResponse
+	if err := json.Unmarshal(filtered.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(exhaustive.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Stats.Skipped < 1 {
+		t.Fatalf("prefilter skipped %d documents, want ≥ 1 (stats %+v)", fr.Stats.Skipped, fr.Stats)
+	}
+	if er.Stats.Skipped != 0 || er.Stats.Scanned != 2 {
+		t.Fatalf("exhaustive scan should visit everything: %+v", er.Stats)
+	}
+	fm, err := json.Marshal(fr.Matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := json.Marshal(er.Matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fm, em) {
+		t.Fatalf("filtered and exhaustive matches differ:\n %s\n %s", fm, em)
+	}
+	if fr.Matches[0].Dist != 0 {
+		t.Fatalf("query occurs verbatim in 'near': %+v", fr.Matches[0])
+	}
+}
+
+func TestCacheHitsAndInvalidation(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{cacheSize: 16})
+	ingest(t, h, "d1", `<r><a><b>x</b></a></r>`)
+	req := topkRequest{Query: "{a{b{x}}}", K: 1}
+
+	first := topk(t, h, req)
+	if first.Stats.Cached {
+		t.Fatal("first answer cannot be cached")
+	}
+	second := topk(t, h, req)
+	if !second.Stats.Cached {
+		t.Fatal("identical repeat query must be served from cache")
+	}
+	second.Stats.Cached = false
+	if fmt.Sprintf("%+v", first) != fmt.Sprintf("%+v", second) {
+		t.Fatalf("cached answer differs: %+v vs %+v", first, second)
+	}
+	// Ingest bumps the generation: the cache entry must stop being used.
+	ingest(t, h, "d2", `<r><a><b>x</b></a></r>`)
+	third := topk(t, h, req)
+	if third.Stats.Cached {
+		t.Fatal("cache must miss after ingest")
+	}
+}
+
+// TestConcurrentTopK serves many concurrent queries (mixed with ingests)
+// through the concurrency limiter; run with -race.
+func TestConcurrentTopK(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{cacheSize: 8, maxConcurrent: 3})
+	ingest(t, h, "base", `<r><a><b>x</b><c>y</c></a></r>`)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				// Vary k so some requests miss the cache.
+				resp := doJSON(t, h, "POST", "/v1/topk",
+					fmt.Sprintf(`{"query":"{a{b{x}}}","k":%d}`, 1+(g+i)%3))
+				if resp.Code != http.StatusOK {
+					errs <- fmt.Sprintf("goroutine %d: status %d: %s", g, resp.Code, resp.Body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			ingest(t, h, fmt.Sprintf("doc%d", i), `<r><c><d>z</d></c></r>`)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.put("c", []byte("3")) // evicts b (a was just used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.len())
+	}
+	disabled := newLRUCache(0)
+	disabled.put("x", []byte("1"))
+	if _, ok := disabled.get("x"); ok {
+		t.Fatal("disabled cache must not store")
+	}
+}
+
+// TestCorruptStoreIs500 pins the status-code split: a store file gone bad
+// on disk is server state (500), not caller error (400).
+func TestCorruptStoreIs500(t *testing.T) {
+	h, c := newTestServer(t, serverConfig{})
+	ingest(t, h, "d1", `<r><a><b>x</b></a></r>`)
+	store := filepath.Join(c.Dir(), "docs", "1.store")
+	data, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) - 4; i < len(data); i++ {
+		data[i] = 0xff
+	}
+	if err := os.WriteFile(store, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := doJSON(t, h, "POST", "/v1/topk", `{"query":"{a{b{x}}}","k":1}`)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("corrupt store: status %d, want 500 (%s)", w.Code, w.Body)
+	}
+}

@@ -1,0 +1,402 @@
+// Package corpus manages a directory of persisted documents and answers
+// top-k approximate subtree matching queries across all of them — the
+// multi-document serving layer above the single-document tasm library.
+//
+// A corpus directory contains a manifest (manifest.json, documented in
+// the docstore package) and, per ingested document, a binary postorder
+// store plus a profile file built at ingest:
+//
+//	docs/<id>.store    – postorder queue + label dictionary (docstore format)
+//	docs/<id>.profile  – pq-gram profile, then a label histogram
+//
+// # Profile file format
+//
+// All integers are unsigned LEB128 varints:
+//
+//	pq-gram profile as written by pqgram.(*Profile).Write:
+//	    magic "TASMPF1\n", p, q, gramCount, gramCount × (hash, mult)
+//	labelCount, then labelCount × (byteLen, bytes, count)
+//
+// The label histogram maps each distinct label to its number of
+// occurrences in the document.
+//
+// # Query answering
+//
+// TopK(q, k) ranks the subtrees of every corpus document in one shared
+// ranking. The profile index built at ingest drives a filter-and-verify
+// scan:
+//
+//   - Ordering (heuristic): documents are scanned in ascending pq-gram
+//     distance to the query, so documents likely to contain close matches
+//     fill the ranking early and tighten the running k-th distance.
+//   - Pruning (sound): for each document the label histogram yields a
+//     lower bound on the distance of ANY of its subtrees — every query
+//     node whose label occurs in the query more often than in the whole
+//     document costs at least 1 in any edit mapping (Definition 4 gives
+//     all node costs ≥ 1). A document whose bound strictly exceeds the
+//     current k-th distance is skipped without being opened.
+//
+// The pq-gram distance itself is only a heuristic for ordering — it is
+// not a lower bound of the unit-cost tree edit distance — so skipping
+// never depends on it; results are exactly those of an exhaustive scan
+// of every document, in deterministic (distance, document, position)
+// order.
+package corpus
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/docstore"
+	"tasm/internal/postorder"
+	"tasm/internal/pqgram"
+	"tasm/internal/tree"
+	"tasm/internal/varint"
+	"tasm/internal/xmlstream"
+)
+
+// manifestFile is the manifest's name inside the corpus directory.
+const manifestFile = "manifest.json"
+
+// docsDir is the subdirectory holding store and profile files.
+const docsDir = "docs"
+
+// DocInfo describes one corpus document (the manifest entry).
+type DocInfo = docstore.ManifestDoc
+
+// Option configures a Corpus at Open.
+type Option func(*Corpus)
+
+// WithCostModel selects the cost model queries are answered under
+// (default: unit costs). The model applies to every query; the corpus
+// lower bounds remain valid for any model because Definition 4 requires
+// all node costs ≥ 1.
+func WithCostModel(m cost.Model) Option {
+	return func(c *Corpus) { c.model = m }
+}
+
+// WithPQ sets the pq-gram shape used for profile building when creating a
+// new corpus (default p=2, q=3). Opening an existing corpus keeps the
+// shape recorded in its manifest; profiles of different shapes are not
+// comparable.
+func WithPQ(p, q int) Option {
+	return func(c *Corpus) { c.p, c.q = p, q }
+}
+
+// Corpus is an open corpus directory. It is safe for concurrent use:
+// queries may run while documents are ingested, and ingests are
+// serialized internally.
+type Corpus struct {
+	dir   string
+	model cost.Model
+	p, q  int
+
+	mu       sync.RWMutex
+	man      *docstore.Manifest
+	profiles map[int]*docProfile // by document id
+	gen      uint64              // bumped on every ingest
+	dict     *dict.Dict
+}
+
+// docProfile is the in-memory profile index entry of one document.
+type docProfile struct {
+	grams *pqgram.Profile
+	// labels maps interned label ids (in the corpus dictionary) to the
+	// label's occurrence count in the document.
+	labels map[int]int
+}
+
+// Open opens the corpus directory dir, creating it (and an empty
+// manifest) if it does not exist, and loads the profile index.
+func Open(dir string, opts ...Option) (*Corpus, error) {
+	c := &Corpus{
+		dir:      dir,
+		model:    cost.Unit{},
+		p:        2,
+		q:        3,
+		profiles: map[int]*docProfile{},
+		dict:     dict.New(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.p < 1 || c.q < 1 {
+		return nil, fmt.Errorf("corpus: pq-gram shape must be ≥ 1, got (%d,%d)", c.p, c.q)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, docsDir), 0o755); err != nil {
+		return nil, err
+	}
+	manPath := filepath.Join(dir, manifestFile)
+	man, err := docstore.ReadManifest(manPath)
+	switch {
+	case os.IsNotExist(err):
+		man = docstore.NewManifest(c.p, c.q)
+		if err := docstore.WriteManifest(manPath, man); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, err
+	default:
+		c.p, c.q = man.P, man.Q
+	}
+	c.man = man
+	for _, d := range man.Docs {
+		p, err := c.loadProfile(d)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: loading profile of %q: %w", d.Name, err)
+		}
+		c.profiles[d.ID] = p
+	}
+	return c, nil
+}
+
+// Dir returns the corpus directory.
+func (c *Corpus) Dir() string { return c.dir }
+
+// Generation returns a counter that increases with every successful
+// ingest. Result caches key on it to invalidate when the corpus changes.
+func (c *Corpus) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
+// Len returns the number of documents in the corpus.
+func (c *Corpus) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.man.Docs)
+}
+
+// Docs returns the manifest entries of all documents in ascending id
+// order.
+func (c *Corpus) Docs() []DocInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DocInfo, len(c.man.Docs))
+	copy(out, c.man.Docs)
+	return out
+}
+
+// ParseBracket parses a query in bracket notation against the corpus
+// dictionary.
+//
+// Note that query labels are interned into the corpus dictionary, whose
+// entries are never evicted: a long-lived corpus serving queries with
+// unboundedly many distinct labels grows its dictionary accordingly
+// (documents contribute only their own bounded label sets). A
+// per-request dictionary overlay is a planned refinement (see ROADMAP);
+// deployments exposed to adversarial query labels should recycle the
+// Corpus periodically or bound query sizes upstream.
+func (c *Corpus) ParseBracket(s string) (*tree.Tree, error) {
+	return tree.Parse(c.dict, s)
+}
+
+// ParseXML parses an XML query against the corpus dictionary. See
+// ParseBracket for the dictionary-growth caveat.
+func (c *Corpus) ParseXML(r io.Reader) (*tree.Tree, error) {
+	return xmlstream.ParseTree(c.dict, r)
+}
+
+// AddXML ingests an XML document under the given name: the document is
+// parsed, persisted as a postorder store, profiled, and added to the
+// manifest. Names must be unique within the corpus.
+func (c *Corpus) AddXML(name string, r io.Reader) (DocInfo, error) {
+	t, err := xmlstream.ParseTree(c.dict, r)
+	if err != nil {
+		return DocInfo{}, fmt.Errorf("corpus: parsing %q: %w", name, err)
+	}
+	return c.AddTree(name, t)
+}
+
+// ImportTree re-interns a tree parsed under a foreign dictionary into
+// the corpus dictionary, making it usable as a TopK query or AddTree
+// document. Trees already interned in the corpus dictionary are returned
+// unchanged.
+func (c *Corpus) ImportTree(t *tree.Tree) (*tree.Tree, error) {
+	if t == nil || t.Size() == 0 {
+		return nil, fmt.Errorf("corpus: tree must be non-empty")
+	}
+	if t.Dict() == c.dict {
+		return t, nil
+	}
+	items := make([]postorder.Item, t.Size())
+	for i := 0; i < t.Size(); i++ {
+		items[i] = postorder.Item{Label: c.dict.Intern(t.Label(i)), Size: t.SubtreeSize(i)}
+	}
+	imported, err := postorder.BuildTree(c.dict, postorder.NewSliceQueue(items))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: re-interning tree: %w", err)
+	}
+	return imported, nil
+}
+
+// AddTree ingests an already-materialized document tree. Trees parsed by
+// a different dictionary are re-interned into the corpus dictionary.
+func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
+	if name == "" {
+		return DocInfo{}, fmt.Errorf("corpus: document name must not be empty")
+	}
+	if t == nil || t.Size() == 0 {
+		return DocInfo{}, fmt.Errorf("corpus: document must be a non-empty tree")
+	}
+	var err error
+	if t, err = c.ImportTree(t); err != nil {
+		return DocInfo{}, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.man.Docs {
+		if d.Name == name {
+			return DocInfo{}, fmt.Errorf("corpus: document %q already exists", name)
+		}
+	}
+	id := c.man.NextID
+
+	grams, err := pqgram.New(t, c.p, c.q)
+	if err != nil {
+		return DocInfo{}, err
+	}
+	labels := make(map[int]int)
+	for i := 0; i < t.Size(); i++ {
+		labels[t.LabelID(i)]++
+	}
+
+	info := DocInfo{
+		ID:        id,
+		Name:      name,
+		Nodes:     t.Size(),
+		RootLabel: t.Label(t.Root()),
+		Store:     filepath.Join(docsDir, fmt.Sprintf("%d.store", id)),
+		Profile:   filepath.Join(docsDir, fmt.Sprintf("%d.profile", id)),
+	}
+	if err := c.writeFile(info.Store, func(w io.Writer) error {
+		return docstore.WriteItems(w, c.dict, postorder.Items(t))
+	}); err != nil {
+		return DocInfo{}, err
+	}
+	if err := c.writeFile(info.Profile, func(w io.Writer) error {
+		return c.writeProfile(w, grams, labels)
+	}); err != nil {
+		return DocInfo{}, err
+	}
+
+	man := *c.man
+	man.Docs = append(append([]DocInfo{}, c.man.Docs...), info)
+	man.NextID = id + 1
+	if err := docstore.WriteManifest(filepath.Join(c.dir, manifestFile), &man); err != nil {
+		return DocInfo{}, err
+	}
+	c.man = &man
+	c.profiles[id] = &docProfile{grams: grams, labels: labels}
+	c.gen++
+	return info, nil
+}
+
+// writeFile writes a corpus-relative file atomically (temp + rename).
+func (c *Corpus) writeFile(rel string, fill func(io.Writer) error) error {
+	path := filepath.Join(c.dir, rel)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := fill(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// writeProfile serializes a document's profile file: the pq-gram profile
+// followed by the label histogram.
+func (c *Corpus) writeProfile(w io.Writer, grams *pqgram.Profile, labels map[int]int) error {
+	if err := grams.Write(w); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	// Histogram entries in ascending label id order: ids are assigned in
+	// first-intern order, so files stay deterministic per ingest history.
+	ids := make([]int, 0, len(labels))
+	for id := range labels {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort: histograms are small
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	varint.Write(&buf, uint64(len(ids)))
+	for _, id := range ids {
+		label := c.dict.Label(id)
+		varint.Write(&buf, uint64(len(label)))
+		buf.WriteString(label)
+		varint.Write(&buf, uint64(labels[id]))
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// loadProfile reads a document's profile file into the in-memory index,
+// interning its labels into the corpus dictionary.
+func (c *Corpus) loadProfile(d DocInfo) (*docProfile, error) {
+	f, err := os.Open(filepath.Join(c.dir, d.Profile))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	grams, err := pqgram.ReadProfile(br)
+	if err != nil {
+		return nil, err
+	}
+	if grams.P() != c.p || grams.Q() != c.q {
+		return nil, fmt.Errorf("profile shape (%d,%d) does not match corpus (%d,%d)",
+			grams.P(), grams.Q(), c.p, c.q)
+	}
+	n, err := varint.Read(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading label histogram size: %w", err)
+	}
+	labels := make(map[int]int, min(n, 4096))
+	for i := uint64(0); i < n; i++ {
+		ln, err := varint.Read(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading histogram label %d: %w", i, err)
+		}
+		if ln > uint64(d.Nodes)*64+1024 {
+			// A label longer than the document could plausibly hold is
+			// corruption; refuse before allocating.
+			return nil, fmt.Errorf("histogram label %d claims %d bytes", i, ln)
+		}
+		buf := make([]byte, ln)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("reading histogram label %d: %w", i, err)
+		}
+		count, err := varint.Read(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading histogram count %d: %w", i, err)
+		}
+		if count < 1 || count > uint64(d.Nodes) {
+			return nil, fmt.Errorf("histogram label %q has count %d of %d nodes", buf, count, d.Nodes)
+		}
+		labels[c.dict.Intern(string(buf))] = int(count)
+	}
+	return &docProfile{grams: grams, labels: labels}, nil
+}

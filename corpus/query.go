@@ -1,0 +1,287 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tasm/internal/core"
+	"tasm/internal/docstore"
+	"tasm/internal/pqgram"
+	"tasm/internal/ranking"
+	"tasm/internal/tree"
+)
+
+// Match is one ranked subtree of a corpus query: the document it came
+// from, its 1-based postorder position within that document, its distance
+// to the query, its size, and (unless suppressed) the subtree itself.
+type Match struct {
+	Doc  DocInfo
+	Pos  int
+	Dist float64
+	Size int
+	Tree *tree.Tree
+}
+
+// Stats reports what a TopK run did, for observability and tests.
+type Stats struct {
+	// Scanned is the number of documents streamed through TASM-postorder.
+	Scanned int
+	// Skipped is the number of documents pruned by the label-histogram
+	// lower bound without being opened.
+	Skipped int
+}
+
+// QueryOption configures one TopK run.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	docs     []string
+	workers  int
+	noTrees  bool
+	noFilter bool
+	stats    *Stats
+}
+
+// WithDocs restricts the query to the named documents (default: all).
+func WithDocs(names ...string) QueryOption {
+	return func(q *queryConfig) { q.docs = names }
+}
+
+// WithWorkers fans the per-document distance work out to a worker pool:
+// n > 0 sets the pool size, n < 0 selects GOMAXPROCS, 0 (the default)
+// scans sequentially. Results are identical in all modes.
+func WithWorkers(n int) QueryOption {
+	return func(q *queryConfig) { q.workers = n }
+}
+
+// WithoutTrees suppresses materialization of the matched subtrees
+// (Match.Tree stays nil), saving allocation when only positions and
+// distances are needed.
+func WithoutTrees() QueryOption {
+	return func(q *queryConfig) { q.noTrees = true }
+}
+
+// WithoutFilter disables the profile index: documents are scanned
+// exhaustively in manifest order with no skipping. Results are identical
+// to the filtered scan; it exists as the equivalence oracle for tests and
+// for debugging filter behaviour.
+func WithoutFilter() QueryOption {
+	return func(q *queryConfig) { q.noFilter = true }
+}
+
+// WithStats records scan statistics into s.
+func WithStats(s *Stats) QueryOption {
+	return func(q *queryConfig) { q.stats = s }
+}
+
+// scanDoc is one document of a TopK run's scan plan.
+type scanDoc struct {
+	info   DocInfo
+	offset int     // global position offset: Σ nodes of manifest-earlier docs
+	bound  float64 // sound lower bound on any subtree distance in the doc
+	pqdist int     // pq-gram distance of the whole doc to the query (ordering)
+}
+
+// TopK returns the k subtrees closest to q across the corpus, ascending
+// by (distance, document manifest order, position in document). The query
+// must have been parsed through this corpus (ParseBracket/ParseXML).
+//
+// Documents are scanned most-promising-first (ascending pq-gram distance)
+// into one shared ranking, so the running k-th distance both tightens the
+// τ′ bound inside later documents and lets the label-histogram lower
+// bound skip documents outright. The result is deterministic and
+// identical to an exhaustive scan of every selected document.
+func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if q == nil || q.Size() == 0 {
+		return nil, fmt.Errorf("corpus: query must be a non-empty tree")
+	}
+	if q.Dict() != c.dict {
+		return nil, fmt.Errorf("corpus: query was not parsed through this corpus")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("corpus: k must be ≥ 1, got %d", k)
+	}
+
+	plan, err := c.plan(q, &cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	heap := ranking.New(k)
+	stats := Stats{}
+	coreOpts := core.Options{Model: c.model, NoTrees: cfg.noTrees}
+	for _, d := range plan {
+		if !cfg.noFilter {
+			if kth, full := heap.KthDist(); full && d.bound > kth {
+				stats.Skipped++
+				continue
+			}
+		}
+		if err := c.scanInto(q, d, heap, cfg.workers, coreOpts); err != nil {
+			return nil, err
+		}
+		stats.Scanned++
+	}
+	if cfg.stats != nil {
+		*cfg.stats = stats
+	}
+	return resolve(heap, plan), nil
+}
+
+// plan snapshots the documents a query will consider, computes their
+// offsets, bounds and ordering, and returns them in scan order.
+func (c *Corpus) plan(q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
+	qGrams, err := pqgram.New(q, c.p, c.q)
+	if err != nil {
+		return nil, err
+	}
+	qLabels := make(map[int]int, q.Size())
+	for i := 0; i < q.Size(); i++ {
+		qLabels[q.LabelID(i)]++
+	}
+
+	c.mu.RLock()
+	docs := make([]DocInfo, len(c.man.Docs))
+	copy(docs, c.man.Docs)
+	profiles := make(map[int]*docProfile, len(c.profiles))
+	for id, p := range c.profiles {
+		profiles[id] = p
+	}
+	c.mu.RUnlock()
+
+	var selected map[string]bool
+	if cfg.docs != nil {
+		selected = make(map[string]bool, len(cfg.docs))
+		for _, n := range cfg.docs {
+			selected[n] = false
+		}
+	}
+
+	// Offsets follow manifest order over ALL documents (not just the
+	// selection), so a subtree's global position — and with it the
+	// deterministic tie-break — is a property of the corpus, stable
+	// across selections and scan orders.
+	plan := make([]scanDoc, 0, len(docs))
+	offset := 0
+	for _, d := range docs {
+		include := true
+		if selected != nil {
+			if _, ok := selected[d.Name]; !ok {
+				include = false
+			} else {
+				selected[d.Name] = true
+			}
+		}
+		if include {
+			p := profiles[d.ID]
+			sd := scanDoc{info: d, offset: offset}
+			if !cfg.noFilter {
+				sd.bound = labelLowerBound(qLabels, p.labels)
+				if sd.pqdist, err = pqgram.Distance(qGrams, p.grams); err != nil {
+					return nil, err
+				}
+			}
+			plan = append(plan, sd)
+		}
+		offset += d.Nodes
+	}
+	for name, found := range selected {
+		if !found {
+			return nil, fmt.Errorf("corpus: unknown document %q", name)
+		}
+	}
+	if !cfg.noFilter {
+		sort.SliceStable(plan, func(i, j int) bool {
+			if plan[i].pqdist != plan[j].pqdist {
+				return plan[i].pqdist < plan[j].pqdist
+			}
+			if plan[i].bound != plan[j].bound {
+				return plan[i].bound < plan[j].bound
+			}
+			return plan[i].info.ID < plan[j].info.ID
+		})
+	}
+	return plan, nil
+}
+
+// labelLowerBound returns Σ_label max(0, count_Q − count_doc): the number
+// of query nodes that cannot be mapped to an equal-labelled document
+// node. In any edit mapping each such node is deleted (cost ≥ 1) or
+// renamed (cost ≥ 1), so every subtree of the document — whose labels are
+// a sub-bag of the document's — has distance at least this bound under
+// any Definition-4 cost model.
+func labelLowerBound(query map[int]int, doc map[int]int) float64 {
+	missing := 0
+	for id, cq := range query {
+		if cd := doc[id]; cq > cd {
+			missing += cq - cd
+		}
+	}
+	return float64(missing)
+}
+
+// ScanError wraps a failure to read or scan a persisted document during
+// TopK. It signals corpus-side state problems (missing or corrupt store
+// files) as opposed to bad query input, so servers can map it to an
+// internal error rather than blaming the caller.
+type ScanError struct {
+	// Doc is the name of the document whose scan failed.
+	Doc string
+	Err error
+}
+
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("corpus: scanning document %q: %v", e.Doc, e.Err)
+}
+
+func (e *ScanError) Unwrap() error { return e.Err }
+
+// scanInto streams one document from its store file into the shared
+// ranking.
+func (c *Corpus) scanInto(q *tree.Tree, d scanDoc, heap *ranking.Heap, workers int, opts core.Options) error {
+	f, err := os.Open(filepath.Join(c.dir, d.info.Store))
+	if err != nil {
+		return &ScanError{Doc: d.info.Name, Err: err}
+	}
+	defer f.Close()
+	r, err := docstore.NewReader(c.dict, f)
+	if err != nil {
+		return &ScanError{Doc: d.info.Name, Err: err}
+	}
+	if workers != 0 {
+		err = core.PostorderParallelInto(q, r, heap, d.offset, workers, opts)
+	} else {
+		err = core.PostorderStreamInto(q, r, heap, d.offset, opts)
+	}
+	if err != nil {
+		return &ScanError{Doc: d.info.Name, Err: err}
+	}
+	return nil
+}
+
+// resolve maps the shared ranking's global positions back to
+// (document, local position) matches, in final ranking order.
+func resolve(heap *ranking.Heap, plan []scanDoc) []Match {
+	byOffset := make([]scanDoc, len(plan))
+	copy(byOffset, plan)
+	sort.Slice(byOffset, func(i, j int) bool { return byOffset[i].offset < byOffset[j].offset })
+	out := make([]Match, 0, heap.Len())
+	for _, e := range heap.Sorted() {
+		i := sort.Search(len(byOffset), func(i int) bool { return byOffset[i].offset >= e.Pos }) - 1
+		d := byOffset[i]
+		out = append(out, Match{
+			Doc:  d.info,
+			Pos:  e.Pos - d.offset,
+			Dist: e.Dist,
+			Size: e.Size,
+			Tree: e.Tree,
+		})
+	}
+	return out
+}

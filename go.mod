@@ -1,0 +1,3 @@
+module tasm
+
+go 1.24

@@ -196,28 +196,62 @@ func PostorderStream(q *tree.Tree, docQ postorder.Queue, k int, opts Options) ([
 	if err := validate(q, k); err != nil {
 		return nil, err
 	}
+	r := ranking.New(k)
+	if err := postorderScan(q, docQ, r, 0, false, opts); err != nil {
+		return nil, err
+	}
+	return r.Sorted(), nil
+}
+
+// PostorderStreamInto runs TASM-postorder over one document stream,
+// pushing matches into an existing ranking r with every reported position
+// offset by posOffset. It is the corpus building block: scanning several
+// documents into one shared ranking lets the running k-th distance of
+// earlier documents tighten the τ′ bound of later ones (Lemma 4 applied
+// across document boundaries).
+//
+// Because documents may be scanned in any order (e.g. most-promising
+// first) while ties are broken by the offset position, the τ′ pruning is
+// applied with a strict margin: a subtree is skipped only when its
+// distance provably exceeds — not merely matches — the current k-th
+// distance. The final ranking is therefore identical to scanning every
+// document with an unbounded shared heap, regardless of scan order.
+func PostorderStreamInto(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset int, opts Options) error {
+	if err := validate(q, r.K()); err != nil {
+		return err
+	}
+	return postorderScan(q, docQ, r, posOffset, true, opts)
+}
+
+// postorderScan is the shared body of PostorderStream and
+// PostorderStreamInto: Algorithm 3 over one postorder queue, ranking into
+// r. strictTies selects the order-independent pruning margin documented on
+// PostorderStreamInto; the plain single-document form keeps the paper's
+// τ′ = min(τ, max(R)+|Q|) boundary, which is safe there because positions
+// grow monotonically within one scan.
+func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset int, strictTies bool, opts Options) error {
 	if docQ == nil {
-		return nil, fmt.Errorf("tasm: document queue must not be nil")
+		return fmt.Errorf("tasm: document queue must not be nil")
 	}
 	model := opts.model()
 	if err := cost.Validate(model, q); err != nil {
-		return nil, err
+		return err
 	}
 	m := q.Size()
+	k := r.K()
 	tau := Tau(model, q, k, opts.CT)
 
 	comp := ted.NewComputer(model, q)
 	if opts.Probe != nil {
 		comp.SetProbe(opts.Probe)
 	}
-	r := ranking.New(k)
 	buf := prb.New(docQ, tau)
 	d := q.Dict()
 
 	for {
 		ok, err := buf.Next()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
 			break
@@ -235,19 +269,28 @@ func PostorderStream(q *tree.Tree, docQ postorder.Queue, k int, opts Options) ([
 			// (Lemma 4): subtrees of size ≥ max(R)+|Q| cannot improve it.
 			compute := true
 			if r.Full() && !opts.DisableIntermediateBound {
-				tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
-				compute = float64(size) < tauP
+				if strictTies {
+					// Order-independent margin: skip only subtrees whose
+					// distance lower bound size−|Q| strictly exceeds the
+					// current k-th distance, so an exact tie that would win
+					// its position tie-break is never discarded. The static
+					// τ cut is already enforced by the ring buffer.
+					compute = float64(size) <= r.Max().Dist+float64(m)
+				} else {
+					tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
+					compute = float64(size) < tauP
+				}
 			}
 			if compute {
 				sub, err := buf.Subtree(d, lml, rt)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				// TASM-dynamic on the subtree: the last row of the tree
 				// distance matrix ranks every subtree of sub at once.
 				row := comp.SubtreeDistances(sub)
 				for j := 0; j < sub.Size(); j++ {
-					e := Match{Dist: row[j], Pos: lml + j, Size: sub.SubtreeSize(j)}
+					e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sub.SubtreeSize(j)}
 					if !opts.NoTrees && r.WouldRetain(e) {
 						e.Tree = sub.Subtree(j)
 					}
@@ -262,5 +305,5 @@ func PostorderStream(q *tree.Tree, docQ postorder.Queue, k int, opts Options) ([
 			}
 		}
 	}
-	return r.Sorted(), nil
+	return nil
 }

@@ -31,21 +31,45 @@ func PostorderParallel(q *tree.Tree, docQ postorder.Queue, k, workers int, opts 
 	if err := validate(q, k); err != nil {
 		return nil, err
 	}
+	r := ranking.New(k)
+	if err := parallelScan(q, docQ, r, 0, workers, false, opts); err != nil {
+		return nil, err
+	}
+	return r.Sorted(), nil
+}
+
+// PostorderParallelInto is PostorderStreamInto with the distance work
+// fanned out to a worker pool: one document stream is scanned into an
+// existing shared ranking r with positions offset by posOffset. Like
+// PostorderStreamInto it prunes with the order-independent strict margin,
+// which also makes the parallel form fully deterministic — every subtree
+// that could reach the final ranking (including exact ties) is evaluated
+// no matter how workers interleave.
+func PostorderParallelInto(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset, workers int, opts Options) error {
+	if err := validate(q, r.K()); err != nil {
+		return err
+	}
+	return parallelScan(q, docQ, r, posOffset, workers, true, opts)
+}
+
+// parallelScan is the shared body of PostorderParallel and
+// PostorderParallelInto; see postorderScan for the strictTies contract.
+func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset, workers int, strictTies bool, opts Options) error {
 	if docQ == nil {
-		return nil, fmt.Errorf("tasm: document queue must not be nil")
+		return fmt.Errorf("tasm: document queue must not be nil")
 	}
 	model := opts.model()
 	if err := cost.Validate(model, q); err != nil {
-		return nil, err
+		return err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := q.Size()
-	tau := Tau(model, q, k, opts.CT)
+	tau := Tau(model, q, r.K(), opts.CT)
 	d := q.Dict()
 
-	shared := &sharedRanking{heap: ranking.New(k)}
+	shared := &sharedRanking{heap: r}
 	work := make(chan workItem, 2*workers)
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -58,7 +82,7 @@ func PostorderParallel(q *tree.Tree, docQ postorder.Queue, k, workers int, opts 
 				comp.SetProbe(&lockedProbe{p: opts.Probe, mu: &shared.mu})
 			}
 			for item := range work {
-				if err := rankCandidate(comp, item, m, tau, shared, opts); err != nil {
+				if err := rankCandidate(comp, item, m, tau, posOffset, strictTies, shared, opts); err != nil {
 					errs <- err
 					return
 				}
@@ -102,12 +126,12 @@ scan:
 	wg.Wait()
 	close(errs)
 	if produceErr != nil {
-		return nil, produceErr
+		return produceErr
 	}
 	if err, ok := <-errs; ok {
-		return nil, err
+		return err
 	}
-	return shared.heap.Sorted(), nil
+	return nil
 }
 
 // workItem is one candidate subtree with its global position offset.
@@ -136,7 +160,7 @@ func (s *sharedRanking) bound() (float64, bool) {
 // rankCandidate runs the inner loop of Algorithm 3 on one materialized
 // candidate: reverse-postorder traversal with τ′ pruning, one
 // TASM-dynamic evaluation per retained subtree.
-func rankCandidate(comp *ted.Computer, item workItem, m, tau int, shared *sharedRanking, opts Options) error {
+func rankCandidate(comp *ted.Computer, item workItem, m, tau, posOffset int, strictTies bool, shared *sharedRanking, opts Options) error {
 	cand := item.cand
 	for rt := cand.Root(); rt >= 0; {
 		lml := cand.LML(rt)
@@ -144,8 +168,12 @@ func rankCandidate(comp *ted.Computer, item workItem, m, tau int, shared *shared
 		compute := true
 		if !opts.DisableIntermediateBound {
 			if maxDist, full := shared.bound(); full {
-				tauP := math.Min(float64(tau), maxDist+float64(m))
-				compute = float64(size) < tauP
+				if strictTies {
+					compute = float64(size) <= maxDist+float64(m)
+				} else {
+					tauP := math.Min(float64(tau), maxDist+float64(m))
+					compute = float64(size) < tauP
+				}
 			}
 		}
 		if compute {
@@ -153,7 +181,7 @@ func rankCandidate(comp *ted.Computer, item workItem, m, tau int, shared *shared
 			row := comp.SubtreeDistances(sub)
 			shared.mu.Lock()
 			for j := 0; j < sub.Size(); j++ {
-				e := Match{Dist: row[j], Pos: item.leafID + lml + j, Size: sub.SubtreeSize(j)}
+				e := Match{Dist: row[j], Pos: posOffset + item.leafID + lml + j, Size: sub.SubtreeSize(j)}
 				if !opts.NoTrees && shared.heap.WouldRetain(e) {
 					e.Tree = sub.Subtree(j)
 				}

@@ -8,15 +8,20 @@
 // document so that equal labels map to equal identifiers.
 package dict
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Dict interns strings as dense non-negative integer identifiers.
 // The zero value is not ready for use; call New.
 //
-// Dict is not safe for concurrent use. TASM runs are single-threaded per
-// (query, document) pair, mirroring the single-thread setup of the paper's
-// evaluation; callers that share a Dict across goroutines must synchronize.
+// Dict is safe for concurrent use: a corpus server interns labels from
+// concurrent ingests and query parses into one shared dictionary.
+// Identifiers are append-only — an id, once assigned, never changes — so
+// readers holding ids from earlier operations stay valid.
 type Dict struct {
+	mu     sync.RWMutex
 	ids    map[string]int
 	labels []string
 }
@@ -29,10 +34,18 @@ func New() *Dict {
 // Intern returns the identifier for label, assigning a fresh one on first
 // use. Identifiers are assigned densely starting at 0.
 func (d *Dict) Intern(label string) int {
+	d.mu.RLock()
+	id, ok := d.ids[label]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[label]; ok {
 		return id
 	}
-	id := len(d.labels)
+	id = len(d.labels)
 	d.ids[label] = id
 	d.labels = append(d.labels, label)
 	return id
@@ -41,6 +54,8 @@ func (d *Dict) Intern(label string) int {
 // Lookup returns the identifier for label and whether it is known.
 // Unlike Intern it never modifies the dictionary.
 func (d *Dict) Lookup(label string) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.ids[label]
 	return id, ok
 }
@@ -49,6 +64,8 @@ func (d *Dict) Lookup(label string) (int, bool) {
 // It panics if id was never assigned, which always indicates a programming
 // error (an identifier from a different dictionary).
 func (d *Dict) Label(id int) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 0 || id >= len(d.labels) {
 		panic(fmt.Sprintf("dict: unknown label id %d (dictionary has %d entries)", id, len(d.labels)))
 	}
@@ -56,4 +73,8 @@ func (d *Dict) Label(id int) string {
 }
 
 // Len returns the number of distinct labels interned so far.
-func (d *Dict) Len() int { return len(d.labels) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.labels)
+}

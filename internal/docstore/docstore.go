@@ -11,11 +11,39 @@
 // sequential read with no XML parsing cost, mirroring how a production
 // system would drive TASM from a database rather than a text file.
 //
-// Format (all integers unsigned LEB128 varints):
+// # Store format
+//
+// All integers are unsigned LEB128 varints:
 //
 //	magic "TASMPQ1\n"
 //	labelCount, then labelCount × (byteLen, bytes)   – the dictionary
 //	nodeCount, then nodeCount × (labelID, size)      – the postorder queue
+//
+// Readers treat every count in the stream as untrusted: allocations are
+// bounded by the bytes actually present, label ids must fall inside the
+// stored dictionary, and the i-th item's subtree size must lie in [1, i]
+// (a postorder invariant), so corrupt or truncated stores surface as
+// errors rather than panics or huge allocations. postorder.Validate
+// remains the full well-formedness check.
+//
+// # Corpus manifest
+//
+// A corpus directory groups many stores under a manifest, manifest.json:
+//
+//	{
+//	  "version": 1,
+//	  "p": 2, "q": 3,          // pq-gram shape shared by all profiles
+//	  "next_id": 3,            // ids are never reused
+//	  "docs": [
+//	    {"id": 1, "name": "dblp", "nodes": 123, "root_label": "dblp",
+//	     "store": "docs/1.store", "profile": "docs/1.profile"},
+//	    ...
+//	  ]
+//	}
+//
+// Store and profile paths are relative to the corpus directory. The
+// manifest is rewritten atomically (temp file + rename) on every ingest;
+// the profile file format is documented in the corpus package.
 package docstore
 
 import (
@@ -26,6 +54,7 @@ import (
 
 	"tasm/internal/dict"
 	"tasm/internal/postorder"
+	"tasm/internal/varint"
 )
 
 const magic = "TASMPQ1\n"
@@ -40,15 +69,15 @@ func WriteItems(w io.Writer, d *dict.Dict, items []postorder.Item) error {
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
-	writeUvarint(bw, uint64(d.Len()))
+	varint.Write(bw, uint64(d.Len()))
 	for i := 0; i < d.Len(); i++ {
 		l := d.Label(i)
-		writeUvarint(bw, uint64(len(l)))
+		varint.Write(bw, uint64(len(l)))
 		if _, err := bw.WriteString(l); err != nil {
 			return err
 		}
 	}
-	writeUvarint(bw, uint64(len(items)))
+	varint.Write(bw, uint64(len(items)))
 	for _, it := range items {
 		if it.Label < 0 || it.Label >= d.Len() {
 			return fmt.Errorf("docstore: item has label id %d outside dictionary of %d", it.Label, d.Len())
@@ -56,8 +85,8 @@ func WriteItems(w io.Writer, d *dict.Dict, items []postorder.Item) error {
 		if it.Size < 1 {
 			return fmt.Errorf("docstore: item has size %d, want ≥ 1", it.Size)
 		}
-		writeUvarint(bw, uint64(it.Label))
-		writeUvarint(bw, uint64(it.Size))
+		varint.Write(bw, uint64(it.Label))
+		varint.Write(bw, uint64(it.Size))
 	}
 	return bw.Flush()
 }
@@ -70,6 +99,7 @@ type Reader struct {
 	// remap translates stored label ids to ids in the caller's dict.
 	remap []int
 	n     uint64 // remaining items
+	pos   uint64 // 1-based postorder id of the item about to be read
 	err   error
 }
 
@@ -84,31 +114,50 @@ func NewReader(d *dict.Dict, r io.Reader) (*Reader, error) {
 	if string(head) != magic {
 		return nil, fmt.Errorf("docstore: bad magic %q", head)
 	}
-	labelCount, err := readUvarint(br)
+	labelCount, err := varint.Read(br)
 	if err != nil {
 		return nil, fmt.Errorf("docstore: reading label count: %w", err)
 	}
-	remap := make([]int, labelCount)
-	buf := make([]byte, 0, 64)
-	for i := range remap {
-		n, err := readUvarint(br)
+	// The counts in the header are untrusted: a corrupt or truncated
+	// stream may claim arbitrarily many labels or bytes. Allocations are
+	// therefore driven by the bytes actually present — capped initial
+	// capacities, chunked label reads — so garbage input produces an
+	// error, never an attacker-sized allocation.
+	remap := make([]int, 0, min(labelCount, 4096))
+	for i := uint64(0); i < labelCount; i++ {
+		n, err := varint.Read(br)
 		if err != nil {
 			return nil, fmt.Errorf("docstore: reading label %d: %w", i, err)
 		}
-		if uint64(cap(buf)) < n {
-			buf = make([]byte, n)
-		}
-		buf = buf[:n]
-		if _, err := io.ReadFull(br, buf); err != nil {
+		label, err := readLabel(br, n)
+		if err != nil {
 			return nil, fmt.Errorf("docstore: reading label %d: %w", i, err)
 		}
-		remap[i] = d.Intern(string(buf))
+		remap = append(remap, d.Intern(label))
 	}
-	count, err := readUvarint(br)
+	count, err := varint.Read(br)
 	if err != nil {
 		return nil, fmt.Errorf("docstore: reading node count: %w", err)
 	}
 	return &Reader{br: br, remap: remap, n: count}, nil
+}
+
+// readLabel reads an n-byte label in bounded chunks, so a header claiming
+// a huge length fails with an error once the stream runs dry instead of
+// allocating the claimed length up front.
+func readLabel(br *bufio.Reader, n uint64) (string, error) {
+	const chunkSize = 64 << 10
+	var sb []byte
+	for n > 0 {
+		c := min(n, chunkSize)
+		buf := make([]byte, c)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		sb = append(sb, buf...)
+		n -= c
+	}
+	return string(sb), nil
 }
 
 // Next implements postorder.Queue.
@@ -119,18 +168,27 @@ func (r *Reader) Next() (postorder.Item, error) {
 	if r.n == 0 {
 		return postorder.Item{}, io.EOF
 	}
-	label, err := readUvarint(r.br)
+	label, err := varint.Read(r.br)
 	if err != nil {
-		r.err = fmt.Errorf("docstore: reading item label: %w", err)
+		r.err = fmt.Errorf("docstore: reading item label: %w", noEOF(err))
 		return postorder.Item{}, r.err
 	}
-	size, err := readUvarint(r.br)
+	size, err := varint.Read(r.br)
 	if err != nil {
-		r.err = fmt.Errorf("docstore: reading item size: %w", err)
+		r.err = fmt.Errorf("docstore: reading item size: %w", noEOF(err))
 		return postorder.Item{}, r.err
 	}
 	if label >= uint64(len(r.remap)) {
 		r.err = fmt.Errorf("docstore: label id %d outside dictionary of %d", label, len(r.remap))
+		return postorder.Item{}, r.err
+	}
+	r.pos++
+	// In a postorder queue the i-th node's subtree holds at most the i
+	// nodes seen so far; a size outside [1, i] cannot come from a
+	// well-formed document, only from corruption, and rejecting it here
+	// keeps downstream int conversions and buffer sizing safe.
+	if size < 1 || size > r.pos {
+		r.err = fmt.Errorf("docstore: item %d has subtree size %d, want 1..%d", r.pos, size, r.pos)
 		return postorder.Item{}, r.err
 	}
 	r.n--
@@ -140,31 +198,14 @@ func (r *Reader) Next() (postorder.Item, error) {
 // Remaining returns the number of items left to read.
 func (r *Reader) Remaining() uint64 { return r.n }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
-	for v >= 0x80 {
-		w.WriteByte(byte(v) | 0x80)
-		v >>= 7
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF. Reader.Next runs
+// out of input only when the header promised more items than the stream
+// holds — and the error it returns must NOT satisfy errors.Is(err,
+// io.EOF), because queue consumers treat io.EOF as normal end-of-document
+// and would silently rank a truncated store as a shorter document.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
 	}
-	w.WriteByte(byte(v))
-}
-
-var errVarintTooLong = errors.New("varint exceeds 64 bits")
-
-func readUvarint(r *bufio.Reader) (uint64, error) {
-	var v uint64
-	var shift uint
-	for {
-		b, err := r.ReadByte()
-		if err != nil {
-			return 0, err
-		}
-		if shift >= 64 {
-			return 0, errVarintTooLong
-		}
-		v |= uint64(b&0x7f) << shift
-		if b < 0x80 {
-			return v, nil
-		}
-		shift += 7
-	}
+	return err
 }

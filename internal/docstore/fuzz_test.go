@@ -1,0 +1,114 @@
+package docstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+)
+
+// validStore returns the encoding of a small well-formed document, the
+// seed the fuzzer mutates.
+func validStore(t testing.TB) []byte {
+	t.Helper()
+	d := dict.New()
+	items := []postorder.Item{
+		{Label: d.Intern("b"), Size: 1},
+		{Label: d.Intern("c"), Size: 1},
+		{Label: d.Intern("a"), Size: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteItems(&buf, d, items); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReader feeds arbitrary bytes to NewReader/Next: whatever the input
+// — truncated streams, overlong varints, label ids past the dictionary,
+// impossible subtree sizes, counts claiming gigabytes — the reader must
+// return errors, never panic, and never allocate beyond the input size,
+// because corpus ingest exposes this path to uploaded files.
+func FuzzReader(f *testing.F) {
+	valid := validStore(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("TASMPQ1\n"))
+	// Huge label count with no data behind it.
+	f.Add(append([]byte("TASMPQ1\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	// Varint longer than 64 bits.
+	f.Add(append([]byte("TASMPQ1\n"), bytes.Repeat([]byte{0x80}, 11)...))
+	// Truncations of the valid store at every boundary.
+	for i := 0; i < len(valid); i++ {
+		f.Add(valid[:i])
+	}
+	// Valid store with the tail corrupted (label id / size garbage).
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] = 0x7f
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(dict.New(), bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF && r.Remaining() == 0 {
+					t.Fatalf("error after all %d items consumed: %v", r.Remaining(), err)
+				}
+				break
+			}
+		}
+	})
+}
+
+// TestTruncatedStoreIsNotEOF pins a subtle contract: a store whose
+// header promises more items than the stream holds must fail with an
+// error that does NOT satisfy errors.Is(err, io.EOF) — queue consumers
+// treat io.EOF as normal end-of-document and would otherwise silently
+// rank a truncated store as a shorter document.
+func TestTruncatedStoreIsNotEOF(t *testing.T) {
+	valid := validStore(t)
+	for cut := len(valid) - 1; cut > len(valid)-5; cut-- {
+		r, err := NewReader(dict.New(), bytes.NewReader(valid[:cut]))
+		if err != nil {
+			continue // truncated inside the header: open-time error is fine
+		}
+		var last error
+		for {
+			if _, err := r.Next(); err != nil {
+				last = err
+				break
+			}
+		}
+		if errors.Is(last, io.EOF) {
+			t.Fatalf("cut at %d: truncated store surfaced as io.EOF (%v); consumers would treat it as a complete document", cut, last)
+		}
+	}
+}
+
+// TestReaderRejectsCorruptSizes pins the hardening behaviour the fuzzer
+// relies on: impossible subtree sizes and out-of-range label ids are
+// errors, not panics.
+func TestReaderRejectsCorruptSizes(t *testing.T) {
+	d := dict.New()
+	var buf bytes.Buffer
+	buf.WriteString("TASMPQ1\n")
+	buf.WriteByte(1) // one label
+	buf.WriteByte(1) // of length 1
+	buf.WriteByte('x')
+	buf.WriteByte(2) // two items
+	buf.WriteByte(0) // item 1: label 0
+	buf.WriteByte(9) // size 9 > position 1: corrupt
+	r, err := NewReader(d, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("want error for subtree size exceeding position")
+	}
+}

@@ -161,10 +161,17 @@ func timeIt(f func() error) (time.Duration, error) {
 }
 
 // peakHeapDuring runs f while sampling the Go heap and returns the peak
-// HeapAlloc observed (bytes). This mirrors the paper's Figure 10, which
-// reports the memory used by the JVM during a run.
+// HeapAlloc observed above the post-GC baseline (bytes). This mirrors the
+// paper's Figure 10, which reports the memory used by the JVM during a
+// run. Subtracting the baseline makes the measurement about f alone:
+// whatever the harness retains from earlier runs (cached dictionaries,
+// previously selected queries) would otherwise dominate small
+// configurations and drown the algorithm's own footprint in noise.
 func peakHeapDuring(f func() error) (uint64, error) {
 	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	baseline := base.HeapAlloc
 	var peak uint64
 	read := func() {
 		var ms runtime.MemStats
@@ -194,7 +201,10 @@ func peakHeapDuring(f func() error) (uint64, error) {
 	close(stop)
 	wg.Wait()
 	read()
-	return peak, err
+	if peak < baseline {
+		return 0, err
+	}
+	return peak - baseline, err
 }
 
 // Hist is a histogram over subtree sizes, the measurement unit of

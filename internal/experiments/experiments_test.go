@@ -66,13 +66,23 @@ func TestFig9cDynInsensitiveToK(t *testing.T) {
 }
 
 func TestFig10MemoryShape(t *testing.T) {
-	pts, err := Fig10(io.Discard, Quick())
+	// Quick()'s largest scale is too small for a robust memory
+	// comparison: at scale 2 the dynamic distance matrix is of the same
+	// order as the streaming run's transient allocations, so the paper's
+	// dominance claim only reproduces within noise. Measure with a wider
+	// scale gap instead — the claim is about growth with document size,
+	// so the largest scale is where it must be unambiguous.
+	cfg := Quick()
+	cfg.Scales = []int{1, 4}
+	pts, err := Fig10(io.Discard, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// For each query size: postorder peak must not grow with document
 	// scale the way dynamic does. Assert the weaker, robust property that
-	// at the largest scale dyn uses more heap than pos.
+	// at the largest scale dyn uses decisively more heap than pos —
+	// requiring a 1.5× margin rather than a bare inequality so sampling
+	// jitter in either direction cannot flip the verdict.
 	byKey := map[string]uint64{}
 	maxScale := 0
 	for _, p := range pts {
@@ -89,8 +99,8 @@ func TestFig10MemoryShape(t *testing.T) {
 		if pos == 0 {
 			t.Fatalf("missing pos point for %+v", p)
 		}
-		if p.PeakBytes <= pos {
-			t.Errorf("scale %d |Q|=%d: dyn peak %d ≤ pos peak %d; dynamic must dominate at the largest scale",
+		if float64(p.PeakBytes) <= 1.5*float64(pos) {
+			t.Errorf("scale %d |Q|=%d: dyn peak %d not decisively above pos peak %d; dynamic must dominate at the largest scale",
 				p.Scale, p.QuerySize, p.PeakBytes, pos)
 		}
 	}

@@ -21,7 +21,9 @@ type Fig10Point struct {
 // document size. TASM-dynamic materializes the document and an O(m·n)
 // distance matrix, so its footprint grows linearly; TASM-postorder holds
 // only the prefix ring buffer and per-candidate state, so its footprint is
-// flat across document sizes.
+// flat across document sizes. Reported peaks are deltas above the
+// post-GC baseline of each measured region, so harness state retained
+// between runs does not pollute the series.
 //
 // To keep the measurement honest the postorder runs stream straight from
 // the generator: the document is never materialized in the measured

@@ -74,6 +74,17 @@ func (h *Heap) Max() Entry {
 	return h.es[0]
 }
 
+// KthDist returns the current k-th best distance (Max().Dist) and true
+// when the ranking is full, or (0, false) otherwise. It is the bound that
+// corpus scans consult to prune whole documents: a document whose best
+// achievable distance exceeds it cannot change the ranking.
+func (h *Heap) KthDist() (float64, bool) {
+	if len(h.es) < h.k {
+		return 0, false
+	}
+	return h.es[0].Dist, true
+}
+
 // Push offers an entry to the ranking. When the ranking is full, the entry
 // is retained only if it beats the current worst, which it then evicts.
 // Push reports whether the entry was retained.

@@ -31,12 +31,41 @@
 // All trees compared by one Matcher share its label dictionary; create one
 // Matcher per corpus (they are cheap) and parse both query and document
 // through it.
+//
+// # Multi-document corpora and the tasmd daemon
+//
+// To query across many documents, ingest them into a Corpus — a managed
+// directory of persisted postorder stores under a manifest, indexed by
+// pq-gram profiles built at ingest:
+//
+//	c, _ := tasm.OpenCorpus("./corpus")
+//	c.AddXML("dblp", dblpFile)
+//	c.AddXML("psd", psdFile)
+//	q, _ := c.ParseBracket("{article{author}{title}}")
+//	matches, _ := c.TopK(q, 5)
+//	for _, match := range matches {
+//	    fmt.Println(match.Doc.Name, match.Pos, match.Dist)
+//	}
+//
+// Corpus queries scan documents most-promising-first into one shared
+// ranking and skip documents whose profile lower bound proves they cannot
+// affect the top k; results are identical to an exhaustive scan. The same
+// engine serves over HTTP via the tasmd daemon:
+//
+//	tasmd -dir ./corpus -addr :8421
+//	curl -X POST localhost:8421/v1/docs -H 'Content-Type: application/json' \
+//	     -d '{"name":"dblp","xml":"<dblp>…</dblp>"}'
+//	curl -X POST localhost:8421/v1/topk \
+//	     -d '{"query":"{article{author}{title}}","k":5,"trees":true}'
+//
+// See the corpus package and cmd/tasmd for details.
 package tasm
 
 import (
 	"fmt"
 	"io"
 
+	"tasm/corpus"
 	"tasm/internal/core"
 	"tasm/internal/cost"
 	"tasm/internal/dict"
@@ -98,6 +127,20 @@ func CollectQueue(q Queue) ([]Item, error) { return postorder.Collect(q) }
 // Matcher.SetProbe. It is the hook behind the paper's Figure 11/12
 // measurements.
 type Probe = core.Probe
+
+// Corpus is a managed directory of persisted documents answering top-k
+// queries across all of them with pq-gram prefiltering; see package
+// corpus for the directory layout and filtering guarantees, and
+// cmd/tasmd for the HTTP daemon built on it.
+type Corpus = corpus.Corpus
+
+// CorpusMatch is one ranked subtree of a corpus-wide query.
+type CorpusMatch = corpus.Match
+
+// OpenCorpus opens (or creates) the corpus directory dir.
+func OpenCorpus(dir string, opts ...corpus.Option) (*Corpus, error) {
+	return corpus.Open(dir, opts...)
+}
 
 // UnitCost returns the unit cost model: every node costs 1 and the
 // distance is the minimum number of edit operations. This is the default.

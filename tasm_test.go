@@ -296,3 +296,48 @@ func TestTopKBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenCorpus exercises the corpus entry point re-exported at the
+// package root: ingest through the public API, query across documents,
+// and agree with a per-document Matcher scan.
+func TestOpenCorpus(t *testing.T) {
+	c, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddXML("dblp", strings.NewReader(sampleXML)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddXML("other", strings.NewReader(`<shop><item><price>3</price></item></shop>`)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.ParseBracket("{article{author}{title}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := c.TopK(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Fatalf("got %d matches, want 3", len(matches))
+	}
+
+	m := New()
+	mq, _ := m.ParseBracket("{article{author}{title}}")
+	doc, err := m.ParseXML(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := m.TopK(mq, doc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dblp document dominates the ranking for this query, so the
+	// corpus-wide distances must match the single-document run.
+	for i := range matches {
+		if matches[i].Dist != single[i].Dist || matches[i].Doc.Name != "dblp" {
+			t.Fatalf("rank %d: corpus %+v vs single %+v", i, matches[i], single[i])
+		}
+	}
+}
