@@ -1,0 +1,139 @@
+package main
+
+// Machine-readable benchmark mode (-json): a fixed micro-suite over the
+// core machinery, run through testing.Benchmark and emitted as JSON so
+// results can be checked in as BENCH_<PR>.json and compared across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"tasm/internal/core"
+	"tasm/internal/cost"
+	"tasm/internal/datagen"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// benchResult is one benchmark's measurement in the emitted JSON.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runJSON measures the suite and writes the JSON report to w. quick
+// shrinks the fixtures so a run takes seconds.
+func runJSON(w io.Writer, quick bool, seed int64) error {
+	scale := 2
+	if quick {
+		scale = 1
+	}
+	d := dict.New()
+	doc, err := datagen.XMark(scale).Tree(d, seed)
+	if err != nil {
+		return err
+	}
+	items := postorder.Items(doc)
+	query := func(size int) (*tree.Tree, error) {
+		return datagen.QueryFromDocument(doc, rand.New(rand.NewSource(int64(size))), size)
+	}
+	q8, err := query(8)
+	if err != nil {
+		return err
+	}
+	q16, err := query(16)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tedQ := tree.Random(d, rng, tree.RandomConfig{Nodes: 16, MaxFanout: 4, Labels: 8})
+	tedT := tree.Random(d, rng, tree.RandomConfig{Nodes: 64, MaxFanout: 4, Labels: 8})
+	batchQs := make([]*tree.Tree, 4)
+	for i := range batchQs {
+		if batchQs[i], err = query(8 + i); err != nil {
+			return err
+		}
+	}
+	opts := core.Options{NoTrees: true}
+
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ted-distance/Q=16/n=64", func(b *testing.B) {
+			comp := ted.NewComputer(cost.Unit{}, tedQ)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				comp.Distance(tedT)
+			}
+		}},
+		{fmt.Sprintf("fig9a-pos/scale=%d/Q=8/k=5", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PostorderStream(q8, postorder.NewSliceQueue(items), 5, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("fig9a-dyn/scale=%d/Q=8/k=5", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Dynamic(q8, doc, 5, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("parallel/scale=%d/Q=16/k=5/workers=4", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PostorderParallel(q16, postorder.NewSliceQueue(items), 5, 4, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{fmt.Sprintf("batch/scale=%d/queries=4/k=5", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PostorderBatch(batchQs, postorder.NewSliceQueue(items), 5, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	for _, s := range suite {
+		r := testing.Benchmark(s.fn)
+		report.Benchmarks = append(report.Benchmarks, benchResult{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -7,6 +7,15 @@
 //
 //	tasmbench -fig 9a           # runtime vs document size
 //	tasmbench -fig all -quick   # everything, small scales
+//	tasmbench -json             # machine-readable micro-suite
+//
+// -json runs a fixed micro-benchmark suite (TED distance, the Figure-9a
+// scan shapes, the parallel and batch scans) through testing.Benchmark
+// and prints one JSON document with ns/op, B/op and allocs/op per
+// benchmark. Redirect it into BENCH_<PR>.json to track the performance
+// trajectory across PRs:
+//
+//	tasmbench -json > BENCH_PR2.json
 package main
 
 import (
@@ -20,11 +29,19 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to reproduce: 9a, 9b, 9c, 10, 11, 12, ablation or all")
-		quick = flag.Bool("quick", false, "use small document scales (seconds instead of minutes)")
-		seed  = flag.Int64("seed", 1, "generation seed")
+		fig     = flag.String("fig", "all", "figure to reproduce: 9a, 9b, 9c, 10, 11, 12, ablation or all")
+		quick   = flag.Bool("quick", false, "use small document scales (seconds instead of minutes)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		jsonOut = flag.Bool("json", false, "run the micro-benchmark suite and emit JSON (ns/op, B/op, allocs/op)")
 	)
 	flag.Parse()
+	if *jsonOut {
+		if err := runJSON(os.Stdout, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tasmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cfg := experiments.Default()
 	if *quick {
 		cfg = experiments.Quick()

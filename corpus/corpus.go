@@ -150,7 +150,11 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 	for _, d := range man.Docs {
 		p, err := c.loadProfile(d)
 		if err != nil {
-			return nil, fmt.Errorf("corpus: loading profile of %q: %w", d.Name, err)
+			// A missing or corrupt profile degrades that one document to
+			// unfiltered scanning (query.go records it in Stats.Unprofiled)
+			// rather than making the whole corpus unopenable: profiles are
+			// a derived index, not source data.
+			continue
 		}
 		c.profiles[d.ID] = p
 	}

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -31,6 +32,12 @@ type Stats struct {
 	// Skipped is the number of documents pruned by the label-histogram
 	// lower bound without being opened.
 	Skipped int
+	// Unprofiled is the number of documents scanned without a usable
+	// profile (missing or corrupt profile file, e.g. after a partial
+	// ingest). Such documents are scanned unconditionally — their lower
+	// bound is 0 and they sort to the end of the scan order — so results
+	// stay exact while the degradation is visible to operators.
+	Unprofiled int
 }
 
 // QueryOption configures one TopK run.
@@ -78,10 +85,11 @@ func WithStats(s *Stats) QueryOption {
 
 // scanDoc is one document of a TopK run's scan plan.
 type scanDoc struct {
-	info   DocInfo
-	offset int     // global position offset: Σ nodes of manifest-earlier docs
-	bound  float64 // sound lower bound on any subtree distance in the doc
-	pqdist int     // pq-gram distance of the whole doc to the query (ordering)
+	info       DocInfo
+	offset     int     // global position offset: Σ nodes of manifest-earlier docs
+	bound      float64 // sound lower bound on any subtree distance in the doc
+	pqdist     int     // pq-gram distance of the whole doc to the query (ordering)
+	unprofiled bool    // no usable profile: bound 0, scanned last, never skipped
 }
 
 // TopK returns the k subtrees closest to q across the corpus, ascending
@@ -121,6 +129,9 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 			if kth, full := heap.KthDist(); full && d.bound > kth {
 				stats.Skipped++
 				continue
+			}
+			if d.unprofiled {
+				stats.Unprofiled++
 			}
 		}
 		if err := c.scanInto(q, d, heap, cfg.workers, coreOpts); err != nil {
@@ -179,12 +190,21 @@ func (c *Corpus) plan(q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
 			}
 		}
 		if include {
-			p := profiles[d.ID]
 			sd := scanDoc{info: d, offset: offset}
 			if !cfg.noFilter {
-				sd.bound = labelLowerBound(qLabels, p.labels)
-				if sd.pqdist, err = pqgram.Distance(qGrams, p.grams); err != nil {
-					return nil, err
+				if p := profiles[d.ID]; p != nil {
+					sd.bound = labelLowerBound(qLabels, p.labels)
+					if sd.pqdist, err = pqgram.Distance(qGrams, p.grams); err != nil {
+						return nil, err
+					}
+				} else {
+					// A document can lack its profile after a partial
+					// ingest or a corrupt profile file. Its bound stays 0
+					// (never skipped) and it sorts to the end of the scan
+					// order, so the query degrades to an unfiltered scan
+					// of this one document instead of crashing.
+					sd.unprofiled = true
+					sd.pqdist = math.MaxInt
 				}
 			}
 			plan = append(plan, sd)

@@ -1,0 +1,136 @@
+package corpus
+
+// White-box tests for the degraded path where a document has no usable
+// profile (partial ingest, deleted or corrupt profile file): queries must
+// fall back to scanning that document unfiltered — with exact results and
+// the degradation counted in Stats — instead of crashing.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// brokenProfileCorpus builds a three-document corpus, breaks the middle
+// document's profile file as directed, and reopens the corpus from disk.
+func brokenProfileCorpus(t *testing.T, breakProfile func(t *testing.T, path string)) *Corpus {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]string{
+		"a": "{r{x{p}{q}}{y}}",
+		"b": "{r{x{p}{q}}{z{p}}}",
+		"c": "{r{w}{y{q}}}",
+	}
+	var victim DocInfo
+	for _, name := range []string{"a", "b", "c"} {
+		tr, err := c.ParseBracket(docs[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.AddTree(name, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "b" {
+			victim = info
+		}
+	}
+	breakProfile(t, filepath.Join(dir, victim.Profile))
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after breaking a profile: %v (profiles are a derived index; the corpus must stay available)", err)
+	}
+	if _, ok := reopened.profiles[victim.ID]; ok {
+		t.Fatalf("profile of %q unexpectedly loaded after breaking it", victim.Name)
+	}
+	return reopened
+}
+
+func checkUnprofiledTopK(t *testing.T, c *Corpus) {
+	t.Helper()
+	q, err := c.ParseBracket("{x{p}{q}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := c.TopK(q, 4, WithStats(&stats))
+	if err != nil {
+		t.Fatalf("TopK with missing profile: %v", err)
+	}
+	if stats.Unprofiled != 1 {
+		t.Errorf("Stats.Unprofiled = %d, want 1", stats.Unprofiled)
+	}
+	if stats.Scanned != 3 {
+		t.Errorf("Stats.Scanned = %d, want 3 (an unprofiled document must never be skipped)", stats.Scanned)
+	}
+	want, err := c.TopK(q, 4, WithoutFilter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("filtered scan returned %d matches, unfiltered %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Doc.ID != w.Doc.ID || g.Pos != w.Pos || g.Dist != w.Dist || g.Size != w.Size {
+			t.Errorf("match %d: filtered %+v != unfiltered %+v", i, g, w)
+		}
+	}
+}
+
+func TestTopKMissingProfileFile(t *testing.T) {
+	c := brokenProfileCorpus(t, func(t *testing.T, path string) {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	})
+	checkUnprofiledTopK(t, c)
+}
+
+func TestTopKCorruptProfileFile(t *testing.T) {
+	c := brokenProfileCorpus(t, func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte("not a profile"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	checkUnprofiledTopK(t, c)
+}
+
+// TestPlanNilProfileDirect covers the in-memory variant: even when the
+// profile map entry vanishes while the corpus is open (the invariant a
+// partial ingest would break), plan must not dereference a nil profile.
+func TestPlanNilProfileDirect(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]string{"a": "{r{x}{y}}", "b": "{r{x{p}}}"} {
+		tr, err := c.ParseBracket(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddTree(name, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	delete(c.profiles, c.man.Docs[0].ID)
+	c.mu.Unlock()
+
+	q, err := c.ParseBracket("{x}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	if _, err := c.TopK(q, 2, WithStats(&stats)); err != nil {
+		t.Fatalf("TopK with nil profile entry: %v", err)
+	}
+	if stats.Unprofiled != 1 {
+		t.Errorf("Stats.Unprofiled = %d, want 1", stats.Unprofiled)
+	}
+}

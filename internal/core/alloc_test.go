@@ -1,0 +1,137 @@
+package core
+
+// Steady-state allocation regression tests for the flat-candidate-view
+// pipeline: a NoTrees TASM-postorder scan must perform zero heap
+// allocations per candidate. Two angles:
+//
+//   - The per-candidate unit of work (FillView + SubtreeDistancesView) is
+//     asserted to allocate exactly 0 with testing.AllocsPerRun once warm.
+//   - Whole scans over a small and a 10× larger document built from
+//     identical record subtrees must allocate the same total — every
+//     allocation belongs to setup, none to candidates.
+//
+// Under -race the workloads still run (for race coverage) but the exact
+// count assertions are skipped; see internal/race.
+
+import (
+	"testing"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/prb"
+	"tasm/internal/race"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// recordDoc builds a document of n identical 4-node record subtrees under
+// one root, as postorder items.
+func recordDoc(t testing.TB, d *dict.Dict, n int) []postorder.Item {
+	t.Helper()
+	root := tree.NewNode("root")
+	for i := 0; i < n; i++ {
+		root.AddChild(tree.NewNode("rec", tree.NewNode("a"), tree.NewNode("b"), tree.NewNode("c")))
+	}
+	return postorder.Items(tree.FromNode(d, root))
+}
+
+// scanAllocs returns the average total allocations of one NoTrees scan.
+func scanAllocs(t *testing.T, scan func() error) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(5, func() {
+		if err := scan(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPostorderStreamAllocsPerCandidateZero: total allocations of a
+// NoTrees PostorderStream scan must not depend on the number of
+// candidates, i.e. the per-candidate path allocates nothing.
+func TestPostorderStreamAllocsPerCandidateZero(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{rec{a}{b}}")
+	small := recordDoc(t, d, 60)
+	large := recordDoc(t, d, 600)
+	opts := Options{NoTrees: true, CT: 1}
+	run := func(items []postorder.Item) func() error {
+		return func() error {
+			_, err := PostorderStream(q, postorder.NewSliceQueue(items), 2, opts)
+			return err
+		}
+	}
+	if race.Enabled {
+		if err := run(large)(); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	a1 := scanAllocs(t, run(small))
+	a2 := scanAllocs(t, run(large))
+	if a1 != a2 {
+		t.Errorf("allocations grow with candidate count: %v for 60 records vs %v for 600; per-candidate path allocates", a1, a2)
+	}
+}
+
+// TestPostorderBatchAllocsPerCandidateZero is the batch-scan counterpart.
+func TestPostorderBatchAllocsPerCandidateZero(t *testing.T) {
+	d := dict.New()
+	queries := []*tree.Tree{
+		tree.MustParse(d, "{rec{a}{b}}"),
+		tree.MustParse(d, "{rec{a}{b}{c}}"),
+	}
+	small := recordDoc(t, d, 60)
+	large := recordDoc(t, d, 600)
+	opts := Options{NoTrees: true, CT: 1}
+	run := func(items []postorder.Item) func() error {
+		return func() error {
+			_, err := PostorderBatch(queries, postorder.NewSliceQueue(items), 2, opts)
+			return err
+		}
+	}
+	if race.Enabled {
+		if err := run(large)(); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	a1 := scanAllocs(t, run(small))
+	a2 := scanAllocs(t, run(large))
+	if a1 != a2 {
+		t.Errorf("batch allocations grow with candidate count: %v for 60 records vs %v for 600", a1, a2)
+	}
+}
+
+// TestCandidateUnitOfWorkZeroAlloc pins the exact contract: once view and
+// computer scratch are warm, filling a candidate view from the ring
+// buffer and evaluating it allocates exactly zero objects.
+func TestCandidateUnitOfWorkZeroAlloc(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{rec{a}{b}}")
+	items := recordDoc(t, d, 8)
+	buf := prb.New(postorder.NewSliceQueue(items), 8)
+	ok, err := buf.Next()
+	if err != nil || !ok {
+		t.Fatalf("no candidate: ok=%v err=%v", ok, err)
+	}
+	comp := ted.NewComputer(cost.Unit{}, q)
+	view := &tree.View{}
+	lml, rt := buf.Leaf(), buf.Root()
+	work := func() {
+		if err := buf.FillView(d, view, lml, rt); err != nil {
+			t.Fatal(err)
+		}
+		row := comp.SubtreeDistancesView(view)
+		if len(row) != rt-lml+1 {
+			t.Fatalf("row has %d entries, want %d", len(row), rt-lml+1)
+		}
+	}
+	work() // warm
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if allocs := testing.AllocsPerRun(100, work); allocs != 0 {
+		t.Errorf("candidate fill+evaluate allocates %.1f objects per candidate in steady state, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tasm/internal/cost"
+	"tasm/internal/dict"
 	"tasm/internal/postorder"
 	"tasm/internal/prb"
 	"tasm/internal/ranking"
@@ -71,6 +72,7 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 	}
 
 	buf := prb.New(docQ, tauMax)
+	view := &tree.View{} // flat subtree view, recycled across queries and candidates
 	for {
 		ok, err := buf.Next()
 		if err != nil {
@@ -79,16 +81,13 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 		if !ok {
 			break
 		}
-		cand, err := buf.Subtree(d, buf.Leaf(), buf.Root())
-		if err != nil {
-			return nil, err
-		}
 		if opts.Probe != nil {
-			opts.Probe.Candidate(cand.Size())
+			opts.Probe.Candidate(buf.Root() - buf.Leaf() + 1)
 		}
-		leafID := buf.Leaf()
 		for _, st := range states {
-			rankWithin(st.comp, st.q, cand, leafID, st.tau, st.rank, opts)
+			if err := rankWithin(st.comp, st.q, buf, d, view, st.tau, st.rank, opts); err != nil {
+				return nil, err
+			}
 		}
 	}
 	out := make([][]Match, len(states))
@@ -98,15 +97,17 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 	return out, nil
 }
 
-// rankWithin runs the inner loop of Algorithm 3 for one query over one
-// shared candidate: the maximal subtrees within the query's own τ are
-// located inside the candidate (they are the query's candidate set
-// restricted to this region) and each is ranked with one TASM-dynamic
-// evaluation, subject to the query's intermediate bound.
-func rankWithin(comp *ted.Computer, q, cand *tree.Tree, leafID, tau int, r *ranking.Heap, opts Options) {
+// rankWithin runs the inner loop of Algorithm 3 for one query over the
+// shared candidate pending in the ring buffer: the maximal subtrees
+// within the query's own τ are located inside the candidate (they are the
+// query's candidate set restricted to this region), copied into the
+// recycled flat view, and each ranked with one TASM-dynamic evaluation,
+// subject to the query's intermediate bound.
+func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, d *dict.Dict, view *tree.View, tau int, r *ranking.Heap, opts Options) error {
 	m := q.Size()
-	for rt := cand.Root(); rt >= 0; {
-		lml := cand.LML(rt)
+	leafID := buf.Leaf()
+	for rt := buf.Root(); rt >= leafID; {
+		lml := buf.LMLOf(rt)
 		size := rt - lml + 1
 		// Descend until the subtree fits this query's τ.
 		if size > tau {
@@ -119,12 +120,15 @@ func rankWithin(comp *ted.Computer, q, cand *tree.Tree, leafID, tau int, r *rank
 			compute = float64(size) < tauP
 		}
 		if compute {
-			sub := cand.Subtree(rt)
-			row := comp.SubtreeDistances(sub)
-			for j := 0; j < sub.Size(); j++ {
-				e := Match{Dist: row[j], Pos: leafID + lml + j, Size: sub.SubtreeSize(j)}
+			if err := buf.FillView(d, view, lml, rt); err != nil {
+				return err
+			}
+			row := comp.SubtreeDistancesView(view)
+			sizes := view.Sizes()
+			for j := 0; j < size; j++ {
+				e := Match{Dist: row[j], Pos: lml + j, Size: sizes[j]}
 				if !opts.NoTrees && r.WouldRetain(e) {
-					e.Tree = sub.Subtree(j)
+					e.Tree = view.Subtree(j)
 				}
 				r.Push(e)
 			}
@@ -136,4 +140,5 @@ func rankWithin(comp *ted.Computer, q, cand *tree.Tree, leafID, tau int, r *rank
 			rt--
 		}
 	}
+	return nil
 }

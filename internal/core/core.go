@@ -247,6 +247,7 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 	}
 	buf := prb.New(docQ, tau)
 	d := q.Dict()
+	view := &tree.View{} // flat candidate view, recycled across candidates
 
 	for {
 		ok, err := buf.Next()
@@ -282,17 +283,17 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 				}
 			}
 			if compute {
-				sub, err := buf.Subtree(d, lml, rt)
-				if err != nil {
+				if err := buf.FillView(d, view, lml, rt); err != nil {
 					return err
 				}
 				// TASM-dynamic on the subtree: the last row of the tree
-				// distance matrix ranks every subtree of sub at once.
-				row := comp.SubtreeDistances(sub)
-				for j := 0; j < sub.Size(); j++ {
-					e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sub.SubtreeSize(j)}
+				// distance matrix ranks every subtree of the view at once.
+				row := comp.SubtreeDistancesView(view)
+				sizes := view.Sizes()
+				for j := 0; j < size; j++ {
+					e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}
 					if !opts.NoTrees && r.WouldRetain(e) {
-						e.Tree = sub.Subtree(j)
+						e.Tree = view.Subtree(j)
 					}
 					r.Push(e)
 				}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/prb"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// decodeDoc turns arbitrary fuzz bytes into a postorder queue that always
+// encodes one well-formed tree: each byte's high nibble says how many
+// completed subtrees the new node adopts (clamped to what is available),
+// the low nibble picks its label, and a final root adopts any leftovers.
+func decodeDoc(d *dict.Dict, labelIDs []int, data []byte) []postorder.Item {
+	if len(data) > 256 {
+		data = data[:256]
+	}
+	var items []postorder.Item
+	var stack []int // sizes of completed subtrees
+	for _, b := range data {
+		take := int(b >> 4)
+		if take > len(stack) {
+			take = len(stack)
+		}
+		sz := 1
+		for i := 0; i < take; i++ {
+			sz += stack[len(stack)-1-i]
+		}
+		stack = stack[:len(stack)-take]
+		stack = append(stack, sz)
+		items = append(items, postorder.Item{Label: labelIDs[int(b&0xf)%len(labelIDs)], Size: sz})
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if len(stack) > 1 {
+		items = append(items, postorder.Item{Label: labelIDs[0], Size: len(items) + 1})
+	}
+	return items
+}
+
+// FuzzViewVsMaterialized checks, for every candidate the prefix ring
+// buffer emits, that evaluating the flat candidate view yields exactly
+// the same distance row as materializing the candidate with
+// tree.FromPostorder (via prb.Subtree) — and that the full TASM-postorder
+// ranking over the view path stays byte-identical to the TASM-dynamic
+// oracle.
+func FuzzViewVsMaterialized(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x10, 0x22, 0x31, 0x04}, uint8(1), uint8(6), uint8(2))
+	f.Add([]byte{0x05, 0x0a, 0x21, 0x00, 0x13}, uint8(2), uint8(3), uint8(1))
+	f.Add([]byte{0x01, 0x01, 0x01, 0x71, 0x01, 0x72}, uint8(3), uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, qSel, tau8, kRaw uint8) {
+		d := dict.New()
+		queries := []string{"{a}", "{a{b}}", "{a{b}{c}}", "{b{a{c}}{d}}"}
+		q := tree.MustParse(d, queries[int(qSel)%len(queries)])
+		labelIDs := make([]int, 8)
+		for i := range labelIDs {
+			labelIDs[i] = d.Intern(string(rune('a' + i)))
+		}
+		items := decodeDoc(d, labelIDs, data)
+		if items == nil {
+			t.Skip("empty document")
+		}
+		tau := int(tau8)%16 + 1
+
+		// Per-candidate: view row == materialized row, exactly.
+		buf := prb.New(postorder.NewSliceQueue(items), tau)
+		compView := ted.NewComputer(cost.Unit{}, q)
+		compTree := ted.NewComputer(cost.Unit{}, q)
+		view := &tree.View{}
+		for {
+			ok, err := buf.Next()
+			if err != nil {
+				t.Fatalf("ring buffer rejected a well-formed stream: %v", err)
+			}
+			if !ok {
+				break
+			}
+			lml, rt := buf.Leaf(), buf.Root()
+			if err := buf.FillView(d, view, lml, rt); err != nil {
+				t.Fatalf("FillView: %v", err)
+			}
+			sub, err := buf.Subtree(d, lml, rt)
+			if err != nil {
+				t.Fatalf("Subtree: %v", err)
+			}
+			rowView := compView.SubtreeDistancesView(view)
+			rowTree := compTree.SubtreeDistances(sub)
+			for j := range rowTree {
+				if rowView[j] != rowTree[j] {
+					t.Fatalf("candidate [%d,%d] row[%d]: view %g != materialized %g", lml, rt, j, rowView[j], rowTree[j])
+				}
+			}
+		}
+
+		// Whole pipeline: view-path TASM-postorder == TASM-dynamic oracle.
+		doc, err := postorder.BuildTree(d, postorder.NewSliceQueue(items))
+		if err != nil {
+			t.Fatalf("decodeDoc emitted an invalid stream: %v", err)
+		}
+		k := int(kRaw)%5 + 1
+		opts := Options{NoTrees: true}
+		pos, err := Postorder(q, doc, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := Dynamic(q, doc, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pos) != len(dyn) {
+			t.Fatalf("postorder returned %d matches, dynamic %d", len(pos), len(dyn))
+		}
+		// Distances must agree exactly; positions too, except for entries
+		// tying the k-th distance, where Definition 1 permits either
+		// representative (the single-document τ′ prune may discard an
+		// exact boundary tie — the repo's oracle tests compare distance
+		// multisets for the same reason).
+		kth := dyn[len(dyn)-1].Dist
+		for i := range pos {
+			if pos[i].Dist != dyn[i].Dist {
+				t.Fatalf("match %d: postorder dist %g != dynamic dist %g", i, pos[i].Dist, dyn[i].Dist)
+			}
+			if pos[i].Dist < kth && (pos[i].Pos != dyn[i].Pos || pos[i].Size != dyn[i].Size) {
+				t.Fatalf("match %d below the boundary: postorder %+v != dynamic %+v", i, pos[i], dyn[i])
+			}
+		}
+	})
+}

@@ -17,11 +17,12 @@ import (
 // PostorderParallel is TASM-postorder with the tree-edit-distance work
 // fanned out to a worker pool — an extension beyond the paper, whose
 // evaluation is explicitly single-threaded. The prefix ring buffer scan
-// stays sequential (it is a cheap streaming pass); candidate subtrees are
-// handed to workers, each owning its own distance computer, and all
-// workers share one ranking.
+// stays sequential (it is a cheap streaming pass); the producer applies
+// the τ′ intermediate bound, copies each retained subtree into a pooled
+// flat view, and hands it to a worker. Each worker owns its own distance
+// computer, and all workers share one ranking.
 //
-// The returned distances are identical to PostorderStream's: candidate
+// The returned distances are identical to PostorderStream's: subtree
 // evaluations are independent, and the intermediate bound τ′ only ever
 // discards subtrees that cannot beat the current k-th distance, so
 // processing order does not affect the final distance multiset (reported
@@ -52,8 +53,28 @@ func PostorderParallelInto(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, 
 	return parallelScan(q, docQ, r, posOffset, workers, true, opts)
 }
 
+// viewPool recycles flat candidate views between the producer (which
+// fills them from the ring buffer) and the workers (which return them
+// after evaluation), so a steady-state scan ships work without
+// per-subtree allocation.
+var viewPool = sync.Pool{New: func() any { return new(tree.View) }}
+
+// workItem is one retained subtree, copied out of the ring buffer into a
+// pooled flat view.
+type workItem struct {
+	view *tree.View
+	base int // global postorder position of the view's first node
+}
+
 // parallelScan is the shared body of PostorderParallel and
 // PostorderParallelInto; see postorderScan for the strictTies contract.
+//
+// Unlike postorderScan, the τ′ bound is applied by the producer before a
+// subtree is copied and shipped: a subtree that is already hopeless at
+// production time never costs a view fill or a channel transfer. The
+// bound consulted may lag behind pushes still in flight, but it only
+// ever tightens, so a stale read merely evaluates a subtree that a
+// fresher bound would have skipped — never the reverse.
 func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset, workers int, strictTies bool, opts Options) error {
 	if docQ == nil {
 		return fmt.Errorf("tasm: document queue must not be nil")
@@ -71,7 +92,6 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 
 	shared := &sharedRanking{heap: r}
 	work := make(chan workItem, 2*workers)
-	errs := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -82,17 +102,15 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 				comp.SetProbe(&lockedProbe{p: opts.Probe, mu: &shared.mu})
 			}
 			for item := range work {
-				if err := rankCandidate(comp, item, m, tau, posOffset, strictTies, shared, opts); err != nil {
-					errs <- err
-					return
-				}
+				evaluateView(comp, item, shared, opts)
+				viewPool.Put(item.view)
 			}
 		}()
 	}
 
-	// Producer: sequential prefix ring buffer scan, exactly as in the
-	// sequential algorithm; each candidate is materialized once and
-	// shipped to a worker.
+	// Producer: sequential prefix ring buffer scan with the reverse-
+	// postorder subtree traversal of Algorithm 3; each retained subtree is
+	// copied into a pooled view and shipped to a worker.
 	var produceErr error
 	buf := prb.New(docQ, tau)
 scan:
@@ -105,39 +123,47 @@ scan:
 		if !ok {
 			break
 		}
-		cand, err := buf.Subtree(d, buf.Leaf(), buf.Root())
-		if err != nil {
-			produceErr = err
-			break
-		}
+		rootID, leafID := buf.Root(), buf.Leaf()
 		if opts.Probe != nil {
 			shared.mu.Lock()
-			opts.Probe.Candidate(cand.Size())
+			opts.Probe.Candidate(rootID - leafID + 1)
 			shared.mu.Unlock()
 		}
-		select {
-		case work <- workItem{cand: cand, leafID: buf.Leaf()}:
-		case err := <-errs:
-			produceErr = err
-			break scan
+		for rt := rootID; rt >= leafID; {
+			lml := buf.LMLOf(rt)
+			size := rt - lml + 1
+			compute := true
+			if !opts.DisableIntermediateBound {
+				if maxDist, full := shared.bound(); full {
+					if strictTies {
+						compute = float64(size) <= maxDist+float64(m)
+					} else {
+						tauP := math.Min(float64(tau), maxDist+float64(m))
+						compute = float64(size) < tauP
+					}
+				}
+			}
+			if compute {
+				v := viewPool.Get().(*tree.View)
+				if err := buf.FillView(d, v, lml, rt); err != nil {
+					produceErr = err
+					break scan
+				}
+				work <- workItem{view: v, base: posOffset + lml}
+				rt = lml - 1
+			} else {
+				if opts.Probe != nil {
+					shared.mu.Lock()
+					opts.Probe.Pruned(size)
+					shared.mu.Unlock()
+				}
+				rt--
+			}
 		}
 	}
 	close(work)
 	wg.Wait()
-	close(errs)
-	if produceErr != nil {
-		return produceErr
-	}
-	if err, ok := <-errs; ok {
-		return err
-	}
-	return nil
-}
-
-// workItem is one candidate subtree with its global position offset.
-type workItem struct {
-	cand   *tree.Tree
-	leafID int // 1-based document postorder id of the candidate's first node
+	return produceErr
 }
 
 // sharedRanking guards the global top-k heap.
@@ -157,48 +183,21 @@ func (s *sharedRanking) bound() (float64, bool) {
 	return s.heap.Max().Dist, true
 }
 
-// rankCandidate runs the inner loop of Algorithm 3 on one materialized
-// candidate: reverse-postorder traversal with τ′ pruning, one
-// TASM-dynamic evaluation per retained subtree.
-func rankCandidate(comp *ted.Computer, item workItem, m, tau, posOffset int, strictTies bool, shared *sharedRanking, opts Options) error {
-	cand := item.cand
-	for rt := cand.Root(); rt >= 0; {
-		lml := cand.LML(rt)
-		size := rt - lml + 1
-		compute := true
-		if !opts.DisableIntermediateBound {
-			if maxDist, full := shared.bound(); full {
-				if strictTies {
-					compute = float64(size) <= maxDist+float64(m)
-				} else {
-					tauP := math.Min(float64(tau), maxDist+float64(m))
-					compute = float64(size) < tauP
-				}
-			}
+// evaluateView runs one TASM-dynamic evaluation on a shipped subtree view
+// and merges the resulting row into the shared ranking.
+func evaluateView(comp *ted.Computer, item workItem, shared *sharedRanking, opts Options) {
+	row := comp.SubtreeDistancesView(item.view)
+	sizes := item.view.Sizes()
+	n := item.view.Size()
+	shared.mu.Lock()
+	for j := 0; j < n; j++ {
+		e := Match{Dist: row[j], Pos: item.base + j, Size: sizes[j]}
+		if !opts.NoTrees && shared.heap.WouldRetain(e) {
+			e.Tree = item.view.Subtree(j)
 		}
-		if compute {
-			sub := cand.Subtree(rt)
-			row := comp.SubtreeDistances(sub)
-			shared.mu.Lock()
-			for j := 0; j < sub.Size(); j++ {
-				e := Match{Dist: row[j], Pos: posOffset + item.leafID + lml + j, Size: sub.SubtreeSize(j)}
-				if !opts.NoTrees && shared.heap.WouldRetain(e) {
-					e.Tree = sub.Subtree(j)
-				}
-				shared.heap.Push(e)
-			}
-			shared.mu.Unlock()
-			rt = lml - 1
-		} else {
-			if opts.Probe != nil {
-				shared.mu.Lock()
-				opts.Probe.Pruned(size)
-				shared.mu.Unlock()
-			}
-			rt--
-		}
+		shared.heap.Push(e)
 	}
-	return nil
+	shared.mu.Unlock()
 }
 
 // lockedProbe serializes probe callbacks from concurrent workers.

@@ -20,6 +20,14 @@
 // back at it — so a leaf's entry always names the root of the largest
 // valid subtree starting at that leaf, and "node is a leaf" is equivalent
 // to "entry ≥ own id".
+//
+// Consumers read the pending candidate either by materializing a
+// tree.Tree (Subtree — allocates per call) or, on the hot path, by
+// filling a reusable flat tree.View in place (FillView — allocation-free
+// once the view's buffers have grown to the candidate sizes of the scan).
+// The buffered nodes stay valid until the next call to Next, so one
+// candidate may be read any number of times (e.g. once per subtree the τ′
+// bound retains).
 package prb
 
 import (
@@ -185,6 +193,23 @@ func (r *Buffer) AppendItems(dst []postorder.Item, from, to int) []postorder.Ite
 		dst = append(dst, postorder.Item{Label: r.Label(id), Size: r.SizeOf(id)})
 	}
 	return dst
+}
+
+// FillView fills v with the buffered subtree spanning nodes from..to
+// (inclusive, 1-based document postorder ids), whose labels resolve in d.
+// It performs no allocation once v's buffers have grown to the largest
+// subtree filled, which makes it the hot-path alternative to Subtree.
+func (r *Buffer) FillView(d *dict.Dict, v *tree.View, from, to int) error {
+	n := to - from + 1
+	if n < 1 {
+		return fmt.Errorf("prb: empty subtree range [%d,%d]", from, to)
+	}
+	labels, sizes := v.Reset(d, n)
+	for id := from; id <= to; id++ {
+		labels[id-from] = r.Label(id)
+		sizes[id-from] = r.SizeOf(id)
+	}
+	return v.Build()
 }
 
 // Subtree materializes the buffered subtree spanning nodes from..to

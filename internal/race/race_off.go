@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in. Tests
+// that assert exact allocation counts still run their workloads under
+// `go test -race` (for race coverage) but skip the count assertions,
+// which instrumentation would distort.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

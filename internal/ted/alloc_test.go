@@ -1,0 +1,64 @@
+package ted
+
+import (
+	"math/rand"
+	"testing"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/race"
+	"tasm/internal/tree"
+)
+
+// viewOf fills a fresh View with the postorder arrays of t.
+func viewOf(t testing.TB, tr *tree.Tree) *tree.View {
+	t.Helper()
+	v := &tree.View{}
+	labels, sizes := v.Reset(tr.Dict(), tr.Size())
+	for i := 0; i < tr.Size(); i++ {
+		labels[i] = tr.LabelID(i)
+		sizes[i] = tr.SubtreeSize(i)
+	}
+	if err := v.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSubtreeDistancesViewZeroAlloc: the flat-view evaluation path must
+// not allocate once the computer's scratch has grown — this is the
+// steady-state unit of work of a TASM-postorder scan.
+func TestSubtreeDistancesViewZeroAlloc(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(7))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 12, MaxFanout: 3, Labels: 6})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 80, MaxFanout: 4, Labels: 6})
+	v := viewOf(t, doc)
+
+	fw, err := cost.NewFanoutWeighted(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]cost.Model{"unit": cost.Unit{}, "fanout": fw}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			c := NewComputer(m, q)
+			want := c.SubtreeDistances(doc) // warm scratch via the tree path
+			got := c.SubtreeDistancesView(v)
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("view row[%d] = %g, tree row = %g", j, got[j], want[j])
+				}
+			}
+			if race.Enabled {
+				t.Skip("allocation counts are not meaningful under -race")
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				c.SubtreeDistancesView(v)
+			})
+			if allocs != 0 {
+				t.Errorf("SubtreeDistancesView allocates %.1f objects per call in steady state, want 0", allocs)
+			}
+		})
+	}
+}

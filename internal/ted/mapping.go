@@ -52,12 +52,8 @@ type EditOp struct {
 // forest dynamic program along the optimal path, so it costs about as much
 // as a second distance computation.
 func (c *Computer) EditScript(t *tree.Tree) []EditOp {
-	c.run(t) // ensure td is filled for every subtree pair
-	tCost := make([]float64, t.Size())
-	for j := 0; j < t.Size(); j++ {
-		tCost[j] = c.model.Cost(t, j)
-	}
-	b := &backtracker{c: c, t: t, tCost: tCost}
+	c.run(t) // ensure td is filled for every subtree pair; tCost/tLab stay valid
+	b := &backtracker{c: c, t: t, tCost: c.tCost}
 	b.treePair(c.q.Root(), t.Root())
 	return b.ops
 }
@@ -65,7 +61,7 @@ func (c *Computer) EditScript(t *tree.Tree) []EditOp {
 type backtracker struct {
 	c     *Computer
 	t     *tree.Tree
-	tCost []float64
+	tCost []float64 // per-run document costs of c (read-only)
 	ops   []EditOp
 }
 
@@ -135,7 +131,7 @@ func (b *backtracker) forestMatrix(i, j int) [][]float64 {
 				ren := fd[dx-1][dy-1] + b.renameCost(x, y)
 				fd[dx][dy] = min3(del, ins, ren)
 			} else {
-				sub := fd[q.LML(x)-lq][t.LML(y)-lt] + b.c.td[x][y]
+				sub := fd[q.LML(x)-lq][t.LML(y)-lt] + b.c.tdAt(x, y)
 				fd[dx][dy] = min3(del, ins, sub)
 			}
 		}
@@ -144,7 +140,19 @@ func (b *backtracker) forestMatrix(i, j int) [][]float64 {
 }
 
 func (b *backtracker) renameCost(x, y int) float64 {
-	return b.c.renameCost(x, b.t, b.tCost, y)
+	return b.c.renameCost(x, y)
+}
+
+// allocMatrix allocates a rows×cols matrix backed by one contiguous slice.
+// Only the backtracker needs 2-D views; the Computer's own matrices are
+// flat (see zhangshasha.go).
+func allocMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
 }
 
 func close(a, b float64) bool { return math.Abs(a-b) <= eps }

@@ -11,10 +11,23 @@
 // pair of subtrees of the two inputs — the property TASM-dynamic exploits:
 // the last row of td holds the distance from the whole query to every
 // subtree of the document.
+//
+// # Flat candidate views
+//
+// The document side of a computation may be a materialized tree.Tree or a
+// flat tree.View (SubtreeDistancesView/DistanceView). The view path is
+// the hot path of TASM-postorder: a Computer keeps all of its working
+// state — the stride-indexed 1-D fd/td backings, the per-document cost
+// and label scratch — across calls, and a View caches its keyroots across
+// the evaluations of one fill, so evaluating a candidate in steady state
+// performs zero heap allocations. Document labels are resolved into the
+// query's dictionary once per run (an alias when the dictionaries are
+// shared), so the per-cell rename check is a single integer comparison.
 package ted
 
 import (
 	"tasm/internal/cost"
+	"tasm/internal/dict"
 	"tasm/internal/tree"
 )
 
@@ -31,20 +44,37 @@ type Probe interface {
 // Computer computes tree edit distances between a fixed query and
 // documents under a fixed cost model, reusing internal buffers across
 // calls. It is the unit of work TASM-postorder performs per candidate
-// subtree, so avoiding per-call allocation matters.
+// subtree, so avoiding per-call allocation matters: in steady state (all
+// scratch grown to the largest document seen) a call evaluating a
+// tree.View allocates nothing.
 //
 // A Computer is not safe for concurrent use.
 type Computer struct {
 	model cost.Model
+	unit  bool // model is cost.Unit: per-node costs are the constant 1
 	q     *tree.Tree
 	qKey  []int     // keyroots of the query
 	qCost []float64 // per-node costs of the query
+	qLab  []int     // interned labels of the query (alias of q's array)
+	qLML  []int     // leftmost leaves of the query (alias of q's array)
 
-	// fd is the forest-distance working matrix, (m+1)×(τmax+1) rows grown
-	// on demand; td is the permanent tree distance matrix for the current
-	// document.
-	fd [][]float64
-	td [][]float64
+	// fd is the forest-distance working matrix and td the permanent tree
+	// distance matrix for the current document, both flattened onto
+	// stride-indexed 1-D backings grown on demand: fd is (m+1)×fdCols
+	// with rows of fdCols entries, td is m×tdCols.
+	fd     []float64
+	fdCols int
+	td     []float64
+	tdCols int
+
+	// Per-run document-side scratch, valid for the last document until
+	// the next run: node costs, and labels resolved into the query's
+	// dictionary (-1 for labels the query's dictionary does not know).
+	// tLab aliases the document's label array when dictionaries are
+	// shared; tLabScratch is the owned buffer for the translating path.
+	tCost       []float64
+	tLab        []int
+	tLabScratch []int
 
 	probe Probe
 }
@@ -52,7 +82,8 @@ type Computer struct {
 // NewComputer returns a Computer for query q under model m.
 // The query must be non-empty.
 func NewComputer(m cost.Model, q *tree.Tree) *Computer {
-	c := &Computer{model: m, q: q, qKey: q.Keyroots()}
+	_, unit := m.(cost.Unit)
+	c := &Computer{model: m, unit: unit, q: q, qKey: q.Keyroots(), qLab: q.LabelIDs(), qLML: q.LMLs()}
 	c.qCost = make([]float64, q.Size())
 	for i := 0; i < q.Size(); i++ {
 		c.qCost[i] = m.Cost(q, i)
@@ -70,7 +101,13 @@ func (c *Computer) Query() *tree.Tree { return c.q }
 // Distance returns δ(Q, T), the tree edit distance between the query and t.
 func (c *Computer) Distance(t *tree.Tree) float64 {
 	c.run(t)
-	return c.td[c.q.Size()-1][t.Size()-1]
+	return c.tdAt(c.q.Size()-1, t.Size()-1)
+}
+
+// DistanceView returns δ(Q, V) for the tree held by a flat view.
+func (c *Computer) DistanceView(v *tree.View) float64 {
+	c.runView(v)
+	return c.tdAt(c.q.Size()-1, v.Size()-1)
 }
 
 // SubtreeDistances returns the distance from the whole query Q to every
@@ -80,40 +117,118 @@ func (c *Computer) Distance(t *tree.Tree) float64 {
 // on the computer.
 func (c *Computer) SubtreeDistances(t *tree.Tree) []float64 {
 	c.run(t)
-	return c.td[c.q.Size()-1]
+	return c.tdRow(c.q.Size()-1, t.Size())
+}
+
+// SubtreeDistancesView is SubtreeDistances for a flat view: the hot path
+// of TASM-postorder. In steady state it performs no heap allocation. The
+// returned slice is valid until the next call on the computer.
+func (c *Computer) SubtreeDistancesView(v *tree.View) []float64 {
+	c.runView(v)
+	return c.tdRow(c.q.Size()-1, v.Size())
 }
 
 // Matrix returns the full tree distance matrix td where td[i][j] is the
 // distance between the query subtree rooted at its postorder node i and
-// the document subtree rooted at postorder node j. The matrix is valid
-// until the next call on the computer.
+// the document subtree rooted at postorder node j. The row slices alias
+// the computer's backing and are valid until the next call on it.
 func (c *Computer) Matrix(t *tree.Tree) [][]float64 {
 	c.run(t)
-	return c.td[:c.q.Size()]
+	m, n := c.q.Size(), t.Size()
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = c.tdRow(i, n)
+	}
+	return out
+}
+
+// tdAt returns td[i][j] of the flattened tree distance matrix.
+func (c *Computer) tdAt(i, j int) float64 { return c.td[i*c.tdCols+j] }
+
+// tdRow returns the first n entries of row i of td.
+func (c *Computer) tdRow(i, n int) []float64 {
+	off := i * c.tdCols
+	return c.td[off : off+n]
 }
 
 // run executes the Zhang–Shasha dynamic program for (c.q, t).
 func (c *Computer) run(t *tree.Tree) {
-	m, n := c.q.Size(), t.Size()
-	c.ensure(m, n)
-	q := c.q
-
-	tCost := make([]float64, n)
-	for j := 0; j < n; j++ {
-		tCost[j] = c.model.Cost(t, j)
+	n := t.Size()
+	c.ensure(n)
+	c.fillCosts(t, n)
+	if t.Dict() == c.q.Dict() {
+		c.tLab = t.LabelIDs()
+	} else {
+		c.translate(t.Dict(), t.LabelIDs())
 	}
-	tKey := t.Keyroots()
-	if c.probe != nil {
-		for _, kt := range tKey {
-			c.probe.RelevantSubtree(t.SubtreeSize(kt))
+	tLML := t.LMLs()
+	c.runFlat(tLML, t.Keyroots())
+}
+
+// runView executes the dynamic program for (c.q, v). The view's cached
+// keyroots make repeated evaluations of one fill allocation-free.
+func (c *Computer) runView(v *tree.View) {
+	n := v.Size()
+	c.ensure(n)
+	if c.unit {
+		for j := 0; j < n; j++ {
+			c.tCost[j] = 1
+		}
+	} else {
+		c.fillCosts(v.Tree(), n)
+	}
+	if v.Dict() == c.q.Dict() {
+		c.tLab = v.LabelIDs()
+	} else {
+		c.translate(v.Dict(), v.LabelIDs())
+	}
+	c.runFlat(v.LMLs(), v.Keyroots())
+}
+
+// fillCosts fills c.tCost[0:n] with the model costs of t's nodes.
+func (c *Computer) fillCosts(t *tree.Tree, n int) {
+	if c.unit {
+		for j := 0; j < n; j++ {
+			c.tCost[j] = 1
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		c.tCost[j] = c.model.Cost(t, j)
+	}
+}
+
+// translate resolves document labels interned in d into the query's
+// dictionary, writing ids (or -1 for unknown labels) into the owned
+// scratch. Query label ids are ≥ 0, so -1 never compares equal.
+func (c *Computer) translate(d *dict.Dict, labels []int) {
+	qd := c.q.Dict()
+	s := c.tLabScratch
+	if cap(s) < len(labels) {
+		s = make([]int, len(labels))
+	}
+	s = s[:len(labels)]
+	for j, id := range labels {
+		if qid, ok := qd.Lookup(d.Label(id)); ok {
+			s[j] = qid
+		} else {
+			s[j] = -1
 		}
 	}
+	c.tLabScratch, c.tLab = s, s
+}
 
-	for _, kq := range c.qKey {
-		lq := q.LML(kq)
+// runFlat is the keyroot double loop over the prepared per-run state.
+func (c *Computer) runFlat(tLML, tKey []int) {
+	if c.probe != nil {
 		for _, kt := range tKey {
-			lt := t.LML(kt)
-			c.forestDist(t, tCost, kq, lq, kt, lt)
+			c.probe.RelevantSubtree(kt - tLML[kt] + 1)
+		}
+	}
+	for _, kq := range c.qKey {
+		lq := c.qLML[kq]
+		for _, kt := range tKey {
+			c.forestDist(tLML, kq, lq, kt, tLML[kt])
 		}
 	}
 }
@@ -121,89 +236,92 @@ func (c *Computer) run(t *tree.Tree) {
 // forestDist fills the forest distance matrix for the keyroot pair
 // (kq, kt) and records tree distances for prefix pairs that are whole
 // subtrees. Forest indices are 1-based offsets relative to the leftmost
-// leaves lq and lt; row/column 0 is the empty forest.
-func (c *Computer) forestDist(t *tree.Tree, tCost []float64, kq, lq, kt, lt int) {
-	q := c.q
-	fd, td := c.fd, c.td
+// leaves lq and lt; row/column 0 is the empty forest. All state is read
+// through local slice headers over the flat backings so the inner loop is
+// free of pointer chasing and per-cell dictionary checks.
+func (c *Computer) forestDist(tLML []int, kq, lq, kt, lt int) {
+	fd, fw := c.fd, c.fdCols
+	qCost, qLab, qLML := c.qCost, c.qLab, c.qLML
+	tCost, tLab := c.tCost, c.tLab
 
-	fd[0][0] = 0
+	fd[0] = 0
 	for i := lq; i <= kq; i++ {
-		fd[i-lq+1][0] = fd[i-lq][0] + c.qCost[i] // delete q_i
+		fd[(i-lq+1)*fw] = fd[(i-lq)*fw] + qCost[i] // delete q_i
 	}
 	for j := lt; j <= kt; j++ {
-		fd[0][j-lt+1] = fd[0][j-lt] + tCost[j] // insert t_j
+		fd[j-lt+1] = fd[j-lt] + tCost[j] // insert t_j
 	}
 	for i := lq; i <= kq; i++ {
 		di := i - lq + 1
-		qlmlIsLq := q.LML(i) == lq
+		row := fd[di*fw : di*fw+kt-lt+2]
+		prev := fd[(di-1)*fw : (di-1)*fw+kt-lt+2]
+		qc, ql := qCost[i], qLab[i]
+		qlmlIsLq := qLML[i] == lq
+		qsubRow := fd[(qLML[i]-lq)*fw:]
+		tdRow := c.td[i*c.tdCols:]
 		for j := lt; j <= kt; j++ {
 			dj := j - lt + 1
-			del := fd[di-1][dj] + c.qCost[i]
-			ins := fd[di][dj-1] + tCost[j]
-			if qlmlIsLq && t.LML(j) == lt {
+			del := prev[dj] + qc
+			ins := row[dj-1] + tCost[j]
+			if qlmlIsLq && tLML[j] == lt {
 				// Both prefixes are whole subtrees: the third option is a
-				// rename (or match) of the two roots.
-				ren := fd[di-1][dj-1] + c.renameCost(i, t, tCost, j)
+				// rename (or match) of the two roots. Labels were resolved
+				// into one dictionary per run, so this is an id compare.
+				ren := prev[dj-1]
+				if ql != tLab[j] {
+					ren += (qc + tCost[j]) / 2
+				}
 				d := min3(del, ins, ren)
-				fd[di][dj] = d
-				td[i][j] = d
+				row[dj] = d
+				tdRow[j] = d
 			} else {
 				// At least one prefix is a proper forest: the third option
 				// aligns the two rightmost subtrees using the already
 				// computed tree distance.
-				sub := fd[q.LML(i)-lq][t.LML(j)-lt] + td[i][j]
-				fd[di][dj] = min3(del, ins, sub)
+				sub := qsubRow[tLML[j]-lt] + tdRow[j]
+				row[dj] = min3(del, ins, sub)
 			}
 		}
 	}
 }
 
-// renameCost returns γ(q_i, t_j) for two non-empty nodes (Definition 4):
-// 0 on equal labels, the mean node cost otherwise.
-func (c *Computer) renameCost(i int, t *tree.Tree, tCost []float64, j int) float64 {
-	if c.q.LabelID(i) == t.LabelID(j) && c.q.Dict() == t.Dict() {
+// renameCost returns γ(q_i, t_j) for two non-empty nodes (Definition 4)
+// using the per-run resolved labels and costs: 0 on equal labels, the
+// mean node cost otherwise. Valid after run/runView for the same
+// document.
+func (c *Computer) renameCost(i, j int) float64 {
+	if c.qLab[i] == c.tLab[j] {
 		return 0
 	}
-	if c.q.Dict() != t.Dict() && c.q.Label(i) == t.Label(j) {
-		return 0
-	}
-	return (c.qCost[i] + tCost[j]) / 2
+	return (c.qCost[i] + c.tCost[j]) / 2
 }
 
-// ensure grows the working matrices to at least (m+1)×(n+1) / m×n.
-func (c *Computer) ensure(m, n int) {
-	if len(c.fd) < m+1 || len(c.fd) > 0 && len(c.fd[0]) < n+1 {
-		rows := m + 1
-		cols := n + 1
-		if len(c.fd) > rows {
-			rows = len(c.fd)
+// ensure grows the working state for a document of n nodes: fd to
+// (m+1)×(n+1), td to m×n, and the per-document scratch to n. Growth is
+// geometric so a scan whose candidate sizes creep upward reallocates
+// O(log τ) times, not O(candidates).
+func (c *Computer) ensure(n int) {
+	m := c.q.Size()
+	if c.fdCols < n+1 {
+		cols := 2 * c.fdCols
+		if cols < n+1 {
+			cols = n + 1
 		}
-		if len(c.fd) > 0 && len(c.fd[0]) > cols {
-			cols = len(c.fd[0])
-		}
-		c.fd = allocMatrix(rows, cols)
+		c.fdCols = cols
+		c.fd = make([]float64, (m+1)*cols)
 	}
-	if len(c.td) < m || len(c.td) > 0 && len(c.td[0]) < n {
-		rows := m
-		cols := n
-		if len(c.td) > rows {
-			rows = len(c.td)
+	if c.tdCols < n {
+		cols := 2 * c.tdCols
+		if cols < n {
+			cols = n
 		}
-		if len(c.td) > 0 && len(c.td[0]) > cols {
-			cols = len(c.td[0])
-		}
-		c.td = allocMatrix(rows, cols)
+		c.tdCols = cols
+		c.td = make([]float64, m*cols)
 	}
-}
-
-// allocMatrix allocates a rows×cols matrix backed by one contiguous slice.
-func allocMatrix(rows, cols int) [][]float64 {
-	backing := make([]float64, rows*cols)
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i], backing = backing[:cols:cols], backing[cols:]
+	if cap(c.tCost) < n {
+		c.tCost = make([]float64, c.fdCols)
 	}
-	return m
+	c.tCost = c.tCost[:n]
 }
 
 func min3(a, b, c float64) float64 {

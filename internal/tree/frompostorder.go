@@ -9,9 +9,9 @@ import (
 // FromPostorder builds a tree directly from parallel postorder arrays of
 // interned labels and subtree sizes (the contents of a postorder queue,
 // Definition 2). It validates that the arrays encode a single well-formed
-// tree and runs in O(n) with no pointer-form intermediate, which makes it
-// the constructor of choice for materializing candidate subtrees out of
-// the prefix ring buffer.
+// tree and runs in O(n) with no pointer-form intermediate. The validation
+// and derivation are shared with the flat candidate views (View.Build),
+// so the materialized and view paths accept exactly the same inputs.
 func FromPostorder(d *dict.Dict, labels, sizes []int) (*Tree, error) {
 	n := len(labels)
 	if n == 0 {
@@ -20,51 +20,21 @@ func FromPostorder(d *dict.Dict, labels, sizes []int) (*Tree, error) {
 	if len(sizes) != n {
 		return nil, fmt.Errorf("tree: %d labels but %d sizes", n, len(sizes))
 	}
-	t := &Tree{
+	// Fill a throwaway View and steal its freshly allocated buffers: the
+	// View is local, so no aliasing escapes.
+	var v View
+	l, s := v.Reset(d, n)
+	copy(l, labels)
+	copy(s, sizes)
+	if err := v.Build(); err != nil {
+		return nil, err
+	}
+	return &Tree{
 		dict:   d,
-		labels: make([]int, n),
-		sizes:  make([]int, n),
-		lml:    make([]int, n),
-		parent: make([]int, n),
-		nchild: make([]int, n),
-	}
-	copy(t.labels, labels)
-	copy(t.sizes, sizes)
-
-	// stack holds roots of completed subtrees awaiting a parent,
-	// in increasing postorder.
-	stack := make([]int, 0, 32)
-	for i := 0; i < n; i++ {
-		sz := sizes[i]
-		if sz < 1 || sz > i+1 {
-			return nil, fmt.Errorf("tree: node %d has invalid subtree size %d", i, sz)
-		}
-		lml := i - sz + 1
-		t.lml[i] = lml
-		t.parent[i] = -1
-		// Adopt completed subtrees inside [lml, i-1]; they must tile the
-		// interval exactly from the right.
-		cover := i - 1
-		for len(stack) > 0 && stack[len(stack)-1] >= lml {
-			top := stack[len(stack)-1]
-			if top != cover {
-				return nil, fmt.Errorf("tree: node %d (size %d) leaves a gap before descendant %d", i, sz, top)
-			}
-			stack = stack[:len(stack)-1]
-			t.parent[top] = i
-			t.nchild[i]++
-			cover = t.lml[top] - 1
-		}
-		if cover != lml-1 {
-			return nil, fmt.Errorf("tree: node %d (size %d) does not cover nodes down to %d", i, sz, lml)
-		}
-		stack = append(stack, i)
-	}
-	if len(stack) != 1 {
-		return nil, fmt.Errorf("tree: postorder sequence encodes %d trees, want exactly 1", len(stack))
-	}
-	// Children were attached right-to-left; nchild is correct but the
-	// popping order above recorded parents only, so child order needs no
-	// fix-up (order is implied by postorder positions).
-	return t, nil
+		labels: v.labels,
+		sizes:  v.sizes,
+		lml:    v.lml,
+		parent: v.parent,
+		nchild: v.nchild,
+	}, nil
 }

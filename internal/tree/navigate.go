@@ -4,6 +4,49 @@ package tree
 // needed by the TASM algorithms themselves (which work on the parallel
 // arrays directly), but downstream users of matched subtrees want
 // conventional traversal: children, siblings, paths and visits.
+//
+// Children, Child and NextSibling run on a first-child/next-sibling index
+// built lazily on first use (one O(n) pass), so repeated navigation is
+// O(fanout) per call rather than O(subtree size) — a loop over the
+// children of a wide node is linear, not quadratic.
+
+// navIndex is the lazily built first-child/next-sibling index.
+type navIndex struct {
+	firstChild []int // leftmost child of i, -1 for a leaf
+	nextSib    []int // next sibling to the right of i, -1 if none
+}
+
+// navIdx returns the navigation index, building it on first use. The
+// build is idempotent; concurrent first calls may each build one, with
+// one winning the publish.
+func (t *Tree) navIdx() *navIndex {
+	if idx := t.nav.Load(); idx != nil {
+		return idx
+	}
+	n := len(t.labels)
+	idx := &navIndex{firstChild: make([]int, n), nextSib: make([]int, n)}
+	last := make([]int, n) // rightmost child of i seen so far
+	for i := 0; i < n; i++ {
+		idx.firstChild[i], idx.nextSib[i], last[i] = -1, -1, -1
+	}
+	// Children of any node appear in increasing postorder, which is their
+	// left-to-right sibling order; one forward pass links each node onto
+	// its parent's child chain.
+	for i := 0; i < n; i++ {
+		p := t.parent[i]
+		if p < 0 {
+			continue
+		}
+		if last[p] == -1 {
+			idx.firstChild[p] = i
+		} else {
+			idx.nextSib[last[p]] = i
+		}
+		last[p] = i
+	}
+	t.nav.CompareAndSwap(nil, idx)
+	return t.nav.Load()
+}
 
 // Children returns the postorder indices of node i's children in
 // left-to-right sibling order.
@@ -12,11 +55,10 @@ func (t *Tree) Children(i int) []int {
 	if t.nchild[i] == 0 {
 		return nil
 	}
+	idx := t.navIdx()
 	out := make([]int, 0, t.nchild[i])
-	for c := t.lml[i]; c < i; c++ {
-		if t.parent[c] == i {
-			out = append(out, c)
-		}
+	for c := idx.firstChild[i]; c != -1; c = idx.nextSib[c] {
+		out = append(out, c)
 	}
 	return out
 }
@@ -28,34 +70,19 @@ func (t *Tree) Child(i, n int) int {
 	if n < 0 || n >= t.nchild[i] {
 		return -1
 	}
-	seen := 0
-	for c := t.lml[i]; c < i; c++ {
-		if t.parent[c] == i {
-			if seen == n {
-				return c
-			}
-			seen++
-		}
+	idx := t.navIdx()
+	c := idx.firstChild[i]
+	for ; n > 0; n-- {
+		c = idx.nextSib[c]
 	}
-	return -1
+	return c
 }
 
 // NextSibling returns the postorder index of the sibling immediately to
 // the right of node i, or -1 if i is the rightmost child or the root.
 func (t *Tree) NextSibling(i int) int {
 	t.check(i)
-	p := t.parent[i]
-	if p == -1 {
-		return -1
-	}
-	// The next sibling's subtree starts right after i; its root is the
-	// first node > i whose parent is p.
-	for c := i + 1; c < p; c++ {
-		if t.parent[c] == p {
-			return c
-		}
-	}
-	return -1
+	return t.navIdx().nextSib[i]
 }
 
 // Depth returns the number of edges from the root to node i (0 for the

@@ -3,6 +3,7 @@ package tree
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tasm/internal/dict"
 )
@@ -23,6 +24,13 @@ type Tree struct {
 	lml    []int // leftmost leaf (smallest postorder descendant) of i
 	parent []int // parent index of i, -1 for the root
 	nchild []int // fanout of i
+
+	// nav is the lazily built first-child/next-sibling index behind the
+	// navigation helpers (navigate.go), and kr the lazily computed
+	// keyroots. Atomic so concurrent readers may trigger the build
+	// safely; Trees must never be copied by value.
+	nav atomic.Pointer[navIndex]
+	kr  atomic.Pointer[[]int]
 }
 
 // Dict returns the label dictionary the tree's labels are interned in.
@@ -49,6 +57,16 @@ func (t *Tree) LML(i int) int { t.check(i); return t.lml[i] }
 
 // Parent returns the parent index of node i, or -1 for the root.
 func (t *Tree) Parent(i int) int { t.check(i); return t.parent[i] }
+
+// LabelIDs returns the interned labels of all nodes in postorder. The
+// slice aliases the tree's backing array and must be treated as
+// read-only; it exists so hot loops (the Zhang–Shasha inner DP) can avoid
+// per-node method calls.
+func (t *Tree) LabelIDs() []int { return t.labels }
+
+// LMLs returns the leftmost-leaf indices of all nodes in postorder.
+// Read-only alias; see LabelIDs.
+func (t *Tree) LMLs() []int { return t.lml }
 
 // Fanout returns the number of children of node i.
 func (t *Tree) Fanout(i int) int { t.check(i); return t.nchild[i] }
@@ -114,7 +132,13 @@ func (t *Tree) Subtree(i int) *Tree {
 // higher node, i.e. k is a keyroot iff no node j > k has lml(j) == lml(k).
 // These are exactly the roots of the paper's relevant subtrees
 // (Definition 8). The root is always a keyroot.
+//
+// The result is computed on first use, cached for the tree's lifetime,
+// and shared between callers: treat it as read-only.
 func (t *Tree) Keyroots() []int {
+	if p := t.kr.Load(); p != nil {
+		return *p
+	}
 	// The keyroot for a given leftmost leaf is the largest node with that
 	// leftmost leaf; record the maximum per lml value (postorder scan:
 	// later nodes overwrite earlier ones).
@@ -135,7 +159,8 @@ func (t *Tree) Keyroots() []int {
 	// kr is ordered by leftmost leaf; Zhang–Shasha needs increasing
 	// postorder order so that referenced subtree distances are available.
 	sort.Ints(kr)
-	return kr
+	t.kr.CompareAndSwap(nil, &kr)
+	return *t.kr.Load()
 }
 
 // Equal reports whether two trees have identical structure and labels.
