@@ -9,9 +9,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 
+	"tasm/corpus"
 	"tasm/internal/core"
 	"tasm/internal/cost"
 	"tasm/internal/datagen"
@@ -19,7 +22,53 @@ import (
 	"tasm/internal/postorder"
 	"tasm/internal/ted"
 	"tasm/internal/tree"
+	"tasm/internal/xmlstream"
 )
+
+// pruneConfig selects which gates of the candidate pruning pipeline the
+// suite runs with. The -prune flag parses into one: "on" enables every
+// gate (the default), "off" disables all three, and a comma-separated
+// subset of "hist", "ted", "tau" enables exactly the named gates —
+// so each gate can be benchmarked independently.
+type pruneConfig struct {
+	hist bool // label-histogram candidate gate
+	ted  bool // early-abort bounded TED
+	tau  bool // the paper's τ′ intermediate bound
+}
+
+// parsePrune parses the -prune flag value.
+func parsePrune(s string) (pruneConfig, error) {
+	switch s {
+	case "", "on":
+		return pruneConfig{hist: true, ted: true, tau: true}, nil
+	case "off":
+		return pruneConfig{}, nil
+	}
+	var p pruneConfig
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "hist":
+			p.hist = true
+		case "ted":
+			p.ted = true
+		case "tau":
+			p.tau = true
+		default:
+			return p, fmt.Errorf("unknown -prune gate %q (want on, off, or a comma list of hist, ted, tau)", part)
+		}
+	}
+	return p, nil
+}
+
+// options returns the core options implementing the selection.
+func (p pruneConfig) options() core.Options {
+	return core.Options{
+		NoTrees:                  true,
+		DisableHistogramBound:    !p.hist,
+		DisableEarlyAbort:        !p.ted,
+		DisableIntermediateBound: !p.tau,
+	}
+}
 
 // benchResult is one benchmark's measurement in the emitted JSON.
 type benchResult struct {
@@ -35,12 +84,18 @@ type benchReport struct {
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Quick      bool          `json:"quick"`
+	Prune      string        `json:"prune,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
 // runJSON measures the suite and writes the JSON report to w. quick
-// shrinks the fixtures so a run takes seconds.
-func runJSON(w io.Writer, quick bool, seed int64) error {
+// shrinks the fixtures so a run takes seconds; prune selects the pruning
+// gates (see pruneConfig).
+func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
+	prune, err := parsePrune(pruneFlag)
+	if err != nil {
+		return err
+	}
 	scale := 2
 	if quick {
 		scale = 1
@@ -71,7 +126,53 @@ func runJSON(w io.Writer, quick bool, seed int64) error {
 			return err
 		}
 	}
-	opts := core.Options{NoTrees: true}
+	opts := prune.options()
+
+	// corpus.TopK only toggles the candidate pipeline as a whole, so the
+	// corpus benchmark (and its fixture) runs for the whole-pipeline
+	// selections (-prune=on / -prune=off) and is omitted for per-gate
+	// subsets — a partial selection must not record corpus numbers it
+	// cannot honor.
+	allOn := prune.hist && prune.ted && prune.tau
+	allOff := !prune.hist && !prune.ted && !prune.tau
+	var (
+		corp       *corpus.Corpus
+		cq         *tree.Tree
+		corpusOpts []corpus.QueryOption
+	)
+	if allOn || allOff {
+		// Corpus fixture: a temporary corpus of four generated documents,
+		// queried through the document-filter + candidate-pruning stack.
+		corpusDir, err := os.MkdirTemp("", "tasmbench-corpus-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(corpusDir)
+		if corp, err = corpus.Open(corpusDir); err != nil {
+			return err
+		}
+		for i := 0; i < 4; i++ {
+			cd := dict.New()
+			cdoc, err := datagen.XMark(scale).Tree(cd, seed+int64(i))
+			if err != nil {
+				return err
+			}
+			var xb strings.Builder
+			if err := xmlstream.WriteTree(&xb, cdoc); err != nil {
+				return err
+			}
+			if _, err := corp.AddXML(fmt.Sprintf("doc%d", i), strings.NewReader(xb.String())); err != nil {
+				return err
+			}
+		}
+		if cq, err = corp.ParseBracket(q8.String()); err != nil {
+			return err
+		}
+		corpusOpts = []corpus.QueryOption{corpus.WithoutTrees()}
+		if allOff {
+			corpusOpts = append(corpusOpts, corpus.WithoutCandidatePruning())
+		}
+	}
 
 	suite := []struct {
 		name string
@@ -117,11 +218,25 @@ func runJSON(w io.Writer, quick bool, seed int64) error {
 			}
 		}},
 	}
+	if allOn || allOff {
+		suite = append(suite, struct {
+			name string
+			fn   func(b *testing.B)
+		}{fmt.Sprintf("corpus-topk/scale=%d/docs=4/Q=8/k=5", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := corp.TopK(cq, 5, corpusOpts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
 
 	report := benchReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
+		Prune:      pruneFlag,
 	}
 	for _, s := range suite {
 		r := testing.Benchmark(s.fn)

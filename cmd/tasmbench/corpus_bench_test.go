@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tasm/corpus"
+	"tasm/internal/datagen"
+	"tasm/internal/dict"
+	"tasm/internal/xmlstream"
+)
+
+// benchCorpus builds a temporary corpus of n generated documents and
+// returns it together with an 8-node query in bracket notation.
+func benchCorpus(b *testing.B, n int) (*corpus.Corpus, string) {
+	b.Helper()
+	c, err := corpus.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var query string
+	for i := 0; i < n; i++ {
+		d := dict.New()
+		doc, err := datagen.XMark(1).Tree(d, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			q, err := datagen.QueryFromDocument(doc, rand.New(rand.NewSource(8)), 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			query = q.String()
+		}
+		var sb strings.Builder
+		if err := xmlstream.WriteTree(&sb, doc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.AddXML(fmt.Sprintf("doc%d", i), strings.NewReader(sb.String())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c, query
+}
+
+// BenchmarkCorpusTopK measures a corpus-wide top-k query through the full
+// stack — document filter, shared ranking, and the candidate pruning
+// pipeline — with the gates on (the default) and off (the unpruned
+// equivalence path), so both code paths are exercised by the CI
+// benchmark smoke.
+func BenchmarkCorpusTopK(b *testing.B) {
+	c, query := benchCorpus(b, 4)
+	q, err := c.ParseBracket(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts []corpus.QueryOption
+	}{
+		{"pruned", []corpus.QueryOption{corpus.WithoutTrees()}},
+		{"unpruned", []corpus.QueryOption{corpus.WithoutTrees(), corpus.WithoutCandidatePruning()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.TopK(q, 5, mode.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

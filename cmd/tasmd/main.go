@@ -16,6 +16,10 @@
 //	                  XML body with ?name=…
 //	GET  /v1/docs   – list the corpus manifest
 //	GET  /healthz   – liveness and document count
+//	GET  /metrics   – Prometheus text-format counters: requests, cache
+//	                  hits, documents scanned/skipped, and the candidate
+//	                  pruning pipeline's histogram-skip / TED-abort /
+//	                  evaluation totals
 //
 // Results are cached in a bounded LRU keyed on the corpus generation, so
 // ingesting a document transparently invalidates every cached answer.

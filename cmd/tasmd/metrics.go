@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"tasm/corpus"
+)
+
+// serverMetrics accumulates the daemon's lifetime counters, exported on
+// GET /metrics in Prometheus text exposition format. Everything is a
+// plain atomic counter updated on the request path, so scraping never
+// contends with query answering.
+type serverMetrics struct {
+	topkRequests atomic.Uint64 // top-k requests accepted (cache hits included)
+	cacheHits    atomic.Uint64 // top-k requests answered from the result cache
+	ingests      atomic.Uint64 // documents ingested
+
+	// Aggregated corpus.Stats of every computed (non-cached) top-k run.
+	docsScanned     atomic.Uint64
+	docsSkipped     atomic.Uint64
+	docsUnprofiled  atomic.Uint64
+	candHistSkipped atomic.Uint64
+	tedAborted      atomic.Uint64
+	evaluated       atomic.Uint64
+}
+
+// observe folds one computed top-k run's statistics into the totals.
+func (m *serverMetrics) observe(s *corpus.Stats) {
+	m.docsScanned.Add(uint64(s.Scanned))
+	m.docsSkipped.Add(uint64(s.Skipped))
+	m.docsUnprofiled.Add(uint64(s.Unprofiled))
+	m.candHistSkipped.Add(s.HistSkipped)
+	m.tedAborted.Add(s.TEDAborted)
+	m.evaluated.Add(s.Evaluated)
+}
+
+// handleMetrics serves the Prometheus text exposition format (version
+// 0.0.4; counters and gauges only, no labels, so no escaping is needed).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := &s.metrics
+	for _, c := range []struct {
+		name, kind, help string
+		value            uint64
+	}{
+		{"tasmd_topk_requests_total", "counter", "Top-k requests accepted.", m.topkRequests.Load()},
+		{"tasmd_topk_cache_hits_total", "counter", "Top-k requests answered from the result cache.", m.cacheHits.Load()},
+		{"tasmd_ingests_total", "counter", "Documents ingested.", m.ingests.Load()},
+		{"tasmd_docs_scanned_total", "counter", "Documents streamed through TASM-postorder.", m.docsScanned.Load()},
+		{"tasmd_docs_skipped_total", "counter", "Documents skipped by the document-level label lower bound.", m.docsSkipped.Load()},
+		{"tasmd_docs_unprofiled_total", "counter", "Documents scanned without a usable profile.", m.docsUnprofiled.Load()},
+		{"tasmd_candidates_hist_skipped_total", "counter", "Candidate subtrees skipped by the histogram-intersection lower bound.", m.candHistSkipped.Load()},
+		{"tasmd_ted_evals_aborted_total", "counter", "Subtree evaluations abandoned early by the bounded Zhang-Shasha DP.", m.tedAborted.Load()},
+		{"tasmd_ted_evals_completed_total", "counter", "Subtree evaluations run to completion.", m.evaluated.Load()},
+		{"tasmd_corpus_docs", "gauge", "Documents currently in the corpus.", uint64(s.c.Len())},
+		{"tasmd_corpus_generation", "gauge", "Corpus generation (increments on ingest).", uint64(s.c.Generation())},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.value)
+	}
+}

@@ -34,10 +34,11 @@ type serverConfig struct {
 
 // server routes the tasmd HTTP API over one shared corpus.
 type server struct {
-	c     *corpus.Corpus
-	cfg   serverConfig
-	cache *lruCache
-	sem   chan struct{}
+	c       *corpus.Corpus
+	cfg     serverConfig
+	cache   *lruCache
+	sem     chan struct{}
+	metrics serverMetrics
 }
 
 // newServer returns the daemon's http.Handler.
@@ -54,6 +55,7 @@ func newServer(c *corpus.Corpus, cfg serverConfig) http.Handler {
 	mux.HandleFunc("POST /v1/docs", s.handleIngest)
 	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -86,9 +88,13 @@ type topkMatch struct {
 }
 
 type topkStats struct {
-	Scanned int  `json:"scanned"`
-	Skipped int  `json:"skipped"`
-	Cached  bool `json:"cached"`
+	Scanned int `json:"scanned"`
+	Skipped int `json:"skipped"`
+	// Candidate-level pruning counters of this run (see corpus.Stats).
+	HistSkipped uint64 `json:"histSkipped"`
+	TEDAborted  uint64 `json:"tedAborted"`
+	Evaluated   uint64 `json:"evaluated"`
+	Cached      bool   `json:"cached"`
 }
 
 type topkResponse struct {
@@ -118,10 +124,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.metrics.topkRequests.Add(1)
 	key := s.cacheKey(&req)
 	if cached, ok := s.cache.get(key); ok {
 		var resp topkResponse
 		if err := json.Unmarshal(cached, &resp); err == nil {
+			s.metrics.cacheHits.Add(1)
 			resp.Stats.Cached = true
 			writeJSON(w, http.StatusOK, resp)
 			return
@@ -179,9 +187,16 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.metrics.observe(&stats)
 	resp := topkResponse{
 		Matches: make([]topkMatch, len(matches)),
-		Stats:   topkStats{Scanned: stats.Scanned, Skipped: stats.Skipped},
+		Stats: topkStats{
+			Scanned:     stats.Scanned,
+			Skipped:     stats.Skipped,
+			HistSkipped: stats.HistSkipped,
+			TEDAborted:  stats.TEDAborted,
+			Evaluated:   stats.Evaluated,
+		},
 	}
 	for i, m := range matches {
 		resp.Matches[i] = topkMatch{
@@ -248,6 +263,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "%v", err)
 		return
 	}
+	s.metrics.ingests.Add(1)
 	writeJSON(w, http.StatusCreated, info)
 }
 

@@ -67,6 +67,64 @@ func topk(t *testing.T, h http.Handler, req topkRequest) topkResponse {
 	return resp
 }
 
+// TestMetricsEndpoint: GET /metrics serves Prometheus text format with
+// the request, cache and pruning counters advancing as the daemon works.
+func TestMetricsEndpoint(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{cacheSize: 8})
+	ingest(t, h, "a", "<dblp><article><author>smith</author><title>trees</title></article></dblp>")
+	ingest(t, h, "b", "<dblp><book><title>graphs</title></book></dblp>")
+	// Two identical queries: the second must be a cache hit.
+	req := topkRequest{Query: "{article{author{smith}}}", K: 2}
+	topk(t, h, req)
+	resp := topk(t, h, req)
+	if !resp.Stats.Cached {
+		t.Fatal("second identical query was not served from the cache")
+	}
+
+	w := doJSON(t, h, "GET", "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	body := w.Body.String()
+	wantLines := []string{
+		"tasmd_topk_requests_total 2",
+		"tasmd_topk_cache_hits_total 1",
+		"tasmd_ingests_total 2",
+		"tasmd_corpus_docs 2",
+		"# TYPE tasmd_docs_scanned_total counter",
+		"# TYPE tasmd_ted_evals_completed_total counter",
+		"# HELP tasmd_candidates_hist_skipped_total",
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+	// The computed (non-cached) run must have recorded scan work.
+	var scanned, evaluated int
+	fmt.Sscanf(metricLine(body, "tasmd_docs_scanned_total"), "%d", &scanned)
+	fmt.Sscanf(metricLine(body, "tasmd_ted_evals_completed_total"), "%d", &evaluated)
+	if scanned == 0 {
+		t.Error("tasmd_docs_scanned_total = 0 after a computed query")
+	}
+	if evaluated == 0 {
+		t.Error("tasmd_ted_evals_completed_total = 0 after a computed query")
+	}
+}
+
+// metricLine extracts the value field of a metric sample line.
+func metricLine(body, name string) string {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" ")
+		}
+	}
+	return ""
+}
+
 func TestBadInput(t *testing.T) {
 	h, _ := newTestServer(t, serverConfig{})
 	cases := []struct {

@@ -179,14 +179,62 @@ func TestEquivalenceRandom(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			unpruned, err := c.TopK(qc, k, corpus.WithoutCandidatePruning())
+			if err != nil {
+				t.Fatal(err)
+			}
 			fj, ej, pj := matchesJSON(t, filtered), matchesJSON(t, exhaustive), matchesJSON(t, parallel)
+			uj := matchesJSON(t, unpruned)
 			if fj != ej {
 				t.Fatalf("trial %d query %d k=%d: filtered != exhaustive\n %s\n %s", trial, qi, k, fj, ej)
 			}
 			if pj != ej {
 				t.Fatalf("trial %d query %d k=%d: parallel != exhaustive\n %s\n %s", trial, qi, k, pj, ej)
 			}
+			if uj != fj {
+				t.Fatalf("trial %d query %d k=%d: candidate pruning changed results\n %s\n %s", trial, qi, k, uj, fj)
+			}
 		}
+	}
+}
+
+// TestPruneStatsReported: TopK must surface the candidate pruning
+// pipeline's counters through Stats, and disabling the pipeline must
+// zero the gate counters while keeping results identical (checked in
+// TestEquivalenceRandom).
+func TestPruneStatsReported(t *testing.T) {
+	c, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	scratch := dict.New()
+	for i := 0; i < 3; i++ {
+		doc := tree.Random(scratch, rng, tree.DefaultRandomConfig(150))
+		if _, err := c.AddTree(fmt.Sprintf("doc%d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, err := c.ImportTree(tree.Random(scratch, rng, tree.DefaultRandomConfig(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats corpus.Stats
+	if _, err := c.TopK(q, 2, corpus.WithStats(&stats)); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Evaluated == 0 {
+		t.Error("Stats.Evaluated = 0: no subtree evaluation was recorded")
+	}
+	var off corpus.Stats
+	if _, err := c.TopK(q, 2, corpus.WithStats(&off), corpus.WithoutCandidatePruning()); err != nil {
+		t.Fatal(err)
+	}
+	if off.HistSkipped != 0 || off.TEDAborted != 0 {
+		t.Errorf("gates disabled but counters fired: hist=%d aborted=%d", off.HistSkipped, off.TEDAborted)
+	}
+	if off.Evaluated == 0 {
+		t.Error("unpruned run recorded no evaluations")
 	}
 }
 

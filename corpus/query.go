@@ -38,6 +38,17 @@ type Stats struct {
 	// bound is 0 and they sort to the end of the scan order — so results
 	// stay exact while the degradation is visible to operators.
 	Unprofiled int
+	// HistSkipped is the number of candidate subtrees (within scanned
+	// documents) skipped whole by the per-candidate label-histogram lower
+	// bound — the candidate-scope analogue of Skipped.
+	HistSkipped uint64
+	// TEDAborted is the number of subtree evaluations the early-abort
+	// Zhang–Shasha DP abandoned once its running lower bound crossed the
+	// k-th distance.
+	TEDAborted uint64
+	// Evaluated is the number of subtree evaluations that ran to
+	// completion.
+	Evaluated uint64
 }
 
 // QueryOption configures one TopK run.
@@ -48,6 +59,7 @@ type queryConfig struct {
 	workers  int
 	noTrees  bool
 	noFilter bool
+	noPrune  bool
 	stats    *Stats
 }
 
@@ -76,6 +88,15 @@ func WithoutTrees() QueryOption {
 // for debugging filter behaviour.
 func WithoutFilter() QueryOption {
 	return func(q *queryConfig) { q.noFilter = true }
+}
+
+// WithoutCandidatePruning disables the per-candidate pruning pipeline
+// inside document scans (the label-histogram gate and the early-abort
+// TED evaluation), leaving only the paper's τ/τ′ bounds. Results are
+// identical; it exists as the equivalence oracle for tests and for
+// benchmarking the gates.
+func WithoutCandidatePruning() QueryOption {
+	return func(q *queryConfig) { q.noPrune = true }
 }
 
 // WithStats records scan statistics into s.
@@ -122,11 +143,25 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 	}
 
 	heap := ranking.New(k)
+	// The heap publishes its k-th distance through a lock-free cutoff
+	// shared by every per-document scan: sequential scans' heap pushes,
+	// parallel workers' merges, and the document-level skip decision below
+	// all read one atomic, and the bound carries across document
+	// boundaries so earlier documents tighten later ones.
+	cut := ranking.NewCutoff()
+	heap.PublishTo(cut)
 	stats := Stats{}
-	coreOpts := core.Options{Model: c.model, NoTrees: cfg.noTrees}
+	prune := &core.PruneStats{}
+	coreOpts := core.Options{
+		Model:                 c.model,
+		NoTrees:               cfg.noTrees,
+		Prune:                 prune,
+		DisableHistogramBound: cfg.noPrune,
+		DisableEarlyAbort:     cfg.noPrune,
+	}
 	for _, d := range plan {
 		if !cfg.noFilter {
-			if kth, full := heap.KthDist(); full && d.bound > kth {
+			if kth := cut.Load(); d.bound > kth {
 				stats.Skipped++
 				continue
 			}
@@ -139,6 +174,7 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 		}
 		stats.Scanned++
 	}
+	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
 	if cfg.stats != nil {
 		*cfg.stats = stats
 	}

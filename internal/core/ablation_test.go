@@ -51,7 +51,11 @@ func TestIntermediateBoundSavesWork(t *testing.T) {
 
 	count := func(disable bool) int {
 		p := &countingProbe{}
-		if _, err := Postorder(q, doc, 1, Options{Probe: p, NoTrees: true, DisableIntermediateBound: disable}); err != nil {
+		// The newer gates are held off in both arms to isolate τ′ (the
+		// histogram gate alone would already skip the foreign-label
+		// records wholesale).
+		if _, err := Postorder(q, doc, 1, Options{Probe: p, NoTrees: true, DisableIntermediateBound: disable,
+			DisableHistogramBound: true, DisableEarlyAbort: true}); err != nil {
 			t.Fatal(err)
 		}
 		n := 0

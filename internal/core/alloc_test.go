@@ -103,6 +103,44 @@ func TestPostorderBatchAllocsPerCandidateZero(t *testing.T) {
 	}
 }
 
+// TestGatedUnitOfWorkZeroAlloc pins the pruning pipeline's per-candidate
+// unit of work: histogram bound, view fill and bounded evaluation must
+// together allocate exactly zero objects once warm — the gates may not
+// cost the invariant PR 2 established.
+func TestGatedUnitOfWorkZeroAlloc(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{rec{a}{b}}")
+	items := recordDoc(t, d, 8)
+	buf := prb.New(postorder.NewSliceQueue(items), 8)
+	ok, err := buf.Next()
+	if err != nil || !ok {
+		t.Fatalf("no candidate: ok=%v err=%v", ok, err)
+	}
+	comp := ted.NewComputer(cost.Unit{}, q)
+	view := &tree.View{}
+	hist := prb.NewLabelHist(q)
+	lml, rt := buf.Leaf(), buf.Root()
+	work := func() {
+		if bound := hist.CandidateBound(buf, lml, rt); bound > 3 {
+			t.Fatalf("record candidate bound %d exceeds any plausible cutoff", bound)
+		}
+		if err := buf.FillView(d, view, lml, rt); err != nil {
+			t.Fatal(err)
+		}
+		row, _ := comp.SubtreeDistancesViewBounded(view, 1)
+		if len(row) != rt-lml+1 {
+			t.Fatalf("row has %d entries, want %d", len(row), rt-lml+1)
+		}
+	}
+	work() // warm
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	if allocs := testing.AllocsPerRun(100, work); allocs != 0 {
+		t.Errorf("gated candidate unit of work allocates %.1f objects per candidate in steady state, want 0", allocs)
+	}
+}
+
 // TestCandidateUnitOfWorkZeroAlloc pins the exact contract: once view and
 // computer scratch are warm, filling a candidate view from the ring
 // buffer and evaluating it allocates exactly zero objects.

@@ -43,6 +43,7 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 		tau  int
 		comp *ted.Computer
 		rank *ranking.Heap
+		hist *prb.LabelHist
 	}
 	states := make([]*qstate, len(queries))
 	tauMax := 0
@@ -61,6 +62,9 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 			tau:  Tau(model, q, k, opts.CT),
 			comp: ted.NewComputer(model, q),
 			rank: ranking.New(k),
+		}
+		if !opts.DisableHistogramBound {
+			st.hist = prb.NewLabelHist(q)
 		}
 		if opts.Probe != nil {
 			st.comp.SetProbe(opts.Probe)
@@ -85,6 +89,18 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 			opts.Probe.Candidate(buf.Root() - buf.Leaf() + 1)
 		}
 		for _, st := range states {
+			// Gate 1 per query: the candidate's label histogram bounds the
+			// distance of every subtree within it from below; a full
+			// ranking whose k-th distance is already smaller makes this
+			// candidate irrelevant for this query.
+			if st.hist != nil && st.rank.Full() {
+				if float64(st.hist.CandidateBound(buf, buf.Leaf(), buf.Root())) > st.rank.Max().Dist {
+					if opts.Prune != nil {
+						opts.Prune.HistSkipped.Add(1)
+					}
+					continue
+				}
+			}
 			if err := rankWithin(st.comp, st.q, buf, d, view, st.tau, st.rank, opts); err != nil {
 				return nil, err
 			}
@@ -123,7 +139,9 @@ func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, d *dict.Dict,
 			if err := buf.FillView(d, view, lml, rt); err != nil {
 				return err
 			}
-			row := comp.SubtreeDistancesView(view)
+			// Gate 2: bounded evaluation against this query's running k-th
+			// distance; see postorderScan.
+			row := evaluateRow(comp, view, r, &opts)
 			sizes := view.Sizes()
 			for j := 0; j < size; j++ {
 				e := Match{Dist: row[j], Pos: lml + j, Size: sizes[j]}

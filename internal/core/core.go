@@ -57,6 +57,19 @@ type Options struct {
 	// bound τ. Results are unchanged; it exists to measure how much of
 	// TASM-postorder's win comes from the dynamic bound (ablation).
 	DisableIntermediateBound bool
+	// DisableHistogramBound switches off the first gate of the candidate
+	// pruning pipeline: the sliding label-histogram lower bound that
+	// skips a whole candidate when the number of query labels missing
+	// from it already exceeds the running k-th distance. Results are
+	// unchanged; it exists for ablation and benchmarking.
+	DisableHistogramBound bool
+	// DisableEarlyAbort switches off the second gate: the bounded
+	// Zhang–Shasha evaluation that abandons a subtree once the minimum of
+	// the active forest-distance row exceeds the running k-th distance.
+	// Results are unchanged; it exists for ablation and benchmarking.
+	DisableEarlyAbort bool
+	// Prune, when non-nil, receives the pruning pipeline's counters.
+	Prune *PruneStats
 }
 
 func (o *Options) model() cost.Model {
@@ -248,6 +261,10 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 	buf := prb.New(docQ, tau)
 	d := q.Dict()
 	view := &tree.View{} // flat candidate view, recycled across candidates
+	var hist *prb.LabelHist
+	if !opts.DisableHistogramBound {
+		hist = prb.NewLabelHist(q)
+	}
 
 	for {
 		ok, err := buf.Next()
@@ -260,6 +277,21 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 		rootID, leafID := buf.Root(), buf.Leaf()
 		if opts.Probe != nil {
 			opts.Probe.Candidate(rootID - leafID + 1)
+		}
+		// Gate 1: the sliding label histogram yields a lower bound on the
+		// distance of EVERY subtree of the candidate (their label bags are
+		// sub-bags of the candidate's). If it strictly exceeds the current
+		// k-th distance, no subtree here can enter the ranking — skip the
+		// candidate without filling a view or touching the DP. Strict
+		// comparison keeps exact boundary ties evaluated, so results stay
+		// byte-identical in both tie-handling modes.
+		if hist != nil && r.Full() {
+			if float64(hist.CandidateBound(buf, leafID, rootID)) > r.Max().Dist {
+				if opts.Prune != nil {
+					opts.Prune.HistSkipped.Add(1)
+				}
+				continue
+			}
 		}
 		// Traverse the subtrees of the candidate in reverse postorder
 		// (Algorithm 3, lines 8–18).
@@ -288,7 +320,11 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 				}
 				// TASM-dynamic on the subtree: the last row of the tree
 				// distance matrix ranks every subtree of the view at once.
-				row := comp.SubtreeDistancesView(view)
+				// Gate 2: with a full ranking the evaluation is bounded by
+				// the current k-th distance — distances at or below it stay
+				// exact, anything above may abort to +Inf, which the heap
+				// rejects just like the true value.
+				row := evaluateRow(comp, view, r, &opts)
 				sizes := view.Sizes()
 				for j := 0; j < size; j++ {
 					e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}

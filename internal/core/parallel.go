@@ -18,13 +18,20 @@ import (
 // fanned out to a worker pool — an extension beyond the paper, whose
 // evaluation is explicitly single-threaded. The prefix ring buffer scan
 // stays sequential (it is a cheap streaming pass); the producer applies
-// the τ′ intermediate bound, copies each retained subtree into a pooled
-// flat view, and hands it to a worker. Each worker owns its own distance
-// computer, and all workers share one ranking.
+// the label-histogram and τ′ gates, copies each retained subtree into a
+// pooled flat view, and hands it to a worker. Each worker owns its own
+// distance computer AND its own k-entry ranking: entries accumulate
+// locally and are merged into the shared ranking only when the worker's
+// local k-th distance beats the globally published one (and once at
+// drain), so the per-candidate critical section of earlier versions is
+// gone. The shared ranking's k-th distance is published through a
+// lock-free ranking.Cutoff that the producer's gates, the workers' local
+// cutoffs and the early-abort TED evaluations all read with one atomic
+// load.
 //
 // The returned distances are identical to PostorderStream's: subtree
-// evaluations are independent, and the intermediate bound τ′ only ever
-// discards subtrees that cannot beat the current k-th distance, so
+// evaluations are independent, and every gate only ever discards (or
+// aborts to +Inf) subtrees that cannot beat the current k-th distance, so
 // processing order does not affect the final distance multiset (reported
 // tie positions at the pruning boundary may differ, as Definition 1
 // permits). workers ≤ 0 selects GOMAXPROCS.
@@ -69,12 +76,14 @@ type workItem struct {
 // parallelScan is the shared body of PostorderParallel and
 // PostorderParallelInto; see postorderScan for the strictTies contract.
 //
-// Unlike postorderScan, the τ′ bound is applied by the producer before a
+// Unlike postorderScan, the gates are applied by the producer before a
 // subtree is copied and shipped: a subtree that is already hopeless at
 // production time never costs a view fill or a channel transfer. The
-// bound consulted may lag behind pushes still in flight, but it only
-// ever tightens, so a stale read merely evaluates a subtree that a
-// fresher bound would have skipped — never the reverse.
+// cutoff the producer (and every worker) consults is the lock-free
+// published k-th distance of the shared ranking, which may lag behind
+// merges still in flight — but it only ever tightens, so a stale read
+// merely evaluates a subtree that a fresher bound would have skipped,
+// never the reverse.
 func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset, workers int, strictTies bool, opts Options) error {
 	if docQ == nil {
 		return fmt.Errorf("tasm: document queue must not be nil")
@@ -87,10 +96,21 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := q.Size()
-	tau := Tau(model, q, r.K(), opts.CT)
+	k := r.K()
+	tau := Tau(model, q, k, opts.CT)
 	d := q.Dict()
 
+	// The shared ranking publishes its k-th distance through a lock-free
+	// cutoff. A publisher attached by the caller (the corpus scan reuses
+	// one across documents so earlier documents tighten later ones) is
+	// kept; otherwise a scan-local one is installed.
+	cut := r.CutoffPublisher()
+	if cut == nil {
+		cut = ranking.NewCutoff()
+		r.PublishTo(cut)
+	}
 	shared := &sharedRanking{heap: r}
+
 	work := make(chan workItem, 2*workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -101,9 +121,27 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 			if opts.Probe != nil {
 				comp.SetProbe(&lockedProbe{p: opts.Probe, mu: &shared.mu})
 			}
+			local := ranking.New(k)
 			for item := range work {
-				evaluateView(comp, item, shared, opts)
+				evaluateView(comp, item, local, cut, opts)
 				viewPool.Put(item.view)
+				// Merge-on-improvement: only a local k-th distance that
+				// beats the published shared one can tighten the global
+				// bound, so only then is the mutex taken. Draining (rather
+				// than copying) the local heap guarantees no entry is
+				// pushed into the shared ranking twice.
+				if local.Full() && local.Max().Dist < cut.Load() {
+					shared.mu.Lock()
+					shared.heap.Drain(local)
+					shared.mu.Unlock()
+				}
+			}
+			// Final drain: whatever the local ranking still holds competes
+			// exactly once for the shared top k.
+			if local.Len() > 0 {
+				shared.mu.Lock()
+				shared.heap.Drain(local)
+				shared.mu.Unlock()
 			}
 		}()
 	}
@@ -111,6 +149,10 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 	// Producer: sequential prefix ring buffer scan with the reverse-
 	// postorder subtree traversal of Algorithm 3; each retained subtree is
 	// copied into a pooled view and shipped to a worker.
+	var hist *prb.LabelHist
+	if !opts.DisableHistogramBound {
+		hist = prb.NewLabelHist(q)
+	}
 	var produceErr error
 	buf := prb.New(docQ, tau)
 scan:
@@ -129,16 +171,29 @@ scan:
 			opts.Probe.Candidate(rootID - leafID + 1)
 			shared.mu.Unlock()
 		}
+		// Gate 1: candidate-level label-histogram bound against the
+		// published k-th distance (strict, so exact boundary ties are
+		// still evaluated and the distance multiset matches the
+		// sequential scan in both tie modes).
+		if hist != nil {
+			if kth := cut.Load(); !math.IsInf(kth, 1) &&
+				float64(hist.CandidateBound(buf, leafID, rootID)) > kth {
+				if opts.Prune != nil {
+					opts.Prune.HistSkipped.Add(1)
+				}
+				continue
+			}
+		}
 		for rt := rootID; rt >= leafID; {
 			lml := buf.LMLOf(rt)
 			size := rt - lml + 1
 			compute := true
 			if !opts.DisableIntermediateBound {
-				if maxDist, full := shared.bound(); full {
+				if kth := cut.Load(); !math.IsInf(kth, 1) {
 					if strictTies {
-						compute = float64(size) <= maxDist+float64(m)
+						compute = float64(size) <= kth+float64(m)
 					} else {
-						tauP := math.Min(float64(tau), maxDist+float64(m))
+						tauP := math.Min(float64(tau), kth+float64(m))
 						compute = float64(size) < tauP
 					}
 				}
@@ -172,32 +227,55 @@ type sharedRanking struct {
 	heap *ranking.Heap
 }
 
-// bound returns the current τ′ numerator (max(R)) and whether the ranking
-// is full.
-func (s *sharedRanking) bound() (float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.heap.Full() {
-		return 0, false
-	}
-	return s.heap.Max().Dist, true
-}
-
 // evaluateView runs one TASM-dynamic evaluation on a shipped subtree view
-// and merges the resulting row into the shared ranking.
-func evaluateView(comp *ted.Computer, item workItem, shared *sharedRanking, opts Options) {
-	row := comp.SubtreeDistancesView(item.view)
+// and pushes the resulting row into the worker's local ranking — no
+// shared state is touched. The evaluation is bounded by the tighter of
+// the worker's local k-th distance and the published shared one: a
+// subtree that can beat neither cannot reach the final top k (the local
+// heap already holds k better entries, which all compete at drain).
+func evaluateView(comp *ted.Computer, item workItem, local *ranking.Heap, cut *ranking.Cutoff, opts Options) {
+	cutoff := math.Inf(1)
+	if !opts.DisableEarlyAbort {
+		if local.Full() {
+			cutoff = local.Max().Dist
+		}
+		if pub := cut.Load(); pub < cutoff {
+			cutoff = pub
+		}
+	}
+	var row []float64
+	if !math.IsInf(cutoff, 1) {
+		var aborted bool
+		row, aborted = comp.SubtreeDistancesViewBounded(item.view, cutoff)
+		if opts.Prune != nil {
+			if aborted {
+				opts.Prune.TEDAborted.Add(1)
+			} else {
+				opts.Prune.Evaluated.Add(1)
+			}
+		}
+	} else {
+		row = comp.SubtreeDistancesView(item.view)
+		if opts.Prune != nil {
+			opts.Prune.Evaluated.Add(1)
+		}
+	}
 	sizes := item.view.Sizes()
 	n := item.view.Size()
-	shared.mu.Lock()
+	// Materialization gate: the local heap alone would materialize its
+	// first k entries even when the shared ranking already holds k far
+	// better ones, so the published bound is consulted too. An entry
+	// above the published k-th can never be retained at drain time (the
+	// shared k-th only tightens); an exact tie still materializes, since
+	// it may win its position tie-break.
+	pubKth := cut.Load()
 	for j := 0; j < n; j++ {
 		e := Match{Dist: row[j], Pos: item.base + j, Size: sizes[j]}
-		if !opts.NoTrees && shared.heap.WouldRetain(e) {
+		if !opts.NoTrees && e.Dist <= pubKth && local.WouldRetain(e) {
 			e.Tree = item.view.Subtree(j)
 		}
-		shared.heap.Push(e)
+		local.Push(e)
 	}
-	shared.mu.Unlock()
 }
 
 // lockedProbe serializes probe callbacks from concurrent workers.

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"tasm/internal/ranking"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// PruneStats counts what the candidate pruning pipeline did during a
+// scan: how many candidates the label-histogram gate rejected before any
+// distance work, how many evaluations the bounded Zhang–Shasha DP
+// abandoned early, and how many ran to completion. The counters are
+// cumulative across scans sharing the struct and safe for concurrent
+// update (the parallel scan's workers add to them directly), so one
+// PruneStats can aggregate a whole corpus query — or a daemon's lifetime.
+type PruneStats struct {
+	// HistSkipped is the number of candidate subtrees skipped whole by
+	// the histogram-intersection lower bound: no view fill, no TED. In
+	// batch scans the gate runs once per (query, candidate) pair, so one
+	// candidate skipped for every query of a Q-query batch adds Q.
+	HistSkipped atomic.Uint64
+	// TEDAborted is the number of subtree evaluations the early-abort DP
+	// abandoned once its running lower bound crossed the cutoff.
+	TEDAborted atomic.Uint64
+	// Evaluated is the number of subtree evaluations that ran to
+	// completion (bounded evaluations that did not abort included).
+	Evaluated atomic.Uint64
+}
+
+// Snapshot returns the current counter values (hist-skipped, TED-aborted,
+// fully evaluated).
+func (s *PruneStats) Snapshot() (histSkipped, tedAborted, evaluated uint64) {
+	return s.HistSkipped.Load(), s.TEDAborted.Load(), s.Evaluated.Load()
+}
+
+// evaluateRow is the shared gate-2 unit of work of the sequential and
+// batch scans: one TASM-dynamic evaluation of the filled view, bounded
+// by r's current k-th distance when the early-abort gate is active, with
+// the pipeline counters bumped. The returned row is valid until the
+// computer's next evaluation.
+func evaluateRow(comp *ted.Computer, view *tree.View, r *ranking.Heap, opts *Options) []float64 {
+	if !opts.DisableEarlyAbort && r.Full() {
+		row, aborted := comp.SubtreeDistancesViewBounded(view, r.Max().Dist)
+		if opts.Prune != nil {
+			if aborted {
+				opts.Prune.TEDAborted.Add(1)
+			} else {
+				opts.Prune.Evaluated.Add(1)
+			}
+		}
+		return row
+	}
+	row := comp.SubtreeDistancesView(view)
+	if opts.Prune != nil {
+		opts.Prune.Evaluated.Add(1)
+	}
+	return row
+}

@@ -1,0 +1,288 @@
+package core
+
+// Equivalence tests of the candidate pruning pipeline: with every gate
+// enabled (the default), results must be byte-identical to the unpruned
+// scan on all three scan paths — sequential, batch, and the
+// order-independent (strict-ties) parallel form — and the pipeline's
+// counters must report what fired.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/ranking"
+	"tasm/internal/tree"
+)
+
+// unprunedOpts returns opts with every pipeline gate disabled (τ′ stays:
+// it is the paper's algorithm, not part of the pipeline under test).
+func unprunedOpts(opts Options) Options {
+	opts.DisableHistogramBound = true
+	opts.DisableEarlyAbort = true
+	return opts
+}
+
+// mustEqualMatches fails unless the two rankings are byte-identical.
+func mustEqualMatches(t *testing.T, ctx string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", ctx, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Dist != want[i].Dist || got[i].Pos != want[i].Pos || got[i].Size != want[i].Size {
+			t.Fatalf("%s: match %d = {%g %d %d}, want {%g %d %d}", ctx, i,
+				got[i].Dist, got[i].Pos, got[i].Size,
+				want[i].Dist, want[i].Pos, want[i].Size)
+		}
+	}
+}
+
+// randomInstance draws a (query, document, k) instance.
+func randomInstance(rng *rand.Rand, d *dict.Dict) (*tree.Tree, *tree.Tree, int) {
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(10), MaxFanout: 3, Labels: 5})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(150), MaxFanout: 4, Labels: 5})
+	return q, doc, 1 + rng.Intn(6)
+}
+
+// TestPrunedVsUnprunedSequential: PostorderStream with the pipeline on
+// equals the unpruned scan exactly, including positions and sizes.
+func TestPrunedVsUnprunedSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 120; iter++ {
+		d := dict.New()
+		q, doc, k := randomInstance(rng, d)
+		opts := Options{NoTrees: true}
+		pruned, err := PostorderStream(q, postorder.FromTree(doc), k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpruned, err := PostorderStream(q, postorder.FromTree(doc), k, unprunedOpts(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualMatches(t, "sequential", pruned, unpruned)
+	}
+}
+
+// TestPrunedVsUnprunedBatch: every query of a batched scan returns the
+// unpruned ranking exactly.
+func TestPrunedVsUnprunedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 60; iter++ {
+		d := dict.New()
+		_, doc, k := randomInstance(rng, d)
+		queries := make([]*tree.Tree, 1+rng.Intn(3))
+		for i := range queries {
+			queries[i] = tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(8), MaxFanout: 3, Labels: 5})
+		}
+		opts := Options{NoTrees: true}
+		pruned, err := PostorderBatch(queries, postorder.FromTree(doc), k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpruned, err := PostorderBatch(queries, postorder.FromTree(doc), k, unprunedOpts(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range queries {
+			mustEqualMatches(t, "batch", pruned[qi], unpruned[qi])
+		}
+	}
+}
+
+// TestPrunedVsUnprunedParallelStrict: the order-independent parallel form
+// (the corpus building block) is fully deterministic — byte-identical to
+// the unpruned sequential strict scan for any worker count.
+func TestPrunedVsUnprunedParallelStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 60; iter++ {
+		d := dict.New()
+		q, doc, k := randomInstance(rng, d)
+		workers := 1 + rng.Intn(4)
+		opts := Options{NoTrees: true}
+
+		par := ranking.New(k)
+		if err := PostorderParallelInto(q, postorder.FromTree(doc), par, 7, workers, opts); err != nil {
+			t.Fatal(err)
+		}
+		seq := ranking.New(k)
+		if err := PostorderStreamInto(q, postorder.FromTree(doc), seq, 7, unprunedOpts(opts)); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualMatches(t, "parallel-strict", par.Sorted(), seq.Sorted())
+	}
+}
+
+// TestPrunedVsUnprunedQuick is the quick.Check form over a wider seed
+// space, comparing all three paths at once.
+func TestPrunedVsUnprunedQuick(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := dict.New()
+		q, doc, k := randomInstance(rng, d)
+		opts := Options{NoTrees: true}
+		want, err := PostorderStream(q, postorder.FromTree(doc), k, unprunedOpts(opts))
+		if err != nil {
+			return false
+		}
+		got, err := PostorderStream(q, postorder.FromTree(doc), k, opts)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		par := ranking.New(k)
+		if err := PostorderParallelInto(q, postorder.FromTree(doc), par, 0, int(wRaw)%3+1, opts); err != nil {
+			return false
+		}
+		parSorted := par.Sorted()
+		seq := ranking.New(k)
+		if err := PostorderStreamInto(q, postorder.FromTree(doc), seq, 0, unprunedOpts(opts)); err != nil {
+			return false
+		}
+		seqSorted := seq.Sorted()
+		if len(parSorted) != len(seqSorted) {
+			return false
+		}
+		for i := range seqSorted {
+			if parSorted[i] != seqSorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPruneStatsFire: on a document dominated by foreign-label records
+// with one exact match, the histogram gate must skip candidates and the
+// counters must add up.
+func TestPruneStatsFire(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b}{c}}")
+	root := tree.NewNode("root")
+	root.AddChild(tree.NewNode("a", tree.NewNode("b"), tree.NewNode("c"))) // exact match early
+	for i := 0; i < 60; i++ {
+		root.AddChild(tree.NewNode("z", tree.NewNode("y", tree.NewNode("x"), tree.NewNode("w"))))
+	}
+	doc := tree.FromNode(d, root)
+
+	stats := &PruneStats{}
+	got, err := Postorder(q, doc, 1, Options{NoTrees: true, Prune: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Dist != 0 {
+		t.Fatalf("top-1 dist = %g, want 0", got[0].Dist)
+	}
+	hist, _, evaluated := stats.Snapshot()
+	if hist == 0 {
+		t.Error("histogram gate never fired on foreign-label records")
+	}
+	if evaluated == 0 {
+		t.Error("no evaluation ran to completion")
+	}
+
+	// The parallel strict path must report through the same counters.
+	pstats := &PruneStats{}
+	heap := ranking.New(1)
+	if err := PostorderParallelInto(q, postorder.FromTree(doc), heap, 0, 2, Options{NoTrees: true, Prune: pstats}); err != nil {
+		t.Fatal(err)
+	}
+	if h, _, e := pstats.Snapshot(); h+e == 0 {
+		t.Error("parallel scan reported no pruning activity at all")
+	}
+}
+
+// TestTEDAbortFires: a workload whose candidates share the query's label
+// bag (so the histogram gate lets them through) and fit the τ′ size
+// window, but whose structure mismatches from the first DP rows on, must
+// trigger early aborts once the ranking holds an exact match.
+func TestTEDAbortFires(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a{b{c{d{e}}}}}")
+	root := tree.NewNode("root")
+	// Exact match first: the ranking's k-th distance collapses to 0.
+	root.AddChild(tree.NewNode("a", tree.NewNode("b", tree.NewNode("c", tree.NewNode("d", tree.NewNode("e"))))))
+	for i := 0; i < 40; i++ {
+		// Reversed chains: identical label bag, structurally distant.
+		root.AddChild(tree.NewNode("e", tree.NewNode("d", tree.NewNode("c", tree.NewNode("b", tree.NewNode("a"))))))
+	}
+	doc := tree.FromNode(d, root)
+
+	stats := &PruneStats{}
+	pruned, err := Postorder(q, doc, 1, Options{NoTrees: true, Prune: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, abortedN, _ := stats.Snapshot(); abortedN == 0 {
+		t.Error("early-abort TED never fired on far candidates")
+	}
+	unpruned, err := Postorder(q, doc, 1, unprunedOpts(Options{NoTrees: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualMatches(t, "ted-abort", pruned, unpruned)
+}
+
+// FuzzPrunedVsUnpruned fuzzes the equivalence property over arbitrary
+// well-formed documents: the full pipeline (sequential and strict
+// parallel) must reproduce the unpruned ranking exactly.
+func FuzzPrunedVsUnpruned(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x10, 0x22, 0x31, 0x04}, uint8(1), uint8(3), uint8(2))
+	f.Add([]byte{0x05, 0x0a, 0x21, 0x00, 0x13}, uint8(2), uint8(5), uint8(1))
+	f.Add([]byte{0x01, 0x01, 0x01, 0x71, 0x01, 0x72, 0x43}, uint8(3), uint8(2), uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, qSel, kRaw, wRaw uint8) {
+		d := dict.New()
+		queries := []string{"{a}", "{a{b}}", "{a{b}{c}}", "{b{a{c}}{d}}", "{c{c{c}}}"}
+		q := tree.MustParse(d, queries[int(qSel)%len(queries)])
+		labelIDs := make([]int, 8)
+		for i := range labelIDs {
+			labelIDs[i] = d.Intern(string(rune('a' + i)))
+		}
+		items := decodeDoc(d, labelIDs, data)
+		if items == nil {
+			t.Skip("empty document")
+		}
+		k := int(kRaw)%5 + 1
+		opts := Options{NoTrees: true}
+
+		want, err := PostorderStream(q, postorder.NewSliceQueue(items), k, unprunedOpts(opts))
+		if err != nil {
+			t.Fatalf("unpruned scan rejected a well-formed stream: %v", err)
+		}
+		got, err := PostorderStream(q, postorder.NewSliceQueue(items), k, opts)
+		if err != nil {
+			t.Fatalf("pruned scan failed: %v", err)
+		}
+		mustEqualMatches(t, "fuzz-sequential", got, want)
+
+		par := ranking.New(k)
+		if err := PostorderParallelInto(q, postorder.NewSliceQueue(items), par, 3, int(wRaw)%3+1, opts); err != nil {
+			t.Fatalf("parallel scan failed: %v", err)
+		}
+		seq := ranking.New(k)
+		if err := PostorderStreamInto(q, postorder.NewSliceQueue(items), seq, 3, unprunedOpts(opts)); err != nil {
+			t.Fatal(err)
+		}
+		mustEqualMatches(t, "fuzz-parallel-strict", par.Sorted(), seq.Sorted())
+
+		batch, err := PostorderBatch([]*tree.Tree{q}, postorder.NewSliceQueue(items), k, opts)
+		if err != nil {
+			t.Fatalf("batch scan failed: %v", err)
+		}
+		batchUnpruned, err := PostorderBatch([]*tree.Tree{q}, postorder.NewSliceQueue(items), k, unprunedOpts(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualMatches(t, "fuzz-batch", batch[0], batchUnpruned[0])
+	})
+}

@@ -53,12 +53,15 @@ func Ablation(w io.Writer, cfg Config) (*AblationResult, error) {
 	items := postorder.Items(doc)
 	k := cfg.K
 
-	// Ablation 1: τ′ on/off.
+	// Ablation 1: τ′ on/off. The newer candidate pruning gates are held
+	// off in both arms so the measured contrast isolates the paper's
+	// intermediate bound.
 	run := func(disable bool) (float64, int64, error) {
 		p := &volumeProbe{}
 		dur, err := timeIt(func() error {
 			_, err := core.PostorderStream(q, postorder.NewSliceQueue(items), k,
-				core.Options{NoTrees: true, Probe: p, DisableIntermediateBound: disable})
+				core.Options{NoTrees: true, Probe: p, DisableIntermediateBound: disable,
+					DisableHistogramBound: true, DisableEarlyAbort: true})
 			return err
 		})
 		return dur.Seconds(), p.nodes, err

@@ -42,8 +42,13 @@ func pruningProfile(name string, ds *datagen.Dataset, seed int64) (*Fig11Result,
 	}
 	res.Dyn = pDyn.relevant
 
+	// The figure measures the PAPER's TASM-postorder pruning profile, so
+	// the repo's additional candidate pruning gates (label histogram,
+	// early-abort TED) are disabled: they would shrink the relevant-
+	// subtree counts below what Figure 11 reports.
 	pPos := newProbe()
-	if _, err := core.Postorder(q, doc, 1, core.Options{Probe: pPos, NoTrees: true}); err != nil {
+	popts := core.Options{Probe: pPos, NoTrees: true, DisableHistogramBound: true, DisableEarlyAbort: true}
+	if _, err := core.Postorder(q, doc, 1, popts); err != nil {
 		return nil, err
 	}
 	res.Pos = pPos.relevant

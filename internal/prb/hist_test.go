@@ -1,0 +1,178 @@
+package prb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/race"
+	"tasm/internal/ted"
+	"tasm/internal/tree"
+)
+
+// naiveMissing counts Σ_label max(0, count_Q − count_T) directly.
+func naiveMissing(q, t *tree.Tree) int {
+	qc := map[int]int{}
+	for _, id := range q.LabelIDs() {
+		qc[id]++
+	}
+	tc := map[int]int{}
+	for _, id := range t.LabelIDs() {
+		tc[id]++
+	}
+	missing := 0
+	for id, n := range qc {
+		if m := tc[id]; n > m {
+			missing += n - m
+		}
+	}
+	return missing
+}
+
+// TestCandidateBoundMatchesNaive: the sliding histogram's bound for every
+// candidate of a scan must equal the naive per-candidate count, and the
+// window must be clean between candidates (skipping candidates cannot
+// leave residue).
+func TestCandidateBoundMatchesNaive(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 50; iter++ {
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(10), MaxFanout: 3, Labels: 6})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(120), MaxFanout: 4, Labels: 6})
+		tau := 1 + rng.Intn(20)
+		hist := NewLabelHist(q)
+		buf := New(postorder.NewSliceQueue(postorder.Items(doc)), tau)
+		for {
+			ok, err := buf.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got := hist.CandidateBound(buf, buf.Leaf(), buf.Root())
+			sub, err := buf.Subtree(d, buf.Leaf(), buf.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := naiveMissing(q, sub); got != want {
+				t.Fatalf("iter %d candidate [%d,%d]: bound %d, want %d", iter, buf.Leaf(), buf.Root(), got, want)
+			}
+			if hist.Missing() != q.Size() {
+				t.Fatalf("iter %d: window not clean after CandidateBound: missing %d, want |Q|=%d", iter, hist.Missing(), q.Size())
+			}
+		}
+	}
+}
+
+// TestCandidateBoundIsLowerBound: the bound must never exceed the true
+// tree edit distance of ANY subtree of the candidate — the property the
+// pruning pipeline's first gate relies on.
+func TestCandidateBoundIsLowerBound(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 30; iter++ {
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(8), MaxFanout: 3, Labels: 4})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(80), MaxFanout: 4, Labels: 4})
+		tau := 1 + rng.Intn(16)
+		hist := NewLabelHist(q)
+		comp := ted.NewComputer(cost.Unit{}, q)
+		buf := New(postorder.NewSliceQueue(postorder.Items(doc)), tau)
+		for {
+			ok, err := buf.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			bound := hist.CandidateBound(buf, buf.Leaf(), buf.Root())
+			sub, err := buf.Subtree(d, buf.Leaf(), buf.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := comp.SubtreeDistances(sub)
+			for j, dist := range row {
+				if float64(bound) > dist {
+					t.Fatalf("iter %d candidate [%d,%d] subtree %d: bound %d exceeds true distance %g",
+						iter, buf.Leaf(), buf.Root(), j, bound, dist)
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateBoundSparseMode: with label ids beyond the dense limit
+// (a query interned late into a big shared dictionary) the histogram
+// switches to its open-addressing table; bounds must stay exact and the
+// memory must not scale with the id space.
+func TestCandidateBoundSparseMode(t *testing.T) {
+	d := dict.New()
+	// Push the id space past denseLimit before interning anything the
+	// query uses.
+	for i := 0; i < 3*denseLimit; i++ {
+		d.Intern(fmt.Sprintf("filler%d", i))
+	}
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 25; iter++ {
+		q := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(10), MaxFanout: 3, Labels: 6})
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(120), MaxFanout: 4, Labels: 6})
+		hist := NewLabelHist(q)
+		if hist.keys == nil {
+			t.Fatal("expected the sparse representation for late-interned labels")
+		}
+		if len(hist.need) > 64 {
+			t.Fatalf("sparse table has %d slots for a ≤10-label query", len(hist.need))
+		}
+		buf := New(postorder.NewSliceQueue(postorder.Items(doc)), 1+rng.Intn(20))
+		for {
+			ok, err := buf.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got := hist.CandidateBound(buf, buf.Leaf(), buf.Root())
+			sub, err := buf.Subtree(d, buf.Leaf(), buf.Root())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := naiveMissing(q, sub); got != want {
+				t.Fatalf("iter %d candidate [%d,%d]: sparse bound %d, want %d", iter, buf.Leaf(), buf.Root(), got, want)
+			}
+		}
+		if hist.Missing() != q.Size() {
+			t.Fatalf("iter %d: window not clean: missing %d, want |Q|=%d", iter, hist.Missing(), q.Size())
+		}
+	}
+}
+
+// TestCandidateBoundZeroAlloc: the first gate's unit of work must not
+// allocate — it runs once per candidate on the hot path.
+func TestCandidateBoundZeroAlloc(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(2))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 8, MaxFanout: 3, Labels: 4})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 60, MaxFanout: 4, Labels: 4})
+	hist := NewLabelHist(q)
+	buf := New(postorder.NewSliceQueue(postorder.Items(doc)), 12)
+	ok, err := buf.Next()
+	if err != nil || !ok {
+		t.Fatalf("no candidate: ok=%v err=%v", ok, err)
+	}
+	leaf, root := buf.Leaf(), buf.Root()
+	if race.Enabled {
+		hist.CandidateBound(buf, leaf, root)
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		hist.CandidateBound(buf, leaf, root)
+	})
+	if allocs != 0 {
+		t.Errorf("CandidateBound allocates %.1f objects per candidate, want 0", allocs)
+	}
+}

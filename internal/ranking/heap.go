@@ -42,8 +42,9 @@ func less(a, b Entry) bool {
 // pushed so far under the (Dist, Pos) order. The zero value is unusable;
 // call New.
 type Heap struct {
-	k  int
-	es []Entry // binary max-heap: es[0] is the worst retained entry
+	k      int
+	es     []Entry // binary max-heap: es[0] is the worst retained entry
+	cutoff *Cutoff // optional publisher of the k-th distance; may be nil
 }
 
 // New returns an empty ranking that retains the k best entries, k ≥ 1.
@@ -85,6 +86,22 @@ func (h *Heap) KthDist() (float64, bool) {
 	return h.es[0].Dist, true
 }
 
+// PublishTo attaches a cutoff publisher: from now on, whenever the
+// ranking is full, its current k-th distance is published through c (the
+// value only tightens — see Cutoff). Attaching publishes the current
+// k-th distance immediately if the ranking is already full. Pass nil to
+// detach. The caller must ensure Push and PublishTo are not called
+// concurrently (readers of the Cutoff itself are lock-free).
+func (h *Heap) PublishTo(c *Cutoff) {
+	h.cutoff = c
+	if c != nil && len(h.es) == h.k {
+		c.Tighten(h.es[0].Dist)
+	}
+}
+
+// CutoffPublisher returns the attached publisher, or nil.
+func (h *Heap) CutoffPublisher() *Cutoff { return h.cutoff }
+
 // Push offers an entry to the ranking. When the ranking is full, the entry
 // is retained only if it beats the current worst, which it then evicts.
 // Push reports whether the entry was retained.
@@ -92,6 +109,9 @@ func (h *Heap) Push(e Entry) bool {
 	if len(h.es) < h.k {
 		h.es = append(h.es, e)
 		h.up(len(h.es) - 1)
+		if h.cutoff != nil && len(h.es) == h.k {
+			h.cutoff.Tighten(h.es[0].Dist)
+		}
 		return true
 	}
 	if !less(e, h.es[0]) {
@@ -99,7 +119,21 @@ func (h *Heap) Push(e Entry) bool {
 	}
 	h.es[0] = e
 	h.down(0)
+	if h.cutoff != nil {
+		h.cutoff.Tighten(h.es[0].Dist)
+	}
 	return true
+}
+
+// Drain moves every retained entry of other into h and empties other
+// (other keeps its capacity and its k). It is the merge step of the
+// per-worker rankings: a worker's local heap is drained into the shared
+// one, so no entry is ever pushed twice.
+func (h *Heap) Drain(other *Heap) {
+	for _, e := range other.es {
+		h.Push(e)
+	}
+	other.es = other.es[:0]
 }
 
 // WouldRetain reports whether Push(e) would keep e, without modifying the

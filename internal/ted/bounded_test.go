@@ -1,0 +1,138 @@
+package ted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tasm/internal/cost"
+	"tasm/internal/dict"
+	"tasm/internal/race"
+	"tasm/internal/tree"
+)
+
+// TestBoundedExactBelowCutoff is the contract of the early-abort path,
+// checked over many random tree pairs and cutoffs: every row entry whose
+// true distance is at or below the cutoff must be exact, and every other
+// entry must still exceed the cutoff (it may be inflated, up to +Inf,
+// but must never dip to or below the cutoff, which would let a wrong
+// entry into a ranking).
+func TestBoundedExactBelowCutoff(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(42))
+	fw, err := cost.NewFanoutWeighted(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []cost.Model{cost.Unit{}, fw} {
+		for iter := 0; iter < 200; iter++ {
+			q := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(12), MaxFanout: 3, Labels: 5})
+			doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(40), MaxFanout: 4, Labels: 5})
+			v := viewOf(t, doc)
+
+			exactC := NewComputer(m, q)
+			exact := append([]float64(nil), exactC.SubtreeDistancesView(v)...)
+
+			// Cutoffs below, at, around and above the true distances.
+			maxD := 0.0
+			for _, x := range exact {
+				if x > maxD {
+					maxD = x
+				}
+			}
+			cutoffs := []float64{0, exact[len(exact)-1], maxD / 2, maxD, maxD + 1}
+			for _, cutoff := range cutoffs {
+				boundedC := NewComputer(m, q)
+				got, _ := boundedC.SubtreeDistancesViewBounded(v, cutoff)
+				for j := range exact {
+					if exact[j] <= cutoff && got[j] != exact[j] {
+						t.Fatalf("iter %d cutoff %g: row[%d] = %g, want exact %g", iter, cutoff, j, got[j], exact[j])
+					}
+					if exact[j] > cutoff && !(got[j] > cutoff) {
+						t.Fatalf("iter %d cutoff %g: row[%d] = %g ≤ cutoff but true distance %g exceeds it", iter, cutoff, j, got[j], exact[j])
+					}
+				}
+				gotD, _ := NewComputer(m, q).DistanceViewBounded(v, cutoff)
+				wantD := exact[len(exact)-1]
+				if wantD <= cutoff && gotD != wantD {
+					t.Fatalf("iter %d cutoff %g: DistanceViewBounded = %g, want exact %g", iter, cutoff, gotD, wantD)
+				}
+				if wantD > cutoff && !(gotD > cutoff) {
+					t.Fatalf("iter %d cutoff %g: DistanceViewBounded = %g ≤ cutoff but true %g exceeds it", iter, cutoff, gotD, wantD)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedReusedComputerNoStaleRows: a computer alternating bounded
+// (aborting) and exact evaluations must never leak +Inf or stale values
+// from an aborted run into a later one — the abort path must invalidate
+// exactly the cells it abandoned, and later runs must rewrite them.
+func TestBoundedReusedComputerNoStaleRows(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(7))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 10, MaxFanout: 3, Labels: 4})
+	c := NewComputer(cost.Unit{}, q)
+	oracle := NewComputer(cost.Unit{}, q)
+	for iter := 0; iter < 100; iter++ {
+		doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(50), MaxFanout: 4, Labels: 4})
+		v := viewOf(t, doc)
+		exact := append([]float64(nil), oracle.SubtreeDistancesView(v)...)
+		// Aggressive cutoff 0 forces aborts on nearly everything...
+		c.SubtreeDistancesViewBounded(v, 0)
+		// ...after which an unbounded run on the same computer must be
+		// exact everywhere.
+		got := c.SubtreeDistancesView(v)
+		for j := range exact {
+			if got[j] != exact[j] {
+				t.Fatalf("iter %d: row[%d] = %g after aborted run, want %g", iter, j, got[j], exact[j])
+			}
+		}
+	}
+}
+
+// TestBoundedAbortReported: with an impossible cutoff the evaluation must
+// abort (on any document larger than the query's reach) and report it.
+func TestBoundedAbortReported(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(3))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 8, MaxFanout: 3, Labels: 3})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 60, MaxFanout: 4, Labels: 3})
+	v := viewOf(t, doc)
+	c := NewComputer(cost.Unit{}, q)
+	row, aborted := c.SubtreeDistancesViewBounded(v, 0)
+	if !aborted {
+		t.Error("cutoff 0 on a 60-node document: expected an abort")
+	}
+	// The whole document cannot match an 8-node query at distance 0.
+	if !(row[len(row)-1] > 0) {
+		t.Errorf("root distance %g under cutoff 0, want > 0", row[len(row)-1])
+	}
+	if _, aborted := c.SubtreeDistancesViewBounded(v, math.Inf(1)); aborted {
+		t.Error("infinite cutoff must never abort")
+	}
+}
+
+// TestBoundedViewZeroAlloc: the bounded path shares the unbounded path's
+// steady-state zero-allocation contract.
+func TestBoundedViewZeroAlloc(t *testing.T) {
+	d := dict.New()
+	rng := rand.New(rand.NewSource(11))
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 12, MaxFanout: 3, Labels: 6})
+	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 80, MaxFanout: 4, Labels: 6})
+	v := viewOf(t, doc)
+	c := NewComputer(cost.Unit{}, q)
+	exact := c.SubtreeDistancesView(v) // warm scratch + oracle row
+	cutoff := exact[len(exact)-1] / 2
+	c.SubtreeDistancesViewBounded(v, cutoff) // warm the bounded path
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.SubtreeDistancesViewBounded(v, cutoff)
+	})
+	if allocs != 0 {
+		t.Errorf("SubtreeDistancesViewBounded allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}

@@ -26,6 +26,8 @@
 package ted
 
 import (
+	"math"
+
 	"tasm/internal/cost"
 	"tasm/internal/dict"
 	"tasm/internal/tree"
@@ -128,6 +130,41 @@ func (c *Computer) SubtreeDistancesView(v *tree.View) []float64 {
 	return c.tdRow(c.q.Size()-1, v.Size())
 }
 
+// SubtreeDistancesViewBounded is SubtreeDistancesView with an early-abort
+// cutoff, the second gate of the candidate pruning pipeline. Entries of
+// the returned row whose true distance is ≤ cutoff are exact; entries
+// whose true distance exceeds cutoff may instead hold any value > cutoff
+// (typically +Inf), so callers that discard distances above the cutoff —
+// a full top-k ranking whose k-th distance is the cutoff — observe
+// results identical to the unbounded evaluation. The second return value
+// reports whether any keyroot pair was abandoned early (for
+// instrumentation; false means the row is exact everywhere).
+//
+// The abort criterion is sound per keyroot pair: within one forest
+// distance computation every cell of a later row is lower-bounded by the
+// minimum of any earlier row (restricting an optimal edit mapping of the
+// larger prefix pair to a smaller query prefix yields a cheaper mapping
+// onto some document prefix), so once a full fd row's minimum exceeds the
+// cutoff, every tree distance the pair would still produce provably
+// exceeds it too. Abandoned tree-distance cells are published as +Inf,
+// which later pairs may read only as overestimates of sub-alignments that
+// already exceed the cutoff — exactness below the cutoff is preserved
+// inductively. Like the unbounded path, it allocates nothing in steady
+// state.
+func (c *Computer) SubtreeDistancesViewBounded(v *tree.View, cutoff float64) ([]float64, bool) {
+	aborted := c.runViewBounded(v, cutoff)
+	return c.tdRow(c.q.Size()-1, v.Size()), aborted
+}
+
+// DistanceViewBounded is DistanceView with an early-abort cutoff: the
+// returned distance is exact when ≤ cutoff and otherwise only guaranteed
+// to exceed the cutoff. The bool reports whether the evaluation aborted
+// early.
+func (c *Computer) DistanceViewBounded(v *tree.View, cutoff float64) (float64, bool) {
+	aborted := c.runViewBounded(v, cutoff)
+	return c.tdAt(c.q.Size()-1, v.Size()-1), aborted
+}
+
 // Matrix returns the full tree distance matrix td where td[i][j] is the
 // distance between the query subtree rooted at its postorder node i and
 // the document subtree rooted at postorder node j. The row slices alias
@@ -165,9 +202,10 @@ func (c *Computer) run(t *tree.Tree) {
 	c.runFlat(tLML, t.Keyroots())
 }
 
-// runView executes the dynamic program for (c.q, v). The view's cached
-// keyroots make repeated evaluations of one fill allocation-free.
-func (c *Computer) runView(v *tree.View) {
+// prepareView readies the per-run state for evaluating v: grows the
+// scratch for its size, fills document-side costs, and resolves its
+// labels into the query's dictionary (an alias when shared).
+func (c *Computer) prepareView(v *tree.View) {
 	n := v.Size()
 	c.ensure(n)
 	if c.unit {
@@ -182,7 +220,20 @@ func (c *Computer) runView(v *tree.View) {
 	} else {
 		c.translate(v.Dict(), v.LabelIDs())
 	}
+}
+
+// runView executes the dynamic program for (c.q, v). The view's cached
+// keyroots make repeated evaluations of one fill allocation-free.
+func (c *Computer) runView(v *tree.View) {
+	c.prepareView(v)
 	c.runFlat(v.LMLs(), v.Keyroots())
+}
+
+// runViewBounded is runView with the early-abort cutoff threaded into the
+// keyroot loop; it reports whether any pair aborted.
+func (c *Computer) runViewBounded(v *tree.View, cutoff float64) bool {
+	c.prepareView(v)
+	return c.runFlatBounded(v.LMLs(), v.Keyroots(), cutoff)
 }
 
 // fillCosts fills c.tCost[0:n] with the model costs of t's nodes.
@@ -280,6 +331,101 @@ func (c *Computer) forestDist(tLML []int, kq, lq, kt, lt int) {
 				// computed tree distance.
 				sub := qsubRow[tLML[j]-lt] + tdRow[j]
 				row[dj] = min3(del, ins, sub)
+			}
+		}
+	}
+}
+
+// runFlatBounded is runFlat with the abort cutoff passed to every pair.
+func (c *Computer) runFlatBounded(tLML, tKey []int, cutoff float64) bool {
+	if c.probe != nil {
+		for _, kt := range tKey {
+			c.probe.RelevantSubtree(kt - tLML[kt] + 1)
+		}
+	}
+	aborted := false
+	for _, kq := range c.qKey {
+		lq := c.qLML[kq]
+		for _, kt := range tKey {
+			if !c.forestDistBounded(tLML, kq, lq, kt, tLML[kt], cutoff) {
+				aborted = true
+			}
+		}
+	}
+	return aborted
+}
+
+// forestDistBounded is forestDist tracking the minimum of each completed
+// fd row; once that minimum exceeds the cutoff it abandons the pair,
+// publishes +Inf for the tree-distance cells the pair would still have
+// written (so later pairs and the caller never read stale values from a
+// previous run), and returns false. The per-cell work is identical to
+// forestDist plus one comparison.
+func (c *Computer) forestDistBounded(tLML []int, kq, lq, kt, lt int, cutoff float64) bool {
+	fd, fw := c.fd, c.fdCols
+	qCost, qLab, qLML := c.qCost, c.qLab, c.qLML
+	tCost, tLab := c.tCost, c.tLab
+
+	fd[0] = 0
+	for i := lq; i <= kq; i++ {
+		fd[(i-lq+1)*fw] = fd[(i-lq)*fw] + qCost[i] // delete q_i
+	}
+	for j := lt; j <= kt; j++ {
+		fd[j-lt+1] = fd[j-lt] + tCost[j] // insert t_j
+	}
+	for i := lq; i <= kq; i++ {
+		di := i - lq + 1
+		row := fd[di*fw : di*fw+kt-lt+2]
+		prev := fd[(di-1)*fw : (di-1)*fw+kt-lt+2]
+		qc, ql := qCost[i], qLab[i]
+		qlmlIsLq := qLML[i] == lq
+		qsubRow := fd[(qLML[i]-lq)*fw:]
+		tdRow := c.td[i*c.tdCols:]
+		rowMin := row[0] // column 0: delete the whole query prefix
+		for j := lt; j <= kt; j++ {
+			dj := j - lt + 1
+			del := prev[dj] + qc
+			ins := row[dj-1] + tCost[j]
+			var d float64
+			if qlmlIsLq && tLML[j] == lt {
+				ren := prev[dj-1]
+				if ql != tLab[j] {
+					ren += (qc + tCost[j]) / 2
+				}
+				d = min3(del, ins, ren)
+				tdRow[j] = d
+			} else {
+				sub := qsubRow[tLML[j]-lt] + tdRow[j]
+				d = min3(del, ins, sub)
+			}
+			row[dj] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if rowMin > cutoff && i < kq {
+			c.invalidatePair(tLML, i+1, kq, lq, kt, lt)
+			return false
+		}
+	}
+	return true
+}
+
+// invalidatePair marks the tree-distance cells an aborted pair would have
+// written in rows from..kq as exceeding every cutoff: td[i][j] = +Inf for
+// query rows whose prefix is the whole subtree rooted at i (qLML[i] == lq)
+// and document columns that are whole subtrees of the kt keyroot region
+// (tLML[j] == lt).
+func (c *Computer) invalidatePair(tLML []int, from, kq, lq, kt, lt int) {
+	inf := math.Inf(1)
+	for i := from; i <= kq; i++ {
+		if c.qLML[i] != lq {
+			continue
+		}
+		tdRow := c.td[i*c.tdCols:]
+		for j := lt; j <= kt; j++ {
+			if tLML[j] == lt {
+				tdRow[j] = inf
 			}
 		}
 	}
