@@ -38,7 +38,7 @@ import (
 // benchmarks in a run.
 type fixture struct {
 	doc   *tree.Tree
-	dict  *dict.Dict
+	dict  dict.Dict
 	items []postorder.Item
 }
 
@@ -49,20 +49,20 @@ var (
 
 func xmarkFixture(b *testing.B, scale int) *fixture {
 	b.Helper()
-	return getFixture(b, fmt.Sprintf("xmark%d", scale), func(d *dict.Dict) *datagen.Dataset { return datagen.XMark(scale) })
+	return getFixture(b, fmt.Sprintf("xmark%d", scale), func(d dict.Dict) *datagen.Dataset { return datagen.XMark(scale) })
 }
 
 func dblpFixture(b *testing.B, records int) *fixture {
 	b.Helper()
-	return getFixture(b, fmt.Sprintf("dblp%d", records), func(d *dict.Dict) *datagen.Dataset { return datagen.DBLP(records) })
+	return getFixture(b, fmt.Sprintf("dblp%d", records), func(d dict.Dict) *datagen.Dataset { return datagen.DBLP(records) })
 }
 
 func psdFixture(b *testing.B, entries int) *fixture {
 	b.Helper()
-	return getFixture(b, fmt.Sprintf("psd%d", entries), func(d *dict.Dict) *datagen.Dataset { return datagen.PSD(entries) })
+	return getFixture(b, fmt.Sprintf("psd%d", entries), func(d dict.Dict) *datagen.Dataset { return datagen.PSD(entries) })
 }
 
-func getFixture(b *testing.B, key string, mk func(*dict.Dict) *datagen.Dataset) *fixture {
+func getFixture(b *testing.B, key string, mk func(dict.Dict) *datagen.Dataset) *fixture {
 	b.Helper()
 	fixMu.Lock()
 	defer fixMu.Unlock()

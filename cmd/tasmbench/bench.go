@@ -79,12 +79,23 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// dictReport captures the memory story of the corpus fixture alongside
+// the timing numbers: the frozen base dictionary's size after ingest and
+// the request-overlay churn of one query — how many labels a query run
+// holds locally and releases, instead of leaking them into the shared
+// dictionary.
+type dictReport struct {
+	BaseLabels            int `json:"base_labels"`
+	OverlayLabelsPerQuery int `json:"overlay_labels_per_query"`
+}
+
 // benchReport is the top-level JSON document.
 type benchReport struct {
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Quick      bool          `json:"quick"`
 	Prune      string        `json:"prune,omitempty"`
+	Dict       *dictReport   `json:"dict,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
@@ -237,6 +248,16 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 		Prune:      pruneFlag,
+	}
+	if corp != nil {
+		var stats corpus.Stats
+		if _, err := corp.TopK(cq, 5, append(corpusOpts, corpus.WithStats(&stats))...); err != nil {
+			return err
+		}
+		report.Dict = &dictReport{
+			BaseLabels:            stats.BaseDictLabels,
+			OverlayLabelsPerQuery: stats.OverlayLabels,
+		}
 	}
 	for _, s := range suite {
 		r := testing.Benchmark(s.fn)

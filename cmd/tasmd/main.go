@@ -8,23 +8,35 @@
 //
 // Endpoints:
 //
-//	POST /v1/topk   – answer a top-k query across the corpus
-//	                  {"query":"{a{b}}","k":5} or {"queryXml":"<a>…</a>",…};
-//	                  optional "docs":[…], "trees":true, "workers":N,
-//	                  "exhaustive":true
-//	POST /v1/docs   – ingest a document: JSON {"name":…,"xml":…} or a raw
-//	                  XML body with ?name=…
-//	GET  /v1/docs   – list the corpus manifest
-//	GET  /healthz   – liveness and document count
-//	GET  /metrics   – Prometheus text-format counters: requests, cache
-//	                  hits, documents scanned/skipped, and the candidate
-//	                  pruning pipeline's histogram-skip / TED-abort /
-//	                  evaluation totals
+//	POST /v1/topk       – answer a top-k query across the corpus
+//	                      {"query":"{a{b}}","k":5} or {"queryXml":"<a>…</a>",…};
+//	                      optional "docs":[…], "trees":true, "workers":N,
+//	                      "exhaustive":true
+//	POST /v1/topk-batch – answer many queries in ONE corpus scan:
+//	                      {"queries":["{a{b}}",…],"k":5}; every document is
+//	                      read once for the whole batch and all queries
+//	                      share one request-scoped dictionary overlay
+//	POST /v1/docs       – ingest a document: JSON {"name":…,"xml":…} or a
+//	                      raw XML body with ?name=…
+//	GET  /v1/docs       – list the corpus manifest
+//	GET  /healthz       – liveness and document count
+//	GET  /metrics       – Prometheus text-format counters: requests, cache
+//	                      hits, documents scanned/skipped, the candidate
+//	                      pruning pipeline's histogram-skip / TED-abort /
+//	                      evaluation totals, dictionary gauges (frozen base
+//	                      size, overlay label churn), and fixed-bucket
+//	                      per-request latency histograms for both query
+//	                      endpoints
 //
 // Results are cached in a bounded LRU keyed on the corpus generation, so
 // ingesting a document transparently invalidates every cached answer.
 // In-flight top-k computations are bounded by -max-concurrent; further
 // requests queue.
+//
+// Every request resolves its query labels through a disposable
+// copy-on-write overlay of the corpus dictionary (released when the
+// request completes), so serving unboundedly many distinct query labels
+// leaves the daemon's memory bounded by its ingested documents.
 package main
 
 import (
@@ -47,15 +59,16 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight top-k computations (0 = unbounded)")
 		workers       = flag.Int("workers", 0, "default per-request worker pool (0 = sequential, -1 = GOMAXPROCS)")
 		maxK          = flag.Int("max-k", 10000, "largest k a request may ask for")
+		maxBatch      = flag.Int("max-batch", 1024, "largest number of queries one batch request may carry")
 	)
 	flag.Parse()
-	if err := run(*dir, *addr, *cacheSize, *maxConcurrent, *workers, *maxK); err != nil {
+	if err := run(*dir, *addr, *cacheSize, *maxConcurrent, *workers, *maxK, *maxBatch); err != nil {
 		fmt.Fprintln(os.Stderr, "tasmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, cacheSize, maxConcurrent, workers, maxK int) error {
+func run(dir, addr string, cacheSize, maxConcurrent, workers, maxK, maxBatch int) error {
 	if dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
@@ -68,6 +81,7 @@ func run(dir, addr string, cacheSize, maxConcurrent, workers, maxK int) error {
 		maxConcurrent: maxConcurrent,
 		workers:       workers,
 		maxK:          maxK,
+		maxBatch:      maxBatch,
 	})
 	srv := &http.Server{
 		Addr:    addr,

@@ -4,29 +4,87 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"tasm/corpus"
 )
+
+// latencyBuckets are the fixed per-request latency histogram boundaries
+// in seconds. They span sub-millisecond cache hits to multi-second scans
+// of large corpora; everything slower lands in the implicit +Inf bucket.
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// numLatencyBuckets is the number of finite histogram boundaries.
+const numLatencyBuckets = 13
+
+// latencyHistogram is a fixed-bucket Prometheus histogram maintained with
+// atomic counters only, so observing a request never takes a lock and
+// scraping never contends with query answering. Buckets hold non-
+// cumulative counts; the cumulative sums required by the exposition
+// format are computed at scrape time.
+type latencyHistogram struct {
+	buckets [numLatencyBuckets + 1]atomic.Uint64 // last is +Inf
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+}
+
+// observe records one request duration.
+func (h *latencyHistogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < numLatencyBuckets && s > latencyBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *latencyHistogram) write(w http.ResponseWriter, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := uint64(0)
+	for i, le := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	cum += h.buckets[numLatencyBuckets].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
 
 // serverMetrics accumulates the daemon's lifetime counters, exported on
 // GET /metrics in Prometheus text exposition format. Everything is a
 // plain atomic counter updated on the request path, so scraping never
 // contends with query answering.
 type serverMetrics struct {
-	topkRequests atomic.Uint64 // top-k requests accepted (cache hits included)
-	cacheHits    atomic.Uint64 // top-k requests answered from the result cache
-	ingests      atomic.Uint64 // documents ingested
+	topkRequests  atomic.Uint64 // top-k requests accepted (cache hits included)
+	batchRequests atomic.Uint64 // batch requests accepted (cache hits included)
+	batchQueries  atomic.Uint64 // queries carried by batch requests
+	cacheHits     atomic.Uint64 // requests answered from the result cache
+	ingests       atomic.Uint64 // documents ingested
 
-	// Aggregated corpus.Stats of every computed (non-cached) top-k run.
+	// Aggregated corpus.Stats of every computed (non-cached) run.
 	docsScanned     atomic.Uint64
 	docsSkipped     atomic.Uint64
 	docsUnprofiled  atomic.Uint64
 	candHistSkipped atomic.Uint64
 	tedAborted      atomic.Uint64
 	evaluated       atomic.Uint64
+	// overlayLabels totals the request-local labels computed runs held in
+	// their per-request dictionary overlays — labels that on a shared
+	// mutable dictionary would have leaked into process memory forever.
+	overlayLabels atomic.Uint64
+
+	// Per-request latency, cache hits included (they are requests too).
+	topkLatency  latencyHistogram
+	batchLatency latencyHistogram
 }
 
-// observe folds one computed top-k run's statistics into the totals.
+// observe folds one computed run's statistics into the totals.
 func (m *serverMetrics) observe(s *corpus.Stats) {
 	m.docsScanned.Add(uint64(s.Scanned))
 	m.docsSkipped.Add(uint64(s.Skipped))
@@ -34,10 +92,11 @@ func (m *serverMetrics) observe(s *corpus.Stats) {
 	m.candHistSkipped.Add(s.HistSkipped)
 	m.tedAborted.Add(s.TEDAborted)
 	m.evaluated.Add(s.Evaluated)
+	m.overlayLabels.Add(uint64(s.OverlayLabels))
 }
 
 // handleMetrics serves the Prometheus text exposition format (version
-// 0.0.4; counters and gauges only, no labels, so no escaping is needed).
+// 0.0.4; counters, gauges and fixed-bucket histograms).
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m := &s.metrics
@@ -46,7 +105,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		value            uint64
 	}{
 		{"tasmd_topk_requests_total", "counter", "Top-k requests accepted.", m.topkRequests.Load()},
-		{"tasmd_topk_cache_hits_total", "counter", "Top-k requests answered from the result cache.", m.cacheHits.Load()},
+		{"tasmd_topk_batch_requests_total", "counter", "Batch top-k requests accepted.", m.batchRequests.Load()},
+		{"tasmd_topk_batch_queries_total", "counter", "Queries carried by batch top-k requests.", m.batchQueries.Load()},
+		{"tasmd_topk_cache_hits_total", "counter", "Requests answered from the result cache.", m.cacheHits.Load()},
 		{"tasmd_ingests_total", "counter", "Documents ingested.", m.ingests.Load()},
 		{"tasmd_docs_scanned_total", "counter", "Documents streamed through TASM-postorder.", m.docsScanned.Load()},
 		{"tasmd_docs_skipped_total", "counter", "Documents skipped by the document-level label lower bound.", m.docsSkipped.Load()},
@@ -54,9 +115,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_candidates_hist_skipped_total", "counter", "Candidate subtrees skipped by the histogram-intersection lower bound.", m.candHistSkipped.Load()},
 		{"tasmd_ted_evals_aborted_total", "counter", "Subtree evaluations abandoned early by the bounded Zhang-Shasha DP.", m.tedAborted.Load()},
 		{"tasmd_ted_evals_completed_total", "counter", "Subtree evaluations run to completion.", m.evaluated.Load()},
+		{"tasmd_overlay_labels_total", "counter", "Request-local labels held in per-request dictionary overlays (released with each request).", m.overlayLabels.Load()},
 		{"tasmd_corpus_docs", "gauge", "Documents currently in the corpus.", uint64(s.c.Len())},
 		{"tasmd_corpus_generation", "gauge", "Corpus generation (increments on ingest).", uint64(s.c.Generation())},
+		{"tasmd_dict_base_labels", "gauge", "Labels in the frozen corpus base dictionary (grows only on ingest, never on queries).", uint64(s.c.DictLen())},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.value)
 	}
+	m.topkLatency.write(w, "tasmd_topk_latency_seconds", "Per-request latency of POST /v1/topk (cache hits included).")
+	m.batchLatency.write(w, "tasmd_topk_batch_latency_seconds", "Per-request latency of POST /v1/topk-batch (cache hits included).")
 }

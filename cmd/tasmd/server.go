@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"tasm/corpus"
 	"tasm/internal/tree"
@@ -30,6 +31,9 @@ type serverConfig struct {
 	// maxK rejects requests asking for more results than the server is
 	// willing to rank.
 	maxK int
+	// maxBatch rejects batch requests carrying more queries than the
+	// server is willing to scan for in one pass.
+	maxBatch int
 }
 
 // server routes the tasmd HTTP API over one shared corpus.
@@ -46,12 +50,16 @@ func newServer(c *corpus.Corpus, cfg serverConfig) http.Handler {
 	if cfg.maxK <= 0 {
 		cfg.maxK = 10000
 	}
+	if cfg.maxBatch <= 0 {
+		cfg.maxBatch = 1024
+	}
 	s := &server{c: c, cfg: cfg, cache: newLRUCache(cfg.cacheSize)}
 	if cfg.maxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.maxConcurrent)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/topk-batch", s.handleTopKBatch)
 	mux.HandleFunc("POST /v1/docs", s.handleIngest)
 	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -94,7 +102,25 @@ type topkStats struct {
 	HistSkipped uint64 `json:"histSkipped"`
 	TEDAborted  uint64 `json:"tedAborted"`
 	Evaluated   uint64 `json:"evaluated"`
-	Cached      bool   `json:"cached"`
+	// Dictionary accounting: the frozen corpus dictionary's size and the
+	// request-local labels the query overlay held (released with the
+	// request; see corpus.Stats).
+	BaseDictLabels int  `json:"baseDictLabels"`
+	OverlayLabels  int  `json:"overlayLabels"`
+	Cached         bool `json:"cached"`
+}
+
+// statsOf converts a run's corpus.Stats to the response shape.
+func statsOf(stats *corpus.Stats) topkStats {
+	return topkStats{
+		Scanned:        stats.Scanned,
+		Skipped:        stats.Skipped,
+		HistSkipped:    stats.HistSkipped,
+		TEDAborted:     stats.TEDAborted,
+		Evaluated:      stats.Evaluated,
+		BaseDictLabels: stats.BaseDictLabels,
+		OverlayLabels:  stats.OverlayLabels,
+	}
 }
 
 type topkResponse struct {
@@ -103,6 +129,8 @@ type topkResponse struct {
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.topkLatency.observe(time.Since(start)) }()
 	var req topkRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
@@ -189,22 +217,8 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.observe(&stats)
 	resp := topkResponse{
-		Matches: make([]topkMatch, len(matches)),
-		Stats: topkStats{
-			Scanned:     stats.Scanned,
-			Skipped:     stats.Skipped,
-			HistSkipped: stats.HistSkipped,
-			TEDAborted:  stats.TEDAborted,
-			Evaluated:   stats.Evaluated,
-		},
-	}
-	for i, m := range matches {
-		resp.Matches[i] = topkMatch{
-			Doc: m.Doc.Name, DocID: m.Doc.ID, Pos: m.Pos, Dist: m.Dist, Size: m.Size,
-		}
-		if m.Tree != nil {
-			resp.Matches[i].Tree = m.Tree.String()
-		}
+		Matches: matchesOf(matches),
+		Stats:   statsOf(&stats),
 	}
 	if data, err := json.Marshal(resp); err == nil {
 		s.cache.put(key, data)
@@ -212,19 +226,171 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// matchesOf converts corpus matches to the response shape.
+func matchesOf(matches []corpus.Match) []topkMatch {
+	out := make([]topkMatch, len(matches))
+	for i, m := range matches {
+		out[i] = topkMatch{
+			Doc: m.Doc.Name, DocID: m.Doc.ID, Pos: m.Pos, Dist: m.Dist, Size: m.Size,
+		}
+		if m.Tree != nil {
+			out[i].Tree = m.Tree.String()
+		}
+	}
+	return out
+}
+
+// topkBatchRequest is the body of POST /v1/topk-batch: many queries
+// answered in one corpus scan (each document is read once for the whole
+// batch, and all queries share one request-scoped dictionary overlay).
+type topkBatchRequest struct {
+	// Queries are the batch's queries in bracket notation.
+	Queries []string `json:"queries"`
+	K       int      `json:"k"`
+	// Docs restricts the batch to the named documents; empty means all.
+	Docs []string `json:"docs,omitempty"`
+	// Trees includes each matched subtree in bracket notation.
+	Trees bool `json:"trees,omitempty"`
+	// Exhaustive disables the pq-gram prefilter for this request.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+}
+
+// topkBatchResponse answers a batch: Results[i] ranks queries[i], and the
+// stats describe the single shared scan.
+type topkBatchResponse struct {
+	Results [][]topkMatch `json:"results"`
+	Stats   topkStats     `json:"stats"`
+}
+
+func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.metrics.batchLatency.observe(time.Since(start)) }()
+	var req topkBatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		httpError(w, http.StatusBadRequest, "queries must not be empty")
+		return
+	}
+	if req.K < 1 {
+		httpError(w, http.StatusBadRequest, "k must be ≥ 1, got %d", req.K)
+		return
+	}
+	if req.K > s.cfg.maxK {
+		httpError(w, http.StatusBadRequest, "k %d exceeds the server limit %d", req.K, s.cfg.maxK)
+		return
+	}
+	if len(req.Queries) > s.cfg.maxBatch {
+		httpError(w, http.StatusBadRequest, "batch of %d queries exceeds the server limit %d", len(req.Queries), s.cfg.maxBatch)
+		return
+	}
+
+	s.metrics.batchRequests.Add(1)
+	s.metrics.batchQueries.Add(uint64(len(req.Queries)))
+	key := s.batchCacheKey(&req)
+	if cached, ok := s.cache.get(key); ok {
+		var resp topkBatchResponse
+		if err := json.Unmarshal(cached, &resp); err == nil {
+			s.metrics.cacheHits.Add(1)
+			resp.Stats.Cached = true
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	if s.sem != nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+	}
+
+	queries := make([]*tree.Tree, len(req.Queries))
+	for i, qs := range req.Queries {
+		q, err := s.c.ParseBracket(qs)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parsing query %d: %v", i, err)
+			return
+		}
+		queries[i] = q
+	}
+
+	var stats corpus.Stats
+	opts := []corpus.QueryOption{corpus.WithStats(&stats)}
+	if len(req.Docs) > 0 {
+		opts = append(opts, corpus.WithDocs(req.Docs...))
+	}
+	if !req.Trees {
+		opts = append(opts, corpus.WithoutTrees())
+	}
+	if req.Exhaustive {
+		opts = append(opts, corpus.WithoutFilter())
+	}
+	results, err := s.c.TopKBatch(queries, req.K, opts...)
+	if err != nil {
+		var scanErr *corpus.ScanError
+		if errors.As(err, &scanErr) {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.metrics.observe(&stats)
+	resp := topkBatchResponse{
+		Results: make([][]topkMatch, len(results)),
+		Stats:   statsOf(&stats),
+	}
+	for i, ms := range results {
+		resp.Results[i] = matchesOf(ms)
+	}
+	if data, err := json.Marshal(resp); err == nil {
+		s.cache.put(key, data)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchCacheKey identifies a batch result: the corpus generation plus
+// every request field that can change the response bytes. Fields are
+// length-prefixed like cacheKey's.
+func (s *server) batchCacheKey(req *topkBatchRequest) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "batch\x00g%d\x00k%d\x00t%v\x00e%v\x00q%d",
+		s.c.Generation(), req.K, req.Trees, req.Exhaustive, len(req.Queries))
+	for _, q := range req.Queries {
+		writeLenPrefixed(&sb, q)
+	}
+	for _, d := range req.Docs {
+		writeLenPrefixed(&sb, d)
+	}
+	return sb.String()
+}
+
 // cacheKey identifies a topk result: the corpus generation plus every
 // request field that can change the response bytes. Workers is
 // deliberately absent — results are identical in all worker modes, so
-// keying on it would only fragment the cache.
+// keying on it would only fragment the cache. Variable-length fields are
+// length-prefixed so values containing separator bytes cannot collide
+// with field boundaries.
 func (s *server) cacheKey(req *topkRequest) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v\x00q%s\x00x%s",
-		s.c.Generation(), req.K, req.Trees, req.Exhaustive, req.Query, req.QueryXML)
+	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v", s.c.Generation(), req.K, req.Trees, req.Exhaustive)
+	writeLenPrefixed(&sb, req.Query)
+	writeLenPrefixed(&sb, req.QueryXML)
 	for _, d := range req.Docs {
-		sb.WriteByte(0)
-		sb.WriteString(d)
+		writeLenPrefixed(&sb, d)
 	}
 	return sb.String()
+}
+
+// writeLenPrefixed appends one variable-length key field unambiguously.
+func writeLenPrefixed(sb *strings.Builder, s string) {
+	fmt.Fprintf(sb, "\x00%d:", len(s))
+	sb.WriteString(s)
 }
 
 // ingestRequest is the JSON body of POST /v1/docs. Raw XML bodies with a

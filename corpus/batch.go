@@ -1,0 +1,236 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tasm/internal/core"
+	"tasm/internal/dict"
+	"tasm/internal/docstore"
+	"tasm/internal/pqgram"
+	"tasm/internal/ranking"
+	"tasm/internal/tree"
+)
+
+// batchDoc is one document of a TopKBatch scan plan: the shared scanDoc
+// ordering data plus the per-query lower bounds that drive the skip
+// decision.
+type batchDoc struct {
+	scanDoc
+	bounds []float64 // per query: sound lower bound on any subtree distance
+}
+
+// TopKBatch answers several queries across the corpus in one pass:
+// every selected document is opened and streamed through the prefix ring
+// buffer once, and all queries rank its candidate subtrees during that
+// single scan (core.PostorderBatchInto). Result i corresponds to
+// queries[i] and is byte-identical to c.TopK(queries[i], k).
+//
+// The whole batch shares one request overlay over the frozen corpus
+// dictionary, so serving a batch interns each distinct query label once
+// and releases them all with the batch.
+//
+// A document is skipped only when it is prunable for every query — each
+// query keeps its own sound label lower bound per document and its own
+// running k-th distance. Scan order is ascending minimum pq-gram distance
+// over the queries, so documents promising for any query are scanned
+// early. The WithWorkers option is ignored: the batch scan itself is the
+// parallelism (one document read serves all queries).
+func (c *Corpus) TopKBatch(queries []*tree.Tree, k int, opts ...QueryOption) ([][]Match, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("corpus: batch needs at least one query")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("corpus: k must be ≥ 1, got %d", k)
+	}
+	for i, q := range queries {
+		if q == nil || q.Size() == 0 {
+			return nil, fmt.Errorf("corpus: query %d must be a non-empty tree", i)
+		}
+	}
+
+	st := c.snapshot()
+	ov := dict.NewOverlay(st.base)
+	qs := make([]*tree.Tree, len(queries))
+	for i, q := range queries {
+		qs[i] = q.Reintern(ov)
+	}
+
+	plan, err := c.planBatch(st, qs, &cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	heaps := make([]*ranking.Heap, len(qs))
+	for i := range heaps {
+		heaps[i] = ranking.New(k)
+	}
+	stats := Stats{}
+	prune := &core.PruneStats{}
+	coreOpts := core.Options{
+		Model:                 c.model,
+		NoTrees:               cfg.noTrees,
+		Prune:                 prune,
+		DisableHistogramBound: cfg.noPrune,
+		DisableEarlyAbort:     cfg.noPrune,
+	}
+	for _, d := range plan {
+		if !cfg.noFilter {
+			// Skip the document only when no query can improve its
+			// ranking here: every heap is full and every per-query bound
+			// strictly exceeds that query's running k-th distance.
+			skip := true
+			for i, h := range heaps {
+				if !h.Full() || d.bounds[i] <= h.Max().Dist {
+					skip = false
+					break
+				}
+			}
+			if skip {
+				stats.Skipped++
+				continue
+			}
+			if d.unprofiled {
+				stats.Unprofiled++
+			}
+		}
+		if err := c.scanBatchInto(qs, ov, d.scanDoc, heaps, coreOpts); err != nil {
+			return nil, err
+		}
+		stats.Scanned++
+	}
+	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
+	stats.BaseDictLabels = st.base.Len()
+	stats.OverlayLabels = ov.Added()
+	if cfg.stats != nil {
+		*cfg.stats = stats
+	}
+
+	docsOnly := make([]scanDoc, len(plan))
+	for i, d := range plan {
+		docsOnly[i] = d.scanDoc
+	}
+	out := make([][]Match, len(heaps))
+	for i, h := range heaps {
+		out[i] = resolve(h, docsOnly)
+	}
+	return out, nil
+}
+
+// planBatch computes the batch scan plan: one pass over the snapshot's
+// documents deriving, per query, the sound label lower bound and the
+// pq-gram ordering distance. Documents are ordered by their minimum
+// pq-gram distance over the queries (then minimum bound, then id), so a
+// document promising for any query of the batch is scanned early.
+func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *queryConfig) ([]batchDoc, error) {
+	qGrams := make([]*pqgram.Profile, len(qs))
+	qLabels := make([]map[int]int, len(qs))
+	for i, q := range qs {
+		g, err := pqgram.New(q, c.p, c.q)
+		if err != nil {
+			return nil, err
+		}
+		qGrams[i] = g
+		labels := make(map[int]int, q.Size())
+		for j := 0; j < q.Size(); j++ {
+			labels[q.LabelID(j)]++
+		}
+		qLabels[i] = labels
+	}
+
+	var selected map[string]bool
+	if cfg.docs != nil {
+		selected = make(map[string]bool, len(cfg.docs))
+		for _, n := range cfg.docs {
+			selected[n] = false
+		}
+	}
+
+	plan := make([]batchDoc, 0, len(st.docs))
+	offset := 0
+	for _, d := range st.docs {
+		include := true
+		if selected != nil {
+			if _, ok := selected[d.Name]; !ok {
+				include = false
+			} else {
+				selected[d.Name] = true
+			}
+		}
+		if include {
+			bd := batchDoc{
+				scanDoc: scanDoc{info: d, offset: offset},
+				bounds:  make([]float64, len(qs)),
+			}
+			if !cfg.noFilter {
+				if p := st.profiles[d.ID]; p != nil {
+					bd.pqdist = math.MaxInt
+					minBound := math.Inf(1)
+					for i := range qs {
+						bd.bounds[i] = labelLowerBound(qLabels[i], p.labels)
+						pqd, err := pqgram.Distance(qGrams[i], p.grams)
+						if err != nil {
+							return nil, err
+						}
+						if pqd < bd.pqdist {
+							bd.pqdist = pqd
+						}
+						if bd.bounds[i] < minBound {
+							minBound = bd.bounds[i]
+						}
+					}
+					bd.bound = minBound
+				} else {
+					// Unprofiled documents are never skipped (bounds stay
+					// 0) and sort to the end of the scan order.
+					bd.unprofiled = true
+					bd.pqdist = math.MaxInt
+				}
+			}
+			plan = append(plan, bd)
+		}
+		offset += d.Nodes
+	}
+	for name, found := range selected {
+		if !found {
+			return nil, fmt.Errorf("corpus: unknown document %q", name)
+		}
+	}
+	if !cfg.noFilter {
+		sort.SliceStable(plan, func(i, j int) bool {
+			if plan[i].pqdist != plan[j].pqdist {
+				return plan[i].pqdist < plan[j].pqdist
+			}
+			if plan[i].bound != plan[j].bound {
+				return plan[i].bound < plan[j].bound
+			}
+			return plan[i].info.ID < plan[j].info.ID
+		})
+	}
+	return plan, nil
+}
+
+// scanBatchInto streams one document store through the shared ring-buffer
+// scan of core.PostorderBatchInto, ranking all queries at once.
+func (c *Corpus) scanBatchInto(qs []*tree.Tree, ov dict.Dict, d scanDoc, heaps []*ranking.Heap, opts core.Options) error {
+	f, err := os.Open(filepath.Join(c.dir, d.info.Store))
+	if err != nil {
+		return &ScanError{Doc: d.info.Name, Err: err}
+	}
+	defer f.Close()
+	r, err := docstore.NewReader(ov, f)
+	if err != nil {
+		return &ScanError{Doc: d.info.Name, Err: err}
+	}
+	if err := core.PostorderBatchInto(qs, r, heaps, d.offset, opts); err != nil {
+		return &ScanError{Doc: d.info.Name, Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package corpus_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tasm/corpus"
+)
+
+// TestQueryLabelsDoNotGrowCorpus is the boundedness regression test for
+// the per-request dictionary overlay: a long-lived corpus answering many
+// queries whose labels are all distinct must end with exactly the same
+// base dictionary size — and essentially the same heap — as after a
+// single query. Before request-scoped overlays, every query label was
+// interned into the shared corpus dictionary forever, so this test fails
+// on the shared-interning implementation (the dictionary grew by
+// queries × labels, and the heap by their retained strings).
+func TestQueryLabelsDoNotGrowCorpus(t *testing.T) {
+	c, err := corpus.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddXML("d", strings.NewReader(`<dblp><article><author>smith</author><title>trees</title></article></dblp>`)); err != nil {
+		t.Fatal(err)
+	}
+	dictAfterIngest := c.DictLen()
+	if dictAfterIngest == 0 {
+		t.Fatal("ingest produced an empty dictionary")
+	}
+
+	// Each query carries `labels` distinct ~0.5 KB labels never seen
+	// before; across `queries` runs that is ~2 MB of label strings that
+	// the old shared dictionary would have retained forever.
+	const queries, labels = 64, 64
+	pad := strings.Repeat("x", 500)
+	runQuery := func(qi int) {
+		var sb strings.Builder
+		sb.WriteString("{article")
+		for li := 0; li < labels; li++ {
+			fmt.Fprintf(&sb, "{q%04d-%04d-%s}", qi, li, pad)
+		}
+		sb.WriteString("}")
+		q, err := c.ParseBracket(sb.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats corpus.Stats
+		if _, err := c.TopK(q, 3, corpus.WithStats(&stats), corpus.WithoutTrees()); err != nil {
+			t.Fatal(err)
+		}
+		if stats.OverlayLabels != labels {
+			t.Fatalf("query %d: OverlayLabels = %d, want %d", qi, stats.OverlayLabels, labels)
+		}
+		if stats.BaseDictLabels != dictAfterIngest {
+			t.Fatalf("query %d: BaseDictLabels = %d, want %d", qi, stats.BaseDictLabels, dictAfterIngest)
+		}
+	}
+
+	// N=1 baseline.
+	runQuery(0)
+	if got := c.DictLen(); got != dictAfterIngest {
+		t.Fatalf("one query grew the base dictionary %d → %d", dictAfterIngest, got)
+	}
+	heapAfterOne := heapInUse()
+
+	// N queries with all-distinct labels.
+	for qi := 1; qi < queries; qi++ {
+		runQuery(qi)
+	}
+	if got := c.DictLen(); got != dictAfterIngest {
+		t.Fatalf("%d queries grew the base dictionary %d → %d (query labels leaked into the shared dictionary)",
+			queries, dictAfterIngest, got)
+	}
+	heapAfterN := heapInUse()
+
+	// The heap must not retain the queries' labels. Allow 1 MB of noise —
+	// far below the ≥ 2 MB of label strings the shared dictionary would
+	// have pinned.
+	const margin = 1 << 20
+	if heapAfterN > heapAfterOne+margin {
+		t.Errorf("heap grew from %d to %d bytes across %d distinct-label queries (> %d margin): query labels are being retained",
+			heapAfterOne, heapAfterN, queries, margin)
+	}
+}
+
+// heapInUse returns the live heap after forcing collection twice (the
+// first GC may only queue finalizers for overlay-held maps).
+func heapInUse() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

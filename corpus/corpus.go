@@ -20,6 +20,24 @@
 // The label histogram maps each distinct label to its number of
 // occurrences in the document.
 //
+// # Dictionary lifecycle
+//
+// The corpus label dictionary is immutable between ingests. Open loads
+// every document's labels into a mutable dictionary and freezes it; an
+// ingest clones the frozen dictionary, interns the new document's labels
+// into the clone, freezes the clone and publishes it — readers of the old
+// dictionary are never disturbed, and every previously assigned
+// identifier stays valid.
+//
+// Queries never touch the shared dictionary at all: each TopK run
+// resolves labels through a request-scoped copy-on-write overlay
+// (dict.Overlay) that reads through the frozen base and interns labels
+// the corpus has never seen with identifiers above the base's watermark.
+// Dropping the overlay at the end of the request releases those labels in
+// O(1), so a long-running server answering unboundedly many distinct
+// query labels holds a dictionary bounded by its documents' labels — and
+// concurrent scans share the frozen base lock-free.
+//
 // # Query answering
 //
 // TopK(q, k) ranks the subtrees of every corpus document in one shared
@@ -92,7 +110,9 @@ func WithPQ(p, q int) Option {
 
 // Corpus is an open corpus directory. It is safe for concurrent use:
 // queries may run while documents are ingested, and ingests are
-// serialized internally.
+// serialized internally. The read path of a query never locks the label
+// dictionary — scans share an immutable frozen base and intern
+// request-local labels into disposable overlays.
 type Corpus struct {
 	dir   string
 	model cost.Model
@@ -102,15 +122,43 @@ type Corpus struct {
 	man      *docstore.Manifest
 	profiles map[int]*docProfile // by document id
 	gen      uint64              // bumped on every ingest
-	dict     *dict.Dict
+	// dict is the frozen corpus base dictionary. It is replaced wholesale
+	// on every ingest (clone → intern → freeze → publish), never mutated
+	// in place, so snapshots taken under mu stay internally consistent
+	// with the manifest and profiles captured alongside them.
+	dict *dict.Base
 }
 
 // docProfile is the in-memory profile index entry of one document.
 type docProfile struct {
 	grams *pqgram.Profile
-	// labels maps interned label ids (in the corpus dictionary) to the
-	// label's occurrence count in the document.
+	// labels maps interned label ids (in the corpus base dictionary) to
+	// the label's occurrence count in the document.
 	labels map[int]int
+}
+
+// snapshot is one consistent view of the corpus for a single query run:
+// the manifest documents, their profiles, and the frozen dictionary they
+// were interned in. All three are published together under mu, so every
+// profile id resolves in base and every overlay id above base's watermark
+// is guaranteed fresh with respect to the captured documents.
+type snapshot struct {
+	docs     []DocInfo
+	profiles map[int]*docProfile
+	base     *dict.Base
+}
+
+// snapshot captures the current corpus state for one query run.
+func (c *Corpus) snapshot() snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	docs := make([]DocInfo, len(c.man.Docs))
+	copy(docs, c.man.Docs)
+	profiles := make(map[int]*docProfile, len(c.profiles))
+	for id, p := range c.profiles {
+		profiles[id] = p
+	}
+	return snapshot{docs: docs, profiles: profiles, base: c.dict}
 }
 
 // Open opens the corpus directory dir, creating it (and an empty
@@ -122,7 +170,6 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 		p:        2,
 		q:        3,
 		profiles: map[int]*docProfile{},
-		dict:     dict.New(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -147,8 +194,9 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 		c.p, c.q = man.P, man.Q
 	}
 	c.man = man
+	base := dict.New()
 	for _, d := range man.Docs {
-		p, err := c.loadProfile(d)
+		p, err := c.loadProfile(base, d)
 		if err != nil {
 			// A missing or corrupt profile degrades that one document to
 			// unfiltered scanning (query.go records it in Stats.Unprofiled)
@@ -158,6 +206,7 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 		}
 		c.profiles[d.ID] = p
 	}
+	c.dict = base.Freeze()
 	return c, nil
 }
 
@@ -179,6 +228,16 @@ func (c *Corpus) Len() int {
 	return len(c.man.Docs)
 }
 
+// DictLen returns the number of labels in the corpus base dictionary —
+// the ingested documents' distinct labels. It is bounded by the corpus
+// contents and unaffected by queries: query-only labels live in
+// per-request overlays that are dropped when the request completes.
+func (c *Corpus) DictLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dict.Len()
+}
+
 // Docs returns the manifest entries of all documents in ascending id
 // order.
 func (c *Corpus) Docs() []DocInfo {
@@ -189,71 +248,65 @@ func (c *Corpus) Docs() []DocInfo {
 	return out
 }
 
-// ParseBracket parses a query in bracket notation against the corpus
-// dictionary.
+// ParseBracket parses a query in bracket notation.
 //
-// Note that query labels are interned into the corpus dictionary, whose
-// entries are never evicted: a long-lived corpus serving queries with
-// unboundedly many distinct labels grows its dictionary accordingly
-// (documents contribute only their own bounded label sets). A
-// per-request dictionary overlay is a planned refinement (see ROADMAP);
-// deployments exposed to adversarial query labels should recycle the
-// Corpus periodically or bound query sizes upstream.
+// The query is interned in a fresh copy-on-write overlay over the corpus
+// dictionary: labels the corpus knows resolve to their shared ids, labels
+// it does not stay local to the returned tree. The shared dictionary
+// never grows, no matter how many distinct labels queries carry, and the
+// overlay (with every request-local label) is released with the tree.
 func (c *Corpus) ParseBracket(s string) (*tree.Tree, error) {
-	return tree.Parse(c.dict, s)
+	return tree.Parse(c.queryOverlay(), s)
 }
 
-// ParseXML parses an XML query against the corpus dictionary. See
-// ParseBracket for the dictionary-growth caveat.
+// ParseXML parses an XML query against a fresh overlay of the corpus
+// dictionary. See ParseBracket for the overlay lifecycle.
 func (c *Corpus) ParseXML(r io.Reader) (*tree.Tree, error) {
-	return xmlstream.ParseTree(c.dict, r)
+	return xmlstream.ParseTree(c.queryOverlay(), r)
+}
+
+// queryOverlay returns a fresh request overlay over the current base.
+func (c *Corpus) queryOverlay() *dict.Overlay {
+	c.mu.RLock()
+	base := c.dict
+	c.mu.RUnlock()
+	return dict.NewOverlay(base)
 }
 
 // AddXML ingests an XML document under the given name: the document is
 // parsed, persisted as a postorder store, profiled, and added to the
 // manifest. Names must be unique within the corpus.
 func (c *Corpus) AddXML(name string, r io.Reader) (DocInfo, error) {
-	t, err := xmlstream.ParseTree(c.dict, r)
+	t, err := xmlstream.ParseTree(c.queryOverlay(), r)
 	if err != nil {
 		return DocInfo{}, fmt.Errorf("corpus: parsing %q: %w", name, err)
 	}
 	return c.AddTree(name, t)
 }
 
-// ImportTree re-interns a tree parsed under a foreign dictionary into
-// the corpus dictionary, making it usable as a TopK query or AddTree
-// document. Trees already interned in the corpus dictionary are returned
-// unchanged.
+// ImportTree re-interns a tree parsed under any dictionary into an
+// overlay of the corpus dictionary, aligning its shared labels with the
+// corpus ids. Calling it is never required — TopK and AddTree accept
+// trees from any dictionary and re-intern internally — but it remains a
+// cheap way to pre-resolve a tree reused across several queries.
 func (c *Corpus) ImportTree(t *tree.Tree) (*tree.Tree, error) {
 	if t == nil || t.Size() == 0 {
 		return nil, fmt.Errorf("corpus: tree must be non-empty")
 	}
-	if t.Dict() == c.dict {
-		return t, nil
-	}
-	items := make([]postorder.Item, t.Size())
-	for i := 0; i < t.Size(); i++ {
-		items[i] = postorder.Item{Label: c.dict.Intern(t.Label(i)), Size: t.SubtreeSize(i)}
-	}
-	imported, err := postorder.BuildTree(c.dict, postorder.NewSliceQueue(items))
-	if err != nil {
-		return nil, fmt.Errorf("corpus: re-interning tree: %w", err)
-	}
-	return imported, nil
+	return t.Reintern(c.queryOverlay()), nil
 }
 
-// AddTree ingests an already-materialized document tree. Trees parsed by
-// a different dictionary are re-interned into the corpus dictionary.
+// AddTree ingests an already-materialized document tree, parsed under any
+// dictionary. The document's labels are interned into a private clone of
+// the corpus dictionary, which is frozen and published with the updated
+// manifest — in-flight queries keep reading the previous frozen
+// dictionary undisturbed.
 func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 	if name == "" {
 		return DocInfo{}, fmt.Errorf("corpus: document name must not be empty")
 	}
 	if t == nil || t.Size() == 0 {
 		return DocInfo{}, fmt.Errorf("corpus: document must be a non-empty tree")
-	}
-	var err error
-	if t, err = c.ImportTree(t); err != nil {
-		return DocInfo{}, err
 	}
 
 	c.mu.Lock()
@@ -264,6 +317,11 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 		}
 	}
 	id := c.man.NextID
+
+	// Extend the dictionary copy-on-write: readers of the current frozen
+	// base never observe the ingest in progress.
+	nd := c.dict.Clone()
+	t = t.Reintern(nd)
 
 	grams, err := pqgram.New(t, c.p, c.q)
 	if err != nil {
@@ -283,12 +341,12 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 		Profile:   filepath.Join(docsDir, fmt.Sprintf("%d.profile", id)),
 	}
 	if err := c.writeFile(info.Store, func(w io.Writer) error {
-		return docstore.WriteItems(w, c.dict, postorder.Items(t))
+		return docstore.WriteItems(w, nd, postorder.Items(t))
 	}); err != nil {
 		return DocInfo{}, err
 	}
 	if err := c.writeFile(info.Profile, func(w io.Writer) error {
-		return c.writeProfile(w, grams, labels)
+		return writeProfile(w, nd, grams, labels)
 	}); err != nil {
 		return DocInfo{}, err
 	}
@@ -301,6 +359,7 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 	}
 	c.man = &man
 	c.profiles[id] = &docProfile{grams: grams, labels: labels}
+	c.dict = nd.Freeze()
 	c.gen++
 	return info, nil
 }
@@ -329,8 +388,8 @@ func (c *Corpus) writeFile(rel string, fill func(io.Writer) error) error {
 }
 
 // writeProfile serializes a document's profile file: the pq-gram profile
-// followed by the label histogram.
-func (c *Corpus) writeProfile(w io.Writer, grams *pqgram.Profile, labels map[int]int) error {
+// followed by the label histogram, with labels resolved in d.
+func writeProfile(w io.Writer, d dict.Dict, grams *pqgram.Profile, labels map[int]int) error {
 	if err := grams.Write(w); err != nil {
 		return err
 	}
@@ -348,7 +407,7 @@ func (c *Corpus) writeProfile(w io.Writer, grams *pqgram.Profile, labels map[int
 	}
 	varint.Write(&buf, uint64(len(ids)))
 	for _, id := range ids {
-		label := c.dict.Label(id)
+		label := d.Label(id)
 		varint.Write(&buf, uint64(len(label)))
 		buf.WriteString(label)
 		varint.Write(&buf, uint64(labels[id]))
@@ -358,8 +417,9 @@ func (c *Corpus) writeProfile(w io.Writer, grams *pqgram.Profile, labels map[int
 }
 
 // loadProfile reads a document's profile file into the in-memory index,
-// interning its labels into the corpus dictionary.
-func (c *Corpus) loadProfile(d DocInfo) (*docProfile, error) {
+// interning its labels into base (the corpus dictionary under
+// construction at Open).
+func (c *Corpus) loadProfile(base *dict.Base, d DocInfo) (*docProfile, error) {
 	f, err := os.Open(filepath.Join(c.dir, d.Profile))
 	if err != nil {
 		return nil, err
@@ -400,7 +460,7 @@ func (c *Corpus) loadProfile(d DocInfo) (*docProfile, error) {
 		if count < 1 || count > uint64(d.Nodes) {
 			return nil, fmt.Errorf("histogram label %q has count %d of %d nodes", buf, count, d.Nodes)
 		}
-		labels[c.dict.Intern(string(buf))] = int(count)
+		labels[base.Intern(string(buf))] = int(count)
 	}
 	return &docProfile{grams: grams, labels: labels}, nil
 }

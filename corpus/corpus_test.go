@@ -262,12 +262,28 @@ func TestSelectionAndErrors(t *testing.T) {
 	if _, err := c.TopK(q, 1, corpus.WithDocs("nope")); err == nil {
 		t.Fatal("unknown document selection must be rejected")
 	}
+	// A query from a foreign dictionary is re-interned through a request
+	// overlay and answered like any other — the overlay makes its ids
+	// commensurable with the corpus ids without touching the shared
+	// dictionary.
 	foreign, err := tree.Parse(dict.New(), "{x}")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.TopK(foreign, 1); err == nil {
-		t.Fatal("query from a foreign dictionary must be rejected")
+	native, err := c.ParseBracket("{x}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := c.TopK(foreign, 3)
+	if err != nil {
+		t.Fatalf("foreign-dictionary query failed: %v", err)
+	}
+	nm, err := c.TopK(native, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchesJSON(t, fm) != matchesJSON(t, nm) {
+		t.Fatalf("foreign-dictionary query diverged:\n %s\n %s", matchesJSON(t, fm), matchesJSON(t, nm))
 	}
 	only, err := c.TopK(q, 10, corpus.WithDocs("b"))
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"tasm/internal/core"
+	"tasm/internal/dict"
 	"tasm/internal/docstore"
 	"tasm/internal/pqgram"
 	"tasm/internal/ranking"
@@ -49,6 +50,15 @@ type Stats struct {
 	// Evaluated is the number of subtree evaluations that ran to
 	// completion.
 	Evaluated uint64
+	// BaseDictLabels is the size of the frozen corpus base dictionary the
+	// run scanned against. It grows only with ingests, never with
+	// queries.
+	BaseDictLabels int
+	// OverlayLabels is the number of request-local labels held by the
+	// query's copy-on-write overlay when the run finished — query labels
+	// the corpus has never seen. They are released with the overlay; a
+	// TopK run never adds a label to the shared dictionary.
+	OverlayLabels int
 }
 
 // QueryOption configures one TopK run.
@@ -113,9 +123,26 @@ type scanDoc struct {
 	unprofiled bool    // no usable profile: bound 0, scanned last, never skipped
 }
 
+// requestOverlay resolves the query of one run against a snapshot: a tree
+// already interned in an overlay over the snapshot's base is used as-is
+// (the common case — ParseBracket/ParseXML/ImportTree built exactly
+// that); any other tree is re-interned into a fresh overlay. Either way
+// the returned tree resolves corpus labels to their shared frozen ids and
+// keeps request-local labels above the base watermark, and the overlay
+// dies with the request.
+func requestOverlay(st snapshot, q *tree.Tree) (*dict.Overlay, *tree.Tree) {
+	if o, ok := q.Dict().(*dict.Overlay); ok && o.Base() == dict.Dict(st.base) {
+		return o, q
+	}
+	o := dict.NewOverlay(st.base)
+	return o, q.Reintern(o)
+}
+
 // TopK returns the k subtrees closest to q across the corpus, ascending
 // by (distance, document manifest order, position in document). The query
-// must have been parsed through this corpus (ParseBracket/ParseXML).
+// may come from any dictionary: it is resolved through a request-scoped
+// overlay of the corpus dictionary, so the shared dictionary is never
+// mutated by a query.
 //
 // Documents are scanned most-promising-first (ascending pq-gram distance)
 // into one shared ranking, so the running k-th distance both tightens the
@@ -130,14 +157,14 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 	if q == nil || q.Size() == 0 {
 		return nil, fmt.Errorf("corpus: query must be a non-empty tree")
 	}
-	if q.Dict() != c.dict {
-		return nil, fmt.Errorf("corpus: query was not parsed through this corpus")
-	}
 	if k < 1 {
 		return nil, fmt.Errorf("corpus: k must be ≥ 1, got %d", k)
 	}
 
-	plan, err := c.plan(q, &cfg)
+	st := c.snapshot()
+	ov, q := requestOverlay(st, q)
+
+	plan, err := c.plan(st, q, &cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -169,12 +196,14 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 				stats.Unprofiled++
 			}
 		}
-		if err := c.scanInto(q, d, heap, cfg.workers, coreOpts); err != nil {
+		if err := c.scanInto(q, ov, d, heap, cfg.workers, coreOpts); err != nil {
 			return nil, err
 		}
 		stats.Scanned++
 	}
 	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
+	stats.BaseDictLabels = st.base.Len()
+	stats.OverlayLabels = ov.Added()
 	if cfg.stats != nil {
 		*cfg.stats = stats
 	}
@@ -182,8 +211,10 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 }
 
 // plan snapshots the documents a query will consider, computes their
-// offsets, bounds and ordering, and returns them in scan order.
-func (c *Corpus) plan(q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
+// offsets, bounds and ordering, and returns them in scan order. The query
+// must already be resolved through an overlay over st.base, so its label
+// ids are commensurable with the profile index's.
+func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
 	qGrams, err := pqgram.New(q, c.p, c.q)
 	if err != nil {
 		return nil, err
@@ -192,15 +223,6 @@ func (c *Corpus) plan(q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
 	for i := 0; i < q.Size(); i++ {
 		qLabels[q.LabelID(i)]++
 	}
-
-	c.mu.RLock()
-	docs := make([]DocInfo, len(c.man.Docs))
-	copy(docs, c.man.Docs)
-	profiles := make(map[int]*docProfile, len(c.profiles))
-	for id, p := range c.profiles {
-		profiles[id] = p
-	}
-	c.mu.RUnlock()
 
 	var selected map[string]bool
 	if cfg.docs != nil {
@@ -214,9 +236,9 @@ func (c *Corpus) plan(q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
 	// selection), so a subtree's global position — and with it the
 	// deterministic tie-break — is a property of the corpus, stable
 	// across selections and scan orders.
-	plan := make([]scanDoc, 0, len(docs))
+	plan := make([]scanDoc, 0, len(st.docs))
 	offset := 0
-	for _, d := range docs {
+	for _, d := range st.docs {
 		include := true
 		if selected != nil {
 			if _, ok := selected[d.Name]; !ok {
@@ -228,7 +250,7 @@ func (c *Corpus) plan(q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
 		if include {
 			sd := scanDoc{info: d, offset: offset}
 			if !cfg.noFilter {
-				if p := profiles[d.ID]; p != nil {
+				if p := st.profiles[d.ID]; p != nil {
 					sd.bound = labelLowerBound(qLabels, p.labels)
 					if sd.pqdist, err = pqgram.Distance(qGrams, p.grams); err != nil {
 						return nil, err
@@ -299,14 +321,17 @@ func (e *ScanError) Error() string {
 func (e *ScanError) Unwrap() error { return e.Err }
 
 // scanInto streams one document from its store file into the shared
-// ranking.
-func (c *Corpus) scanInto(q *tree.Tree, d scanDoc, heap *ranking.Heap, workers int, opts core.Options) error {
+// ranking. Document labels resolve through the request overlay: labels
+// the corpus ingested hit the frozen base lock-free, and anything else
+// (possible only with store files written outside this corpus) stays
+// request-local.
+func (c *Corpus) scanInto(q *tree.Tree, ov *dict.Overlay, d scanDoc, heap *ranking.Heap, workers int, opts core.Options) error {
 	f, err := os.Open(filepath.Join(c.dir, d.info.Store))
 	if err != nil {
 		return &ScanError{Doc: d.info.Name, Err: err}
 	}
 	defer f.Close()
-	r, err := docstore.NewReader(c.dict, f)
+	r, err := docstore.NewReader(ov, f)
 	if err != nil {
 		return &ScanError{Doc: d.info.Name, Err: err}
 	}

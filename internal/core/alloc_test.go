@@ -27,7 +27,7 @@ import (
 
 // recordDoc builds a document of n identical 4-node record subtrees under
 // one root, as postorder items.
-func recordDoc(t testing.TB, d *dict.Dict, n int) []postorder.Item {
+func recordDoc(t testing.TB, d dict.Dict, n int) []postorder.Item {
 	t.Helper()
 	root := tree.NewNode("root")
 	for i := 0; i < n; i++ {

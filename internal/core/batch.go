@@ -33,8 +33,49 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("tasm: batch needs at least one query")
 	}
+	if k < 1 {
+		return nil, fmt.Errorf("tasm: k must be ≥ 1, got %d", k)
+	}
+	ranks := make([]*ranking.Heap, len(queries))
+	for i := range ranks {
+		ranks[i] = ranking.New(k)
+	}
+	if err := batchScan(queries, docQ, ranks, 0, false, opts); err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(ranks))
+	for i, r := range ranks {
+		out[i] = r.Sorted()
+	}
+	return out, nil
+}
+
+// PostorderBatchInto runs the batch scan of PostorderBatch over one
+// document stream, pushing each query's matches into its existing ranking
+// ranks[i] with every reported position offset by posOffset. It is the
+// corpus building block for batch serving: scanning several documents
+// into per-query shared rankings lets each query's running k-th distance
+// from earlier documents tighten its τ′ bound in later ones, while the
+// document itself is read and pruned once for the whole batch.
+//
+// Like PostorderStreamInto, pruning uses the order-independent strict
+// margin, so the final rankings are identical regardless of document scan
+// order.
+func PostorderBatchInto(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap, posOffset int, opts Options) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("tasm: batch needs at least one query")
+	}
+	if len(ranks) != len(queries) {
+		return fmt.Errorf("tasm: %d queries but %d rankings", len(queries), len(ranks))
+	}
+	return batchScan(queries, docQ, ranks, posOffset, true, opts)
+}
+
+// batchScan is the shared body of PostorderBatch and PostorderBatchInto;
+// see postorderScan for the strictTies contract.
+func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap, posOffset int, strictTies bool, opts Options) error {
 	if docQ == nil {
-		return nil, fmt.Errorf("tasm: document queue must not be nil")
+		return fmt.Errorf("tasm: document queue must not be nil")
 	}
 	model := opts.model()
 	d := queries[0].Dict()
@@ -48,20 +89,20 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 	states := make([]*qstate, len(queries))
 	tauMax := 0
 	for i, q := range queries {
-		if err := validate(q, k); err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+		if err := validate(q, ranks[i].K()); err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
 		}
-		if q.Dict() != d {
-			return nil, fmt.Errorf("tasm: query %d uses a different dictionary", i)
+		if !dict.Compatible(q.Dict(), d) {
+			return fmt.Errorf("tasm: query %d uses an incompatible dictionary", i)
 		}
 		if err := cost.Validate(model, q); err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+			return fmt.Errorf("query %d: %w", i, err)
 		}
 		st := &qstate{
 			q:    q,
-			tau:  Tau(model, q, k, opts.CT),
+			tau:  Tau(model, q, ranks[i].K(), opts.CT),
 			comp: ted.NewComputer(model, q),
-			rank: ranking.New(k),
+			rank: ranks[i],
 		}
 		if !opts.DisableHistogramBound {
 			st.hist = prb.NewLabelHist(q)
@@ -80,7 +121,7 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 	for {
 		ok, err := buf.Next()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !ok {
 			break
@@ -101,16 +142,12 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 					continue
 				}
 			}
-			if err := rankWithin(st.comp, st.q, buf, d, view, st.tau, st.rank, opts); err != nil {
-				return nil, err
+			if err := rankWithin(st.comp, st.q, buf, view, st.tau, st.rank, posOffset, strictTies, opts); err != nil {
+				return err
 			}
 		}
 	}
-	out := make([][]Match, len(states))
-	for i, st := range states {
-		out[i] = st.rank.Sorted()
-	}
-	return out, nil
+	return nil
 }
 
 // rankWithin runs the inner loop of Algorithm 3 for one query over the
@@ -118,9 +155,12 @@ func PostorderBatch(queries []*tree.Tree, docQ postorder.Queue, k int, opts Opti
 // within the query's own τ are located inside the candidate (they are the
 // query's candidate set restricted to this region), copied into the
 // recycled flat view, and each ranked with one TASM-dynamic evaluation,
-// subject to the query's intermediate bound.
-func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, d *dict.Dict, view *tree.View, tau int, r *ranking.Heap, opts Options) error {
+// subject to the query's intermediate bound. The view resolves labels in
+// the query's own dictionary, so the distance computer stays on its
+// aliasing fast path for every query of the batch.
+func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, view *tree.View, tau int, r *ranking.Heap, posOffset int, strictTies bool, opts Options) error {
 	m := q.Size()
+	d := q.Dict()
 	leafID := buf.Leaf()
 	for rt := buf.Root(); rt >= leafID; {
 		lml := buf.LMLOf(rt)
@@ -132,8 +172,15 @@ func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, d *dict.Dict,
 		}
 		compute := true
 		if r.Full() && !opts.DisableIntermediateBound {
-			tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
-			compute = float64(size) < tauP
+			if strictTies {
+				// Order-independent margin: skip only subtrees whose
+				// distance lower bound size−|Q| strictly exceeds the
+				// current k-th distance (see PostorderStreamInto).
+				compute = float64(size) <= r.Max().Dist+float64(m)
+			} else {
+				tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
+				compute = float64(size) < tauP
+			}
 		}
 		if compute {
 			if err := buf.FillView(d, view, lml, rt); err != nil {
@@ -144,7 +191,7 @@ func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, d *dict.Dict,
 			row := evaluateRow(comp, view, r, &opts)
 			sizes := view.Sizes()
 			for j := 0; j < size; j++ {
-				e := Match{Dist: row[j], Pos: lml + j, Size: sizes[j]}
+				e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}
 				if !opts.NoTrees && r.WouldRetain(e) {
 					e.Tree = view.Subtree(j)
 				}

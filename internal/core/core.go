@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"tasm/internal/cost"
+	"tasm/internal/dict"
 	"tasm/internal/postorder"
 	"tasm/internal/prb"
 	"tasm/internal/ranking"
@@ -169,12 +170,14 @@ func Postorder(q, doc *tree.Tree, k int, opts Options) ([]Match, error) {
 	if doc == nil || doc.Size() == 0 {
 		return nil, fmt.Errorf("tasm: document must be a non-empty tree")
 	}
-	if q != nil && q.Dict() != doc.Dict() {
+	if q != nil && !dict.Compatible(q.Dict(), doc.Dict()) {
 		// The streaming scan compares interned label ids; ids from
-		// different dictionaries are incommensurable. (Dynamic and Naive
-		// fall back to string comparison, but silent divergence between
-		// the algorithms would be worse than an error.)
-		return nil, fmt.Errorf("tasm: query and document use different label dictionaries; parse both through one Matcher")
+		// incompatible dictionaries are incommensurable. A query interned
+		// through an overlay over the document's dictionary is fine — its
+		// ids extend the document's. (Dynamic and Naive fall back to
+		// string comparison, but silent divergence between the algorithms
+		// would be worse than an error.)
+		return nil, fmt.Errorf("tasm: query and document use incompatible label dictionaries; parse both through one Matcher or an overlay over its dictionary")
 	}
 	// With the document in memory the exact maximum node cost is
 	// available; use it when tighter than the model's a priori bound.

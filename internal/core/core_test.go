@@ -81,7 +81,7 @@ func TestTauUnitCost(t *testing.T) {
 
 // buildWideQuery returns a query with exactly n nodes: a root with n-1
 // leaf children.
-func buildWideQuery(d *dict.Dict, n int) *tree.Tree {
+func buildWideQuery(d dict.Dict, n int) *tree.Tree {
 	root := tree.NewNode("q")
 	for i := 1; i < n; i++ {
 		root.AddChild(tree.NewNode("c"))

@@ -15,7 +15,7 @@ import (
 // encodes one well-formed tree: each byte's high nibble says how many
 // completed subtrees the new node adopts (clamped to what is available),
 // the low nibble picks its label, and a final root adopts any leftovers.
-func decodeDoc(d *dict.Dict, labelIDs []int, data []byte) []postorder.Item {
+func decodeDoc(d dict.Dict, labelIDs []int, data []byte) []postorder.Item {
 	if len(data) > 256 {
 		data = data[:256]
 	}

@@ -41,7 +41,7 @@ func mustEqualMatches(t *testing.T, ctx string, got, want []Match) {
 }
 
 // randomInstance draws a (query, document, k) instance.
-func randomInstance(rng *rand.Rand, d *dict.Dict) (*tree.Tree, *tree.Tree, int) {
+func randomInstance(rng *rand.Rand, d dict.Dict) (*tree.Tree, *tree.Tree, int) {
 	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(10), MaxFanout: 3, Labels: 5})
 	doc := tree.Random(d, rng, tree.RandomConfig{Nodes: 1 + rng.Intn(150), MaxFanout: 4, Labels: 5})
 	return q, doc, 1 + rng.Intn(6)

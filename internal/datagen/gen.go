@@ -42,7 +42,7 @@ func (ds *Dataset) Name() string { return ds.name }
 
 // Queue returns a streaming postorder queue of the document, interning
 // labels in d. Generation is deterministic in seed.
-func (ds *Dataset) Queue(d *dict.Dict, seed int64) postorder.Queue {
+func (ds *Dataset) Queue(d dict.Dict, seed int64) postorder.Queue {
 	return &genQueue{
 		dict:  d,
 		rng:   rand.New(rand.NewSource(seed)),
@@ -52,7 +52,7 @@ func (ds *Dataset) Queue(d *dict.Dict, seed int64) postorder.Queue {
 
 // Tree materializes the whole document; intended for small scales and for
 // tests. Large documents should stay streamed.
-func (ds *Dataset) Tree(d *dict.Dict, seed int64) (*tree.Tree, error) {
+func (ds *Dataset) Tree(d dict.Dict, seed int64) (*tree.Tree, error) {
 	items, err := postorder.Collect(ds.Queue(d, seed))
 	if err != nil {
 		return nil, err
@@ -93,7 +93,7 @@ type frame struct {
 
 // genQueue is the pull-based postorder emitter.
 type genQueue struct {
-	dict  *dict.Dict
+	dict  dict.Dict
 	rng   *rand.Rand
 	stack []*frame
 	out   []postorder.Item

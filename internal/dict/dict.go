@@ -1,39 +1,89 @@
-// Package dict implements a label dictionary that interns node labels as
+// Package dict implements label dictionaries that intern node labels as
 // dense integer identifiers.
 //
 // The TASM paper (Section VII) uses "a dictionary to assign unique integer
 // identifiers to node labels (element/attribute tags as well as text
 // content). The integer identifiers provide compression and faster
-// node-to-node comparisons." A Dict is shared between a query and a
+// node-to-node comparisons." A dictionary is shared between a query and a
 // document so that equal labels map to equal identifiers.
+//
+// # Dictionary lifecycle
+//
+// Dict is the interface the rest of the system works against. Two
+// implementations exist:
+//
+//   - Base is the mutable dictionary: labels intern freely, identifiers
+//     are assigned densely from 0, and concurrent use is safe. A Base can
+//     be frozen (Freeze), after which no new label may be interned and
+//     every read is lock-free — the shape a corpus dictionary takes after
+//     ingest, shareable across any number of concurrent scans.
+//   - Overlay is a copy-on-write view over a frozen (or otherwise
+//     quiescent) base: reads fall through to the base, labels the base
+//     does not know intern locally with identifiers above the base's
+//     watermark, and dropping the overlay releases every request-local
+//     label in O(1). One overlay per request keeps query labels out of
+//     the shared dictionary entirely.
 package dict
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Dict interns strings as dense non-negative integer identifiers.
-// The zero value is not ready for use; call New.
+type Dict interface {
+	// Intern returns the identifier for label, assigning a fresh one on
+	// first use. Identifiers are dense: the n-th distinct label gets n-1.
+	Intern(label string) int
+	// Lookup returns the identifier for label and whether it is known.
+	// Unlike Intern it never modifies the dictionary.
+	Lookup(label string) (int, bool)
+	// Label returns the string for an identifier previously returned by
+	// Intern. It panics if id was never assigned, which always indicates
+	// a programming error (an identifier from a different dictionary).
+	Label(id int) string
+	// Len returns the number of distinct labels interned so far.
+	Len() int
+}
+
+// Base is the mutable label dictionary. The zero value is not ready for
+// use; call New.
 //
-// Dict is safe for concurrent use: a corpus server interns labels from
-// concurrent ingests and query parses into one shared dictionary.
-// Identifiers are append-only — an id, once assigned, never changes — so
-// readers holding ids from earlier operations stay valid.
-type Dict struct {
+// Base is safe for concurrent use: a corpus server interns labels from
+// concurrent ingests and parses into one shared dictionary. Identifiers
+// are append-only — an id, once assigned, never changes — so readers
+// holding ids from earlier operations stay valid.
+//
+// Once Freeze is called the dictionary becomes immutable: interning a new
+// label panics, and every read skips the lock entirely, so a frozen Base
+// is shareable lock-free across any number of goroutines.
+type Base struct {
+	frozen atomic.Bool
 	mu     sync.RWMutex
 	ids    map[string]int
 	labels []string
 }
 
-// New returns an empty dictionary.
-func New() *Dict {
-	return &Dict{ids: make(map[string]int)}
+var _ Dict = (*Base)(nil)
+
+// New returns an empty mutable dictionary.
+func New() *Base {
+	return &Base{ids: make(map[string]int)}
 }
 
 // Intern returns the identifier for label, assigning a fresh one on first
-// use. Identifiers are assigned densely starting at 0.
-func (d *Dict) Intern(label string) int {
+// use. Identifiers are assigned densely starting at 0. Interning a label
+// a frozen dictionary does not already hold panics; read-through interning
+// of known labels stays valid after Freeze.
+func (d *Base) Intern(label string) int {
+	if d.frozen.Load() {
+		id, ok := d.ids[label]
+		if !ok {
+			panic(fmt.Sprintf("dict: Intern of new label %q on frozen dictionary (use an Overlay for request-scoped labels)", label))
+		}
+		return id
+	}
 	d.mu.RLock()
 	id, ok := d.ids[label]
 	d.mu.RUnlock()
@@ -45,6 +95,12 @@ func (d *Dict) Intern(label string) int {
 	if id, ok := d.ids[label]; ok {
 		return id
 	}
+	// Re-check under the write lock: a Freeze that completed between the
+	// read and write locks must win, or this insert would mutate maps
+	// that frozen readers are already accessing lock-free.
+	if d.frozen.Load() {
+		panic(fmt.Sprintf("dict: Intern of new label %q on frozen dictionary (use an Overlay for request-scoped labels)", label))
+	}
 	id = len(d.labels)
 	d.ids[label] = id
 	d.labels = append(d.labels, label)
@@ -53,7 +109,11 @@ func (d *Dict) Intern(label string) int {
 
 // Lookup returns the identifier for label and whether it is known.
 // Unlike Intern it never modifies the dictionary.
-func (d *Dict) Lookup(label string) (int, bool) {
+func (d *Base) Lookup(label string) (int, bool) {
+	if d.frozen.Load() {
+		id, ok := d.ids[label]
+		return id, ok
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	id, ok := d.ids[label]
@@ -63,7 +123,13 @@ func (d *Dict) Lookup(label string) (int, bool) {
 // Label returns the string for an identifier previously returned by Intern.
 // It panics if id was never assigned, which always indicates a programming
 // error (an identifier from a different dictionary).
-func (d *Dict) Label(id int) string {
+func (d *Base) Label(id int) string {
+	if d.frozen.Load() {
+		if id < 0 || id >= len(d.labels) {
+			panic(fmt.Sprintf("dict: unknown label id %d (dictionary has %d entries)", id, len(d.labels)))
+		}
+		return d.labels[id]
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if id < 0 || id >= len(d.labels) {
@@ -73,8 +139,62 @@ func (d *Dict) Label(id int) string {
 }
 
 // Len returns the number of distinct labels interned so far.
-func (d *Dict) Len() int {
+func (d *Base) Len() int {
+	if d.frozen.Load() {
+		return len(d.labels)
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.labels)
+}
+
+// Freeze makes the dictionary immutable: interning any new label panics
+// from now on, and reads stop taking the lock (the atomic flag publishes
+// the final map and slice to every goroutine that observes it). Freezing
+// is irreversible; mutate a Clone instead.
+func (d *Base) Freeze() *Base {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frozen.Store(true)
+	return d
+}
+
+// Frozen reports whether Freeze has been called.
+func (d *Base) Frozen() bool { return d.frozen.Load() }
+
+// Clone returns a mutable deep copy holding the same labels with the same
+// identifiers. It is how an ingest extends a frozen corpus dictionary:
+// clone, intern the new document's labels, freeze, publish — readers of
+// the old dictionary are never disturbed, and existing identifiers remain
+// valid in the clone.
+func (d *Base) Clone() *Base {
+	if !d.frozen.Load() {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+	}
+	c := &Base{ids: make(map[string]int, len(d.ids))}
+	for l, id := range d.ids {
+		c.ids[l] = id
+	}
+	c.labels = append(make([]string, 0, len(d.labels)), d.labels...)
+	return c
+}
+
+// Compatible reports whether identifiers interned in a and b are
+// commensurable — the same dictionary, or one an overlay reading directly
+// through the other, so that equal ids always denote equal labels. Two
+// distinct overlays over one base are NOT compatible: their local
+// identifiers occupy the same range above the watermark and may denote
+// different labels.
+func Compatible(a, b Dict) bool {
+	if a == b {
+		return true
+	}
+	if o, ok := a.(*Overlay); ok && o.base == b {
+		return true
+	}
+	if o, ok := b.(*Overlay); ok && o.base == a {
+		return true
+	}
+	return false
 }

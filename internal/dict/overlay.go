@@ -1,0 +1,143 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Overlay is a copy-on-write dictionary view for request-scoped labels:
+// reads fall through to a frozen base dictionary, and labels the base does
+// not know intern locally with identifiers starting at the base's
+// watermark (its Len at overlay creation). Because base identifiers are
+// below the watermark and local ones at or above it, an overlay's
+// identifier space extends the base's — ids interned through the overlay
+// and ids interned in the base denote the same labels, so a query interned
+// through an overlay compares directly against document labels interned in
+// the base.
+//
+// Dropping an overlay (or calling Reset) releases all of its labels in
+// O(1); nothing ever flows back into the base. This is what keeps a
+// long-running server's shared dictionary bounded: documents contribute
+// their own bounded label sets at ingest, while the unbounded stream of
+// query labels lives and dies with per-request overlays.
+//
+// The base must not grow for the lifetime of the overlay — a frozen Base
+// guarantees that; otherwise base and local identifiers would collide.
+// NewOverlay panics if handed an unfrozen *Base still open for interning.
+//
+// An Overlay is safe for concurrent use. The hot read paths — interning or
+// looking up a label the base knows, resolving an id below the watermark —
+// never touch the overlay's lock; only request-local additions and reads
+// of them synchronize.
+type Overlay struct {
+	base      Dict
+	watermark int
+
+	mu     sync.RWMutex
+	ids    map[string]int // local additions, keyed by label; lazily allocated
+	labels []string       // local labels; id = watermark + index
+}
+
+var _ Dict = (*Overlay)(nil)
+
+// NewOverlay returns an empty overlay reading through base. The base must
+// be quiescent (no new labels) for the overlay's lifetime; a *Base is
+// required to be frozen.
+func NewOverlay(base Dict) *Overlay {
+	if base == nil {
+		panic("dict: NewOverlay with nil base")
+	}
+	if b, ok := base.(*Base); ok && !b.Frozen() {
+		panic("dict: NewOverlay over an unfrozen Base (Freeze it first: a growing base would collide with overlay ids)")
+	}
+	return &Overlay{base: base, watermark: base.Len()}
+}
+
+// Base returns the dictionary the overlay reads through.
+func (o *Overlay) Base() Dict { return o.base }
+
+// Watermark returns the first identifier the overlay assigns locally: the
+// base's Len at overlay creation. Every id below it resolves in the base,
+// every id at or above it is overlay-local.
+func (o *Overlay) Watermark() int { return o.watermark }
+
+// Added returns the number of labels interned locally so far — the
+// overlay churn a request caused.
+func (o *Overlay) Added() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.labels)
+}
+
+// Intern returns the identifier for label: the base's id when the base
+// knows the label (no lock, no allocation), the local id otherwise,
+// assigning a fresh one above the watermark on first use.
+func (o *Overlay) Intern(label string) int {
+	if id, ok := o.base.Lookup(label); ok {
+		return id
+	}
+	o.mu.RLock()
+	id, ok := o.ids[label]
+	o.mu.RUnlock()
+	if ok {
+		return id
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.ids[label]; ok {
+		return id
+	}
+	if o.ids == nil {
+		o.ids = make(map[string]int)
+	}
+	id = o.watermark + len(o.labels)
+	o.ids[label] = id
+	o.labels = append(o.labels, label)
+	return id
+}
+
+// Lookup returns the identifier for label and whether the base or the
+// overlay knows it. It never modifies the overlay.
+func (o *Overlay) Lookup(label string) (int, bool) {
+	if id, ok := o.base.Lookup(label); ok {
+		return id, true
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	id, ok := o.ids[label]
+	return id, ok
+}
+
+// Label resolves an identifier: below the watermark in the base (no
+// lock), at or above it locally. It panics for ids neither holds.
+func (o *Overlay) Label(id int) string {
+	if id < o.watermark {
+		return o.base.Label(id)
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if id-o.watermark >= len(o.labels) {
+		panic(fmt.Sprintf("dict: unknown label id %d (overlay holds ids %d..%d)", id, o.watermark, o.watermark+len(o.labels)-1))
+	}
+	return o.labels[id-o.watermark]
+}
+
+// Len returns the total number of labels visible through the overlay:
+// the base watermark plus the local additions.
+func (o *Overlay) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.watermark + len(o.labels)
+}
+
+// Reset discards every local addition, releasing the request's labels in
+// O(1) while keeping the overlay (and its map capacity) reusable for a
+// later request over the same base. Identifiers previously handed out for
+// local labels become invalid; trees still holding them must not outlive
+// the reset.
+func (o *Overlay) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	clear(o.ids)
+	o.labels = o.labels[:0]
+}

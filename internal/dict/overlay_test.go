@@ -1,0 +1,216 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestOverlayReadThrough(t *testing.T) {
+	b := New()
+	a := b.Intern("a")
+	c := b.Intern("c")
+	b.Freeze()
+	o := NewOverlay(b)
+	if got := o.Intern("a"); got != a {
+		t.Errorf("overlay Intern(a) = %d, want base id %d", got, a)
+	}
+	if got, ok := o.Lookup("c"); !ok || got != c {
+		t.Errorf("overlay Lookup(c) = %d,%v, want %d,true", got, ok, c)
+	}
+	if o.Added() != 0 {
+		t.Errorf("read-through interning added %d local labels", o.Added())
+	}
+}
+
+func TestOverlayLocalIDsAboveWatermark(t *testing.T) {
+	b := New()
+	b.Intern("a")
+	b.Intern("b")
+	b.Freeze()
+	o := NewOverlay(b)
+	if o.Watermark() != 2 {
+		t.Fatalf("watermark = %d, want 2", o.Watermark())
+	}
+	x := o.Intern("x")
+	y := o.Intern("y")
+	if x != 2 || y != 3 {
+		t.Errorf("local ids = %d,%d, want 2,3", x, y)
+	}
+	if got := o.Intern("x"); got != x {
+		t.Errorf("re-intern x = %d, want %d", got, x)
+	}
+	if o.Label(x) != "x" || o.Label(0) != "a" {
+		t.Errorf("Label resolution wrong: %q %q", o.Label(x), o.Label(0))
+	}
+	if o.Len() != 4 {
+		t.Errorf("Len = %d, want 4", o.Len())
+	}
+	if o.Added() != 2 {
+		t.Errorf("Added = %d, want 2", o.Added())
+	}
+	if b.Len() != 2 {
+		t.Errorf("overlay interning grew the base to %d labels", b.Len())
+	}
+	if _, ok := b.Lookup("x"); ok {
+		t.Error("local label leaked into the base")
+	}
+}
+
+func TestOverlayReset(t *testing.T) {
+	b := New()
+	b.Intern("a")
+	b.Freeze()
+	o := NewOverlay(b)
+	o.Intern("x")
+	o.Reset()
+	if o.Added() != 0 || o.Len() != 1 {
+		t.Errorf("after Reset: Added=%d Len=%d, want 0,1", o.Added(), o.Len())
+	}
+	// Ids are re-assigned from the watermark after a reset.
+	if got := o.Intern("y"); got != 1 {
+		t.Errorf("post-reset intern = %d, want 1", got)
+	}
+}
+
+func TestOverlayPanicsOnUnfrozenBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewOverlay over an unfrozen Base should panic")
+		}
+	}()
+	NewOverlay(New())
+}
+
+func TestFrozenBasePanicsOnNewLabel(t *testing.T) {
+	b := New()
+	b.Intern("a")
+	b.Freeze()
+	if got := b.Intern("a"); got != 0 {
+		t.Errorf("frozen read-through Intern = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intern of a new label on a frozen dictionary should panic")
+		}
+	}()
+	b.Intern("new")
+}
+
+func TestCloneExtendsFrozenBase(t *testing.T) {
+	b := New()
+	b.Intern("a")
+	b.Intern("b")
+	b.Freeze()
+	c := b.Clone()
+	if c.Frozen() {
+		t.Fatal("clone of a frozen dictionary must be mutable")
+	}
+	if got := c.Intern("c"); got != 2 {
+		t.Errorf("clone assigned id %d for a new label, want 2", got)
+	}
+	if got := c.Intern("a"); got != 0 {
+		t.Errorf("clone lost existing id: Intern(a) = %d, want 0", got)
+	}
+	if b.Len() != 2 {
+		t.Errorf("mutating the clone changed the original (len %d)", b.Len())
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	b := New()
+	b.Freeze()
+	other := New()
+	o := NewOverlay(b)
+	cases := []struct {
+		a, c Dict
+		want bool
+	}{
+		{b, b, true},
+		{o, o, true},
+		{o, b, true},
+		{b, o, true},
+		{b, other, false},
+		{o, other, false},
+		// Two distinct overlays over one base are NOT compatible: their
+		// local ids occupy the same range and may denote different labels.
+		{NewOverlay(b), o, false},
+	}
+	for i, tc := range cases {
+		if got := Compatible(tc.a, tc.c); got != tc.want {
+			t.Errorf("case %d: Compatible = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+// TestConcurrentOverlay exercises the overlay under the race detector:
+// concurrent read-through interning of base labels, concurrent local
+// additions, and concurrent id resolution.
+func TestConcurrentOverlay(t *testing.T) {
+	b := New()
+	for i := 0; i < 64; i++ {
+		b.Intern(fmt.Sprintf("base%d", i))
+	}
+	b.Freeze()
+	o := NewOverlay(b)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := o.Intern(fmt.Sprintf("base%d", i%64))
+				if o.Label(id) != fmt.Sprintf("base%d", i%64) {
+					t.Errorf("base label roundtrip broke for id %d", id)
+					return
+				}
+				lid := o.Intern(fmt.Sprintf("local%d", i%17))
+				if lid < o.Watermark() {
+					t.Errorf("local label got base id %d", lid)
+					return
+				}
+				o.Lookup(fmt.Sprintf("local%d", (i+5)%23))
+				o.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if o.Added() != 17 {
+		t.Errorf("Added = %d, want 17", o.Added())
+	}
+}
+
+// TestConcurrentBase exercises the mutable base dictionary under the race
+// detector, then freezes it under concurrent readers' visibility rules
+// (freeze happens between the phases, never during).
+func TestConcurrentBase(t *testing.T) {
+	b := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := b.Intern(fmt.Sprintf("l%d", i%50))
+				_ = b.Label(id)
+				b.Lookup(fmt.Sprintf("l%d", (i+1)%60))
+				b.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Freeze()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if id, ok := b.Lookup(fmt.Sprintf("l%d", i%50)); !ok || b.Label(id) == "" {
+					t.Error("frozen lookup failed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -64,7 +64,7 @@ const magic = "TASMPQ1\n"
 // the items, so it must be complete first — which is why this takes a
 // slice rather than a live Queue: sources that discover labels on the fly
 // must finish scanning before their dictionary is final.
-func WriteItems(w io.Writer, d *dict.Dict, items []postorder.Item) error {
+func WriteItems(w io.Writer, d dict.Dict, items []postorder.Item) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
@@ -105,7 +105,7 @@ type Reader struct {
 
 // NewReader opens a persisted document from r, merging its dictionary
 // into d.
-func NewReader(d *dict.Dict, r io.Reader) (*Reader, error) {
+func NewReader(d dict.Dict, r io.Reader) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {

@@ -78,15 +78,15 @@ type docCache struct {
 	cfg   Config
 	mu    sync.Mutex
 	trees map[int]*tree.Tree
-	dicts map[int]*dict.Dict
+	dicts map[int]dict.Dict
 }
 
 func newDocCache(cfg Config) *docCache {
-	return &docCache{cfg: cfg, trees: map[int]*tree.Tree{}, dicts: map[int]*dict.Dict{}}
+	return &docCache{cfg: cfg, trees: map[int]*tree.Tree{}, dicts: map[int]dict.Dict{}}
 }
 
 // tree returns the materialized XMark document at the given scale.
-func (c *docCache) tree(scale int) (*tree.Tree, *dict.Dict, error) {
+func (c *docCache) tree(scale int) (*tree.Tree, dict.Dict, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if t, ok := c.trees[scale]; ok {

@@ -96,7 +96,7 @@ func Collect(q Queue) ([]Item, error) {
 // The reconstruction keeps a stack of completed subtree roots: a node of
 // size s adopts the maximal run of completed subtrees whose sizes sum to
 // s-1 (its children, in order).
-func BuildTree(d *dict.Dict, q Queue) (*tree.Tree, error) {
+func BuildTree(d dict.Dict, q Queue) (*tree.Tree, error) {
 	type frame struct {
 		node *tree.Node
 		size int

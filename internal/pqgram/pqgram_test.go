@@ -11,7 +11,7 @@ import (
 	"tasm/internal/tree"
 )
 
-func mk(t testing.TB, d *dict.Dict, s string) *tree.Tree {
+func mk(t testing.TB, d dict.Dict, s string) *tree.Tree {
 	t.Helper()
 	return tree.MustParse(d, s)
 }

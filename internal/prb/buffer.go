@@ -199,7 +199,7 @@ func (r *Buffer) AppendItems(dst []postorder.Item, from, to int) []postorder.Ite
 // (inclusive, 1-based document postorder ids), whose labels resolve in d.
 // It performs no allocation once v's buffers have grown to the largest
 // subtree filled, which makes it the hot-path alternative to Subtree.
-func (r *Buffer) FillView(d *dict.Dict, v *tree.View, from, to int) error {
+func (r *Buffer) FillView(d dict.Dict, v *tree.View, from, to int) error {
 	n := to - from + 1
 	if n < 1 {
 		return fmt.Errorf("prb: empty subtree range [%d,%d]", from, to)
@@ -215,7 +215,7 @@ func (r *Buffer) FillView(d *dict.Dict, v *tree.View, from, to int) error {
 // Subtree materializes the buffered subtree spanning nodes from..to
 // (inclusive, 1-based document postorder ids) as a tree.Tree whose labels
 // resolve in d. Internal scratch slices are reused across calls.
-func (r *Buffer) Subtree(d *dict.Dict, from, to int) (*tree.Tree, error) {
+func (r *Buffer) Subtree(d dict.Dict, from, to int) (*tree.Tree, error) {
 	n := to - from + 1
 	if n < 1 {
 		return nil, fmt.Errorf("prb: empty subtree range [%d,%d]", from, to)

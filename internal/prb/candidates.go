@@ -22,7 +22,7 @@ type Candidate struct {
 // Candidates runs the paper's prb-pruning (Algorithm 1): it consumes the
 // whole postorder queue and returns the candidate set cand(T, τ) in
 // document postorder. Labels of materialized subtrees are resolved in d.
-func Candidates(d *dict.Dict, q postorder.Queue, tau int) ([]Candidate, error) {
+func Candidates(d dict.Dict, q postorder.Queue, tau int) ([]Candidate, error) {
 	var out []Candidate
 	buf := New(q, tau)
 	for {
@@ -82,7 +82,7 @@ type SimpleStats struct {
 
 // SimpleCandidates prunes with the simple strategy and returns the
 // candidate set together with buffering statistics.
-func SimpleCandidates(d *dict.Dict, q postorder.Queue, tau int) ([]Candidate, SimpleStats, error) {
+func SimpleCandidates(d dict.Dict, q postorder.Queue, tau int) ([]Candidate, SimpleStats, error) {
 	type buffered struct {
 		item postorder.Item
 		id   int // 1-based postorder id

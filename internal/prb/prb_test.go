@@ -13,7 +13,7 @@ import (
 )
 
 // paperD builds the example document D of Figure 4 of the paper.
-func paperD(t testing.TB) (*dict.Dict, *tree.Tree) {
+func paperD(t testing.TB) (dict.Dict, *tree.Tree) {
 	t.Helper()
 	d := dict.New()
 	tr := tree.MustParse(d,
@@ -212,7 +212,7 @@ func roots(cs []Candidate) []int {
 
 // checkAgainstOracle verifies ring-buffer pruning output against the
 // Definition 9 oracle on one tree.
-func checkAgainstOracle(t *testing.T, d *dict.Dict, tr *tree.Tree, tau int) {
+func checkAgainstOracle(t *testing.T, d dict.Dict, tr *tree.Tree, tau int) {
 	t.Helper()
 	cands, err := Candidates(d, postorder.FromTree(tr), tau)
 	if err != nil {

@@ -252,7 +252,7 @@ func (c *Computer) fillCosts(t *tree.Tree, n int) {
 // translate resolves document labels interned in d into the query's
 // dictionary, writing ids (or -1 for unknown labels) into the owned
 // scratch. Query label ids are ≥ 0, so -1 never compares equal.
-func (c *Computer) translate(d *dict.Dict, labels []int) {
+func (c *Computer) translate(d dict.Dict, labels []int) {
 	qd := c.q.Dict()
 	s := c.tLabScratch
 	if cap(s) < len(labels) {

@@ -12,7 +12,7 @@ import (
 // tree and runs in O(n) with no pointer-form intermediate. The validation
 // and derivation are shared with the flat candidate views (View.Build),
 // so the materialized and view paths accept exactly the same inputs.
-func FromPostorder(d *dict.Dict, labels, sizes []int) (*Tree, error) {
+func FromPostorder(d dict.Dict, labels, sizes []int) (*Tree, error) {
 	n := len(labels)
 	if n == 0 {
 		return nil, fmt.Errorf("tree: empty postorder sequence")

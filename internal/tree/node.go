@@ -112,7 +112,7 @@ func (n *Node) Equal(o *Node) bool {
 // FromNode flattens a pointer-form tree into the postorder representation,
 // interning labels in d. It panics if root is nil: an empty tree is not an
 // ordered labeled tree under Definition 1 ("non-empty graph").
-func FromNode(d *dict.Dict, root *Node) *Tree {
+func FromNode(d dict.Dict, root *Node) *Tree {
 	if root == nil {
 		panic("tree: FromNode called with nil root")
 	}

@@ -12,7 +12,7 @@ import (
 // children b and c. Labels may contain any characters; '{', '}' and '\'
 // must be escaped with a backslash. Whitespace between subtrees is ignored.
 // Labels are interned in d.
-func Parse(d *dict.Dict, s string) (*Tree, error) {
+func Parse(d dict.Dict, s string) (*Tree, error) {
 	n, rest, err := parseNode(s)
 	if err != nil {
 		return nil, err
@@ -25,7 +25,7 @@ func Parse(d *dict.Dict, s string) (*Tree, error) {
 
 // MustParse is Parse for tests and examples with known-good literals; it
 // panics on malformed input.
-func MustParse(d *dict.Dict, s string) *Tree {
+func MustParse(d dict.Dict, s string) *Tree {
 	t, err := Parse(d, s)
 	if err != nil {
 		panic(err)

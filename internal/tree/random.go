@@ -35,7 +35,7 @@ func DefaultRandomConfig(n int) RandomConfig {
 // attaching each new node as a child of a uniformly chosen node with spare
 // fanout capacity, then materializing in insertion order (children keep
 // their attachment order).
-func Random(d *dict.Dict, rng *rand.Rand, cfg RandomConfig) *Tree {
+func Random(d dict.Dict, rng *rand.Rand, cfg RandomConfig) *Tree {
 	if cfg.Nodes < 1 {
 		panic(fmt.Sprintf("tree: Random config needs Nodes ≥ 1, got %d", cfg.Nodes))
 	}

@@ -18,7 +18,7 @@ import (
 // All algorithms in this repository (tree edit distance, ring-buffer
 // pruning, TASM) address nodes through this representation.
 type Tree struct {
-	dict   *dict.Dict
+	dict   dict.Dict
 	labels []int // interned label of node i
 	sizes  []int // |T_i|: number of nodes in the subtree rooted at i
 	lml    []int // leftmost leaf (smallest postorder descendant) of i
@@ -34,7 +34,7 @@ type Tree struct {
 }
 
 // Dict returns the label dictionary the tree's labels are interned in.
-func (t *Tree) Dict() *dict.Dict { return t.dict }
+func (t *Tree) Dict() dict.Dict { return t.dict }
 
 // Size returns the number of nodes |T|.
 func (t *Tree) Size() int { return len(t.labels) }
@@ -161,6 +161,31 @@ func (t *Tree) Keyroots() []int {
 	sort.Ints(kr)
 	t.kr.CompareAndSwap(nil, &kr)
 	return *t.kr.Load()
+}
+
+// Reintern returns a tree with the same structure whose labels are
+// interned in d, resolving them by string through the tree's own
+// dictionary. The structural arrays are shared with the receiver (they
+// are immutable); only the label array is rebuilt, so the cost is
+// O(n) string interning. A tree already interned in d is returned
+// unchanged. This is how a query parsed under one dictionary enters a
+// request-scoped overlay.
+func (t *Tree) Reintern(d dict.Dict) *Tree {
+	if t.dict == d {
+		return t
+	}
+	labels := make([]int, len(t.labels))
+	for i, id := range t.labels {
+		labels[i] = d.Intern(t.dict.Label(id))
+	}
+	return &Tree{
+		dict:   d,
+		labels: labels,
+		sizes:  t.sizes,
+		lml:    t.lml,
+		parent: t.parent,
+		nchild: t.nchild,
+	}
 }
 
 // Equal reports whether two trees have identical structure and labels.

@@ -27,7 +27,7 @@ import (
 // they are invalidated by the next Reset and must not be mutated. A View
 // is not safe for concurrent use; pool Views (one per goroutine) instead.
 type View struct {
-	dict   *dict.Dict
+	dict   dict.Dict
 	labels []int
 	sizes  []int
 	lml    []int
@@ -57,7 +57,7 @@ func growInts(s []int, n int) []int {
 // Reset prepares the view for a tree of n ≥ 1 nodes with labels interned
 // in d, and returns the labels and sizes buffers for the caller to fill
 // (both of length exactly n). Any previous fill is discarded.
-func (v *View) Reset(d *dict.Dict, n int) (labels, sizes []int) {
+func (v *View) Reset(d dict.Dict, n int) (labels, sizes []int) {
 	v.dict = d
 	v.labels = growInts(v.labels, n)
 	v.sizes = growInts(v.sizes, n)
@@ -119,7 +119,7 @@ func (v *View) Build() error {
 func (v *View) Size() int { return len(v.labels) }
 
 // Dict returns the dictionary the current fill's labels are interned in.
-func (v *View) Dict() *dict.Dict { return v.dict }
+func (v *View) Dict() dict.Dict { return v.dict }
 
 // LabelIDs returns the interned labels in postorder. Read-only alias.
 func (v *View) LabelIDs() []int { return v.labels }

@@ -29,7 +29,7 @@ import (
 // Reader is a postorder.Queue that parses an XML document incrementally.
 type Reader struct {
 	dec  *xml.Decoder
-	dict *dict.Dict
+	dict dict.Dict
 
 	// stack holds the number of nodes emitted so far inside each open
 	// element (excluding the element itself).
@@ -46,7 +46,7 @@ type Reader struct {
 
 // NewReader returns a Reader streaming the XML document from r, interning
 // labels in d.
-func NewReader(d *dict.Dict, r io.Reader) *Reader {
+func NewReader(d dict.Dict, r io.Reader) *Reader {
 	dec := xml.NewDecoder(r)
 	// XML corpora in the wild (DBLP in particular) rely on entities and
 	// non-strict quirks; keep strict mode but map unknown entities to
@@ -152,6 +152,6 @@ func attrName(n xml.Name) string {
 
 // ParseTree parses a whole XML document into a materialized tree; a
 // convenience for queries and small documents.
-func ParseTree(d *dict.Dict, r io.Reader) (*tree.Tree, error) {
+func ParseTree(d dict.Dict, r io.Reader) (*tree.Tree, error) {
 	return postorder.BuildTree(d, NewReader(d, r))
 }

@@ -68,7 +68,7 @@ func WithKeywordWeight(w float64) Option { return func(s *Search) { s.weight = w
 
 // Search is a prepared keyword query.
 type Search struct {
-	dict     *dict.Dict
+	dict     dict.Dict
 	keywords []string
 	query    *tree.Tree
 	k        int
@@ -93,7 +93,7 @@ type Result struct {
 // New prepares a keyword search over documents interned in d — pass
 // Matcher.Dict() of the tasm.Matcher that parsed (or will stream) the
 // documents. At least one keyword is required.
-func New(d *dict.Dict, keywords []string, opts ...Option) (*Search, error) {
+func New(d dict.Dict, keywords []string, opts ...Option) (*Search, error) {
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("keyword: at least one keyword required")
 	}

@@ -11,7 +11,7 @@ import (
 
 // library is a document where the keywords {Knuth, 1968} co-occur in one
 // small subtree and are scattered elsewhere.
-func library(t testing.TB, d *dict.Dict) *tree.Tree {
+func library(t testing.TB, d dict.Dict) *tree.Tree {
 	t.Helper()
 	return tree.MustParse(d,
 		"{library"+

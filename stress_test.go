@@ -19,7 +19,7 @@ import (
 
 // chainItems yields the postorder queue of a unary chain of depth n:
 // sizes 1, 2, …, n.
-func chainItems(d *dict.Dict, n int) []postorder.Item {
+func chainItems(d dict.Dict, n int) []postorder.Item {
 	l := d.Intern("c")
 	items := make([]postorder.Item, n)
 	for i := range items {
@@ -29,7 +29,7 @@ func chainItems(d *dict.Dict, n int) []postorder.Item {
 }
 
 // starItems yields a root with n leaf children.
-func starItems(d *dict.Dict, n int) []postorder.Item {
+func starItems(d dict.Dict, n int) []postorder.Item {
 	leaf := d.Intern("leaf")
 	root := d.Intern("root")
 	items := make([]postorder.Item, n+1)

@@ -164,7 +164,7 @@ func FanoutWeightedCost(weight, cap float64) (CostModel, error) {
 //
 // A Matcher is not safe for concurrent use.
 type Matcher struct {
-	dict  *dict.Dict
+	dict  dict.Dict
 	model CostModel
 	ct    float64
 	probe Probe
@@ -200,7 +200,7 @@ func (m *Matcher) SetProbe(p Probe) { m.probe = p }
 
 // Dict returns the matcher's label dictionary, needed by custom Queue
 // sources to produce Item labels compatible with the matcher's queries.
-func (m *Matcher) Dict() *Dict { return m.dict }
+func (m *Matcher) Dict() Dict { return m.dict }
 
 // ParseBracket parses a tree in bracket notation, e.g. "{a{b}{c}}".
 func (m *Matcher) ParseBracket(s string) (*Tree, error) {
