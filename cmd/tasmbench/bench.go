@@ -5,6 +5,7 @@ package main
 // results can be checked in as BENCH_<PR>.json and compared across PRs.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"testing"
 
 	"tasm/corpus"
+	"tasm/corpus/shard"
 	"tasm/internal/core"
 	"tasm/internal/cost"
 	"tasm/internal/datagen"
@@ -148,12 +150,16 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 	allOff := !prune.hist && !prune.ted && !prune.tau
 	var (
 		corp       *corpus.Corpus
+		group      *shard.Group
 		cq         *tree.Tree
 		corpusOpts []corpus.QueryOption
 	)
 	if allOn || allOff {
 		// Corpus fixture: a temporary corpus of four generated documents,
-		// queried through the document-filter + candidate-pruning stack.
+		// queried through the document-filter + candidate-pruning stack —
+		// plus the same four documents split over three shard corpora
+		// behind a scatter-gather group (2+1+1, the two-tier topology's
+		// local form).
 		corpusDir, err := os.MkdirTemp("", "tasmbench-corpus-*")
 		if err != nil {
 			return err
@@ -161,6 +167,19 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 		defer os.RemoveAll(corpusDir)
 		if corp, err = corpus.Open(corpusDir); err != nil {
 			return err
+		}
+		shards := make([]corpus.Searcher, 3)
+		shardCorpora := make([]*corpus.Corpus, 3)
+		for i := range shardCorpora {
+			dir, err := os.MkdirTemp("", "tasmbench-shard-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			if shardCorpora[i], err = corpus.Open(dir); err != nil {
+				return err
+			}
+			shards[i] = shardCorpora[i]
 		}
 		for i := 0; i < 4; i++ {
 			cd := dict.New()
@@ -172,10 +191,19 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 			if err := xmlstream.WriteTree(&xb, cdoc); err != nil {
 				return err
 			}
-			if _, err := corp.AddXML(fmt.Sprintf("doc%d", i), strings.NewReader(xb.String())); err != nil {
+			name := fmt.Sprintf("doc%d", i)
+			if _, err := corp.AddXML(name, strings.NewReader(xb.String())); err != nil {
+				return err
+			}
+			si := 0
+			if i >= 2 {
+				si = i - 1 // docs 0,1 → shard 0; doc 2 → shard 1; doc 3 → shard 2
+			}
+			if _, err := shardCorpora[si].AddXML(name, strings.NewReader(xb.String())); err != nil {
 				return err
 			}
 		}
+		group = shard.NewGroup(shards...)
 		if cq, err = corp.ParseBracket(q8.String()); err != nil {
 			return err
 		}
@@ -236,7 +264,21 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 		}{fmt.Sprintf("corpus-topk/scale=%d/docs=4/Q=8/k=5", scale), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := corp.TopK(cq, 5, corpusOpts...); err != nil {
+				if _, err := corp.TopK(context.Background(), cq, 5, corpusOpts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}}, struct {
+			name string
+			fn   func(b *testing.B)
+		}{fmt.Sprintf("shard-topk/scale=%d/shards=3/docs=4/Q=8/k=5", scale), func(b *testing.B) {
+			// The same documents and query as corpus-topk, answered by the
+			// scatter-gather tier over three local shards: the delta to
+			// corpus-topk is the fan-out + merge overhead vs the win from
+			// shards scanning concurrently under one shared cutoff.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := group.TopK(context.Background(), cq, 5, corpusOpts...); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -251,7 +293,7 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 	}
 	if corp != nil {
 		var stats corpus.Stats
-		if _, err := corp.TopK(cq, 5, append(corpusOpts, corpus.WithStats(&stats))...); err != nil {
+		if _, err := corp.TopK(context.Background(), cq, 5, append(corpusOpts, corpus.WithStats(&stats))...); err != nil {
 			return err
 		}
 		report.Dict = &dictReport{

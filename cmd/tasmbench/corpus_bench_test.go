@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -66,7 +67,7 @@ func BenchmarkCorpusTopK(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.TopK(q, 5, mode.opts...); err != nil {
+				if _, err := c.TopK(context.Background(), q, 5, mode.opts...); err != nil {
 					b.Fatal(err)
 				}
 			}

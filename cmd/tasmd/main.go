@@ -1,91 +1,160 @@
 // Command tasmd is the TASM query daemon: it serves top-k approximate
 // subtree matching over a corpus of persisted documents via a JSON HTTP
-// API.
+// API — either directly from a corpus directory, or as a router
+// scatter-gathering over other tasmd instances.
 //
 // Usage:
 //
-//	tasmd -dir ./corpus -addr :8421
+//	tasmd -dir ./corpus -addr :8421                          # leaf: serve one directory
+//	tasmd -shards http://db1:8421,http://db2:8421 -addr :80  # router: scatter-gather over leaves
+//
+// Exactly one of -dir and -shards is required. A router serves the same
+// query API as a leaf (requests fan out concurrently, per-shard rankings
+// merge deterministically, and a one-shard failure fails the query naming
+// the shard), so routers can themselves be shards of a higher tier. The
+// ingest endpoints are leaf-only: a router answers them with 501.
 //
 // Endpoints:
 //
-//	POST /v1/topk       – answer a top-k query across the corpus
-//	                      {"query":"{a{b}}","k":5} or {"queryXml":"<a>…</a>",…};
-//	                      optional "docs":[…], "trees":true, "workers":N,
-//	                      "exhaustive":true
-//	POST /v1/topk-batch – answer many queries in ONE corpus scan:
-//	                      {"queries":["{a{b}}",…],"k":5}; every document is
-//	                      read once for the whole batch and all queries
-//	                      share one request-scoped dictionary overlay
-//	POST /v1/docs       – ingest a document: JSON {"name":…,"xml":…} or a
-//	                      raw XML body with ?name=…
-//	GET  /v1/docs       – list the corpus manifest
-//	GET  /healthz       – liveness and document count
-//	GET  /metrics       – Prometheus text-format counters: requests, cache
-//	                      hits, documents scanned/skipped, the candidate
-//	                      pruning pipeline's histogram-skip / TED-abort /
-//	                      evaluation totals, dictionary gauges (frozen base
-//	                      size, overlay label churn), and fixed-bucket
-//	                      per-request latency histograms for both query
-//	                      endpoints
+//	POST   /v1/topk         – answer a top-k query across the corpus
+//	                          {"query":"{a{b}}","k":5} or {"queryXml":"<a>…</a>",…};
+//	                          optional "docs":[…], "trees":true, "workers":N,
+//	                          "exhaustive":true
+//	POST   /v1/topk-batch   – answer many queries in ONE corpus scan:
+//	                          {"queries":["{a{b}}",…],"k":5}; every document is
+//	                          read once for the whole batch and all queries
+//	                          share one request-scoped dictionary overlay
+//	POST   /v1/docs         – ingest a document: JSON {"name":…,"xml":…} or a
+//	                          raw XML body with ?name=… (leaf only)
+//	GET    /v1/docs         – list the corpus manifest
+//	DELETE /v1/docs/{name}  – remove a document: the manifest entry is
+//	                          tombstoned (ids never reused, caches stay
+//	                          valid) and the files GC'd best-effort (leaf only)
+//	GET    /healthz         – liveness, document count, generation
+//	GET    /metrics         – Prometheus text-format counters: requests, cache
+//	                          hits, documents scanned/skipped, the candidate
+//	                          pruning pipeline's totals, dictionary gauges,
+//	                          and per-request latency histograms
 //
-// Results are cached in a bounded LRU keyed on the corpus generation, so
-// ingesting a document transparently invalidates every cached answer.
-// In-flight top-k computations are bounded by -max-concurrent; further
-// requests queue.
+// Results are cached in a bounded LRU keyed on the backend generation, so
+// ingesting or removing a document transparently invalidates every cached
+// answer. In-flight top-k computations are bounded by -max-concurrent;
+// further requests queue.
 //
-// Every request resolves its query labels through a disposable
-// copy-on-write overlay of the corpus dictionary (released when the
-// request completes), so serving unboundedly many distinct query labels
-// leaves the daemon's memory bounded by its ingested documents.
+// Every request's context threads down to the scan loops (corpus.Searcher
+// contract), so a client that disconnects stops paying for its query
+// mid-scan. On SIGINT/SIGTERM the daemon stops accepting connections and
+// drains in-flight requests for up to -drain; whatever is still running
+// then is cancelled through the same context plumbing before the process
+// exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
+	"syscall"
 	"time"
 
 	"tasm/corpus"
+	"tasm/corpus/shard"
 )
 
 func main() {
 	var (
-		dir           = flag.String("dir", "", "corpus directory (created if missing)")
+		dir           = flag.String("dir", "", "corpus directory to serve (created if missing); mutually exclusive with -shards")
+		shards        = flag.String("shards", "", "comma-separated tasmd base URLs to scatter-gather over; mutually exclusive with -dir")
 		addr          = flag.String("addr", ":8421", "listen address")
 		cacheSize     = flag.Int("cache", 256, "result cache entries (0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight top-k computations (0 = unbounded)")
 		workers       = flag.Int("workers", 0, "default per-request worker pool (0 = sequential, -1 = GOMAXPROCS)")
 		maxK          = flag.Int("max-k", 10000, "largest k a request may ask for")
 		maxBatch      = flag.Int("max-batch", 1024, "largest number of queries one batch request may carry")
+		drain         = flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests before cancelling them")
 	)
 	flag.Parse()
-	if err := run(*dir, *addr, *cacheSize, *maxConcurrent, *workers, *maxK, *maxBatch); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *dir, *shards, *addr, serverConfig{
+		cacheSize:     *cacheSize,
+		maxConcurrent: *maxConcurrent,
+		workers:       *workers,
+		maxK:          *maxK,
+		maxBatch:      *maxBatch,
+	}, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "tasmd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, cacheSize, maxConcurrent, workers, maxK, maxBatch int) error {
-	if dir == "" {
-		return fmt.Errorf("-dir is required")
+// run builds the backend selected by the flags and serves it until ctx is
+// cancelled (by signal) or the listener fails.
+func run(ctx context.Context, dir, shards, addr string, cfg serverConfig, drain time.Duration) error {
+	if (dir == "") == (shards == "") {
+		return fmt.Errorf("exactly one of -dir and -shards is required")
 	}
-	c, err := corpus.Open(dir)
+	var (
+		src corpus.Searcher
+		ing corpus.Ingester
+	)
+	if dir != "" {
+		c, err := corpus.Open(dir)
+		if err != nil {
+			return err
+		}
+		src, ing = c, c
+		log.Printf("tasmd: serving corpus %s (%d documents) on %s", dir, c.Len(), addr)
+	} else {
+		urls := strings.Split(shards, ",")
+		children := make([]corpus.Searcher, 0, len(urls))
+		for _, u := range urls {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			cl, err := shard.NewClient(u)
+			if err != nil {
+				return err
+			}
+			children = append(children, cl)
+		}
+		if len(children) == 0 {
+			return fmt.Errorf("-shards needs at least one URL")
+		}
+		src = shard.NewGroup(children...)
+		log.Printf("tasmd: routing over %d shards on %s", len(children), addr)
+	}
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	handler := newServer(c, serverConfig{
-		cacheSize:     cacheSize,
-		maxConcurrent: maxConcurrent,
-		workers:       workers,
-		maxK:          maxK,
-		maxBatch:      maxBatch,
-	})
+	return serve(ctx, l, newServer(src, ing, cfg), drain)
+}
+
+// serve runs the HTTP server on l until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests get up to drain to
+// finish, and whatever is still running is cancelled through the request
+// contexts (they derive from a base context this function owns) before
+// the server is torn down.
+func serve(ctx context.Context, l net.Listener, handler http.Handler, drain time.Duration) error {
+	// Request contexts derive from baseCtx: cancelling it after the drain
+	// deadline reaches every in-flight scan through the ctx plumbing.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	// The shutdown goroutine watches a child of ctx so a listener failure
+	// (which returns below without cancelling ctx) still releases it.
+	ctx, stop := context.WithCancel(ctx)
+	defer stop()
 	srv := &http.Server{
-		Addr:    addr,
-		Handler: handler,
+		Handler:     handler,
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
 		// Slow-client protection: without these a client trickling header
 		// or body bytes pins a connection and goroutine forever, never
 		// reaching the body cap or the concurrency semaphore. Write and
@@ -96,6 +165,24 @@ func run(dir, addr string, cacheSize, maxConcurrent, workers, maxK, maxBatch int
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("tasmd: serving corpus %s (%d documents) on %s", dir, c.Len(), addr)
-	return srv.ListenAndServe()
+	shutdownDone := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Printf("tasmd: shutting down, draining in-flight requests for up to %s", drain)
+		shCtx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(shCtx)
+		if err != nil {
+			// The drain deadline passed with requests still in flight:
+			// cancel their contexts so the scans stop, then tear down.
+			log.Printf("tasmd: drain deadline exceeded, cancelling in-flight scans")
+			baseCancel()
+			err = srv.Close()
+		}
+		shutdownDone <- err
+	}()
+	if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return <-shutdownDone
 }

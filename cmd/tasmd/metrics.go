@@ -66,6 +66,7 @@ type serverMetrics struct {
 	batchQueries  atomic.Uint64 // queries carried by batch requests
 	cacheHits     atomic.Uint64 // requests answered from the result cache
 	ingests       atomic.Uint64 // documents ingested
+	removes       atomic.Uint64 // documents removed
 
 	// Aggregated corpus.Stats of every computed (non-cached) run.
 	docsScanned     atomic.Uint64
@@ -109,6 +110,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_topk_batch_queries_total", "counter", "Queries carried by batch top-k requests.", m.batchQueries.Load()},
 		{"tasmd_topk_cache_hits_total", "counter", "Requests answered from the result cache.", m.cacheHits.Load()},
 		{"tasmd_ingests_total", "counter", "Documents ingested.", m.ingests.Load()},
+		{"tasmd_removes_total", "counter", "Documents removed.", m.removes.Load()},
 		{"tasmd_docs_scanned_total", "counter", "Documents streamed through TASM-postorder.", m.docsScanned.Load()},
 		{"tasmd_docs_skipped_total", "counter", "Documents skipped by the document-level label lower bound.", m.docsSkipped.Load()},
 		{"tasmd_docs_unprofiled_total", "counter", "Documents scanned without a usable profile.", m.docsUnprofiled.Load()},
@@ -116,11 +118,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_ted_evals_aborted_total", "counter", "Subtree evaluations abandoned early by the bounded Zhang-Shasha DP.", m.tedAborted.Load()},
 		{"tasmd_ted_evals_completed_total", "counter", "Subtree evaluations run to completion.", m.evaluated.Load()},
 		{"tasmd_overlay_labels_total", "counter", "Request-local labels held in per-request dictionary overlays (released with each request).", m.overlayLabels.Load()},
-		{"tasmd_corpus_docs", "gauge", "Documents currently in the corpus.", uint64(s.c.Len())},
-		{"tasmd_corpus_generation", "gauge", "Corpus generation (increments on ingest).", uint64(s.c.Generation())},
-		{"tasmd_dict_base_labels", "gauge", "Labels in the frozen corpus base dictionary (grows only on ingest, never on queries).", uint64(s.c.DictLen())},
+		{"tasmd_corpus_docs", "gauge", "Documents currently served (all shards for a router; cached, eventually consistent there).", uint64(s.numDocs())},
+		{"tasmd_corpus_generation", "gauge", "Backend generation (changes whenever the document set does).", s.src.Generation()},
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", c.name, c.help, c.name, c.kind, c.name, c.value)
+	}
+	// The base-dictionary gauge only exists for backends that own one (a
+	// local corpus); a router's shards each export their own.
+	if d, ok := s.src.(interface{ DictLen() int }); ok {
+		fmt.Fprintf(w, "# HELP tasmd_dict_base_labels Labels in the frozen corpus base dictionary (grows only on ingest, never on queries).\n# TYPE tasmd_dict_base_labels gauge\ntasmd_dict_base_labels %d\n", d.DictLen())
 	}
 	m.topkLatency.write(w, "tasmd_topk_latency_seconds", "Per-request latency of POST /v1/topk (cache hits included).")
 	m.batchLatency.write(w, "tasmd_topk_batch_latency_seconds", "Per-request latency of POST /v1/topk-batch (cache hits included).")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,7 +11,9 @@ import (
 	"time"
 
 	"tasm/corpus"
+	"tasm/internal/dict"
 	"tasm/internal/tree"
+	"tasm/internal/xmlstream"
 )
 
 // maxBodyBytes caps request bodies: queries are small, and ingested
@@ -36,24 +39,39 @@ type serverConfig struct {
 	maxBatch int
 }
 
-// server routes the tasmd HTTP API over one shared corpus.
+// queryParser is the optional backend interface for parsing queries in
+// the backend's own dictionary context. *corpus.Corpus implements it
+// (queries then resolve through an overlay over the corpus dictionary);
+// backends without one — a shard group, a remote client — fall back to a
+// fresh per-request dictionary, which the Searcher contract re-interns.
+type queryParser interface {
+	ParseBracket(s string) (*tree.Tree, error)
+	ParseXML(r io.Reader) (*tree.Tree, error)
+}
+
+// server routes the tasmd HTTP API over one shared Searcher backend: a
+// local corpus directory, or a scatter-gather group of remote shards.
+// Ingest endpoints require the backend to also be an Ingester (a local
+// corpus); a router serves queries only.
 type server struct {
-	c       *corpus.Corpus
+	src     corpus.Searcher
+	ing     corpus.Ingester // nil: read-only backend (shard router)
 	cfg     serverConfig
 	cache   *lruCache
 	sem     chan struct{}
 	metrics serverMetrics
 }
 
-// newServer returns the daemon's http.Handler.
-func newServer(c *corpus.Corpus, cfg serverConfig) http.Handler {
+// newServer returns the daemon's http.Handler over the given backend.
+// ing may be nil for read-only backends.
+func newServer(src corpus.Searcher, ing corpus.Ingester, cfg serverConfig) http.Handler {
 	if cfg.maxK <= 0 {
 		cfg.maxK = 10000
 	}
 	if cfg.maxBatch <= 0 {
 		cfg.maxBatch = 1024
 	}
-	s := &server{c: c, cfg: cfg, cache: newLRUCache(cfg.cacheSize)}
+	s := &server{src: src, ing: ing, cfg: cfg, cache: newLRUCache(cfg.cacheSize)}
 	if cfg.maxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.maxConcurrent)
 	}
@@ -62,9 +80,27 @@ func newServer(c *corpus.Corpus, cfg serverConfig) http.Handler {
 	mux.HandleFunc("POST /v1/topk-batch", s.handleTopKBatch)
 	mux.HandleFunc("POST /v1/docs", s.handleIngest)
 	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
+	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleRemove)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// parseBracket parses a bracket-notation query in the backend's
+// dictionary context when it offers one, a fresh dictionary otherwise.
+func (s *server) parseBracket(q string) (*tree.Tree, error) {
+	if p, ok := s.src.(queryParser); ok {
+		return p.ParseBracket(q)
+	}
+	return tree.Parse(dict.New(), q)
+}
+
+// parseXML is parseBracket for XML queries.
+func (s *server) parseXML(r io.Reader) (*tree.Tree, error) {
+	if p, ok := s.src.(queryParser); ok {
+		return p.ParseXML(r)
+	}
+	return xmlstream.ParseTree(dict.New(), r)
 }
 
 // topkRequest is the body of POST /v1/topk. Exactly one of Query
@@ -174,9 +210,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if req.Query != "" {
-		q, err = s.c.ParseBracket(req.Query)
+		q, err = s.parseBracket(req.Query)
 	} else {
-		q, err = s.c.ParseXML(strings.NewReader(req.QueryXML))
+		q, err = s.parseXML(strings.NewReader(req.QueryXML))
 	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "parsing query: %v", err)
@@ -201,17 +237,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if workers != 0 {
 		opts = append(opts, corpus.WithWorkers(workers))
 	}
-	matches, err := s.c.TopK(q, req.K, opts...)
+	matches, err := s.src.TopK(r.Context(), q, req.K, opts...)
 	if err != nil {
-		// Scan failures are corpus-side state (missing or corrupt store
-		// files); everything else is a caller mistake (unknown doc
-		// selection, malformed query).
-		var scanErr *corpus.ScanError
-		if errors.As(err, &scanErr) {
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 
@@ -224,6 +252,23 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.cache.put(key, data)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryError maps a query failure to an HTTP status: cancellation and
+// deadline errors (client gone, or the daemon draining for shutdown)
+// become 503, backend-side scan failures 500, everything else is the
+// caller's mistake (unknown doc selection, malformed query).
+func (s *server) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, http.StatusServiceUnavailable, "query cancelled: %v", err)
+		return
+	}
+	var scanErr *corpus.ScanError
+	if errors.As(err, &scanErr) {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
 }
 
 // matchesOf converts corpus matches to the response shape.
@@ -310,7 +355,7 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 
 	queries := make([]*tree.Tree, len(req.Queries))
 	for i, qs := range req.Queries {
-		q, err := s.c.ParseBracket(qs)
+		q, err := s.parseBracket(qs)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "parsing query %d: %v", i, err)
 			return
@@ -329,14 +374,9 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Exhaustive {
 		opts = append(opts, corpus.WithoutFilter())
 	}
-	results, err := s.c.TopKBatch(queries, req.K, opts...)
+	results, err := s.src.TopKBatch(r.Context(), queries, req.K, opts...)
 	if err != nil {
-		var scanErr *corpus.ScanError
-		if errors.As(err, &scanErr) {
-			httpError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		s.queryError(w, r, err)
 		return
 	}
 
@@ -360,7 +400,7 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) batchCacheKey(req *topkBatchRequest) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "batch\x00g%d\x00k%d\x00t%v\x00e%v\x00q%d",
-		s.c.Generation(), req.K, req.Trees, req.Exhaustive, len(req.Queries))
+		s.src.Generation(), req.K, req.Trees, req.Exhaustive, len(req.Queries))
 	for _, q := range req.Queries {
 		writeLenPrefixed(&sb, q)
 	}
@@ -378,7 +418,7 @@ func (s *server) batchCacheKey(req *topkBatchRequest) string {
 // with field boundaries.
 func (s *server) cacheKey(req *topkRequest) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v", s.c.Generation(), req.K, req.Trees, req.Exhaustive)
+	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v", s.src.Generation(), req.K, req.Trees, req.Exhaustive)
 	writeLenPrefixed(&sb, req.Query)
 	writeLenPrefixed(&sb, req.QueryXML)
 	for _, d := range req.Docs {
@@ -401,6 +441,11 @@ type ingestRequest struct {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		httpError(w, http.StatusNotImplemented,
+			"this tasmd serves a shard group and is read-only; ingest into the shard that should own the document")
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var name string
 	var xml io.Reader
@@ -420,7 +465,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "document name is required (JSON field \"name\" or ?name=)")
 		return
 	}
-	info, err := s.c.AddXML(name, xml)
+	info, err := s.ing.AddXML(name, xml)
 	if err != nil {
 		status := http.StatusBadRequest
 		if strings.Contains(err.Error(), "already exists") {
@@ -433,15 +478,53 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
+// handleRemove serves DELETE /v1/docs/{name}: the manifest entry is
+// tombstoned (ids are never reused, so generation-keyed caches stay
+// valid) and the backing files garbage-collected best-effort.
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if s.ing == nil {
+		httpError(w, http.StatusNotImplemented,
+			"this tasmd serves a shard group and is read-only; delete on the shard that owns the document")
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.ing.Remove(name); err != nil {
+		if errors.Is(err, corpus.ErrNotFound) {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.removes.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"removed": name})
+}
+
 func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"docs": s.c.Docs()})
+	docs := s.src.Docs()
+	if docs == nil {
+		docs = []corpus.DocInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": docs})
+}
+
+// numDocs returns the backend's document count without blocking on
+// remote shards when the backend supports it (every corpus/shard backend
+// does); routers report a cached, eventually consistent count so a dead
+// leaf cannot stall liveness probes or metric scrapes.
+func (s *server) numDocs() int {
+	if nd, ok := s.src.(interface{ NumDocs() (int, bool) }); ok {
+		n, _ := nd.NumDocs()
+		return n
+	}
+	return len(s.src.Docs())
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
-		"docs":       s.c.Len(),
-		"generation": s.c.Generation(),
+		"docs":       s.numDocs(),
+		"generation": s.src.Generation(),
 	})
 }
 

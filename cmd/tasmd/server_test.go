@@ -21,7 +21,7 @@ func newTestServer(t *testing.T, cfg serverConfig) (http.Handler, *corpus.Corpus
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(c, cfg), c
+	return newServer(c, c, cfg), c
 }
 
 func doJSON(t *testing.T, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {

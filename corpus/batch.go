@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -39,21 +40,16 @@ type batchDoc struct {
 // over the queries, so documents promising for any query are scanned
 // early. The WithWorkers option is ignored: the batch scan itself is the
 // parallelism (one document read serves all queries).
-func (c *Corpus) TopKBatch(queries []*tree.Tree, k int, opts ...QueryOption) ([][]Match, error) {
-	var cfg queryConfig
-	for _, o := range opts {
-		o(&cfg)
+//
+// The context carries cancellation and deadline exactly as for TopK; a
+// nil ctx is treated as context.Background().
+func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts ...QueryOption) ([][]Match, error) {
+	cfg := ResolveQueryOptions(opts...)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("corpus: batch needs at least one query")
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("corpus: k must be ≥ 1, got %d", k)
-	}
-	for i, q := range queries {
-		if q == nil || q.Size() == 0 {
-			return nil, fmt.Errorf("corpus: query %d must be a non-empty tree", i)
-		}
+	if err := ValidateBatch(queries, k, &cfg); err != nil {
+		return nil, err
 	}
 
 	st := c.snapshot()
@@ -71,24 +67,37 @@ func (c *Corpus) TopKBatch(queries []*tree.Tree, k int, opts ...QueryOption) ([]
 	heaps := make([]*ranking.Heap, len(qs))
 	for i := range heaps {
 		heaps[i] = ranking.New(k)
+		// Each query publishes its k-th distance through its own cutoff —
+		// caller-supplied for cooperating batch runs across shards,
+		// private otherwise — and the per-document skip decision below
+		// reads the same bound.
+		cut := ranking.NewCutoff()
+		if cfg.Cutoffs != nil {
+			cut = cfg.Cutoffs[i]
+		}
+		heaps[i].PublishTo(cut)
 	}
 	stats := Stats{}
 	prune := &core.PruneStats{}
 	coreOpts := core.Options{
+		Ctx:                   ctx,
 		Model:                 c.model,
-		NoTrees:               cfg.noTrees,
+		NoTrees:               cfg.NoTrees,
 		Prune:                 prune,
-		DisableHistogramBound: cfg.noPrune,
-		DisableEarlyAbort:     cfg.noPrune,
+		DisableHistogramBound: cfg.NoPrune,
+		DisableEarlyAbort:     cfg.NoPrune,
 	}
 	for _, d := range plan {
-		if !cfg.noFilter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !cfg.NoFilter {
 			// Skip the document only when no query can improve its
-			// ranking here: every heap is full and every per-query bound
-			// strictly exceeds that query's running k-th distance.
+			// ranking here: every query's k-th distance bound is finite
+			// and every per-query document bound strictly exceeds it.
 			skip := true
 			for i, h := range heaps {
-				if !h.Full() || d.bounds[i] <= h.Max().Dist {
+				if d.bounds[i] <= h.KthBound() {
 					skip = false
 					break
 				}
@@ -109,8 +118,8 @@ func (c *Corpus) TopKBatch(queries []*tree.Tree, k int, opts ...QueryOption) ([]
 	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
 	stats.BaseDictLabels = st.base.Len()
 	stats.OverlayLabels = ov.Added()
-	if cfg.stats != nil {
-		*cfg.stats = stats
+	if cfg.Stats != nil {
+		*cfg.Stats = stats
 	}
 
 	docsOnly := make([]scanDoc, len(plan))
@@ -129,7 +138,7 @@ func (c *Corpus) TopKBatch(queries []*tree.Tree, k int, opts ...QueryOption) ([]
 // pq-gram ordering distance. Documents are ordered by their minimum
 // pq-gram distance over the queries (then minimum bound, then id), so a
 // document promising for any query of the batch is scanned early.
-func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *queryConfig) ([]batchDoc, error) {
+func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *QueryConfig) ([]batchDoc, error) {
 	qGrams := make([]*pqgram.Profile, len(qs))
 	qLabels := make([]map[int]int, len(qs))
 	for i, q := range qs {
@@ -146,9 +155,9 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *queryConfig) ([]ba
 	}
 
 	var selected map[string]bool
-	if cfg.docs != nil {
-		selected = make(map[string]bool, len(cfg.docs))
-		for _, n := range cfg.docs {
+	if cfg.Docs != nil {
+		selected = make(map[string]bool, len(cfg.Docs))
+		for _, n := range cfg.Docs {
 			selected[n] = false
 		}
 	}
@@ -169,7 +178,7 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *queryConfig) ([]ba
 				scanDoc: scanDoc{info: d, offset: offset},
 				bounds:  make([]float64, len(qs)),
 			}
-			if !cfg.noFilter {
+			if !cfg.NoFilter {
 				if p := st.profiles[d.ID]; p != nil {
 					bd.pqdist = math.MaxInt
 					minBound := math.Inf(1)
@@ -203,7 +212,7 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *queryConfig) ([]ba
 			return nil, fmt.Errorf("corpus: unknown document %q", name)
 		}
 	}
-	if !cfg.noFilter {
+	if !cfg.NoFilter {
 		sort.SliceStable(plan, func(i, j int) bool {
 			if plan[i].pqdist != plan[j].pqdist {
 				return plan[i].pqdist < plan[j].pqdist

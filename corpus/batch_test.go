@@ -1,6 +1,7 @@
 package corpus_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -36,7 +37,7 @@ func TestTopKBatchEquivalence(t *testing.T) {
 		k := 1 + rng.Intn(6)
 
 		var stats corpus.Stats
-		batch, err := c.TopKBatch(queries, k, corpus.WithStats(&stats))
+		batch, err := c.TopKBatch(context.Background(), queries, k, corpus.WithStats(&stats))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -50,7 +51,7 @@ func TestTopKBatchEquivalence(t *testing.T) {
 			t.Errorf("BaseDictLabels = %d, want %d", stats.BaseDictLabels, c.DictLen())
 		}
 		for i, q := range queries {
-			single, err := c.TopK(q, k)
+			single, err := c.TopK(context.Background(), q, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -61,7 +62,7 @@ func TestTopKBatchEquivalence(t *testing.T) {
 
 		// Exhaustive batch is the oracle for the batch-level document
 		// skipping.
-		exhaustive, err := c.TopKBatch(queries, k, corpus.WithoutFilter())
+		exhaustive, err := c.TopKBatch(context.Background(), queries, k, corpus.WithoutFilter())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +94,7 @@ func TestTopKBatchSharesOneOverlay(t *testing.T) {
 		queries[i] = q
 	}
 	var stats corpus.Stats
-	if _, err := c.TopKBatch(queries, 2, corpus.WithStats(&stats)); err != nil {
+	if _, err := c.TopKBatch(context.Background(), queries, 2, corpus.WithStats(&stats)); err != nil {
 		t.Fatal(err)
 	}
 	// 4 distinct per-query labels + 1 label shared across the batch.

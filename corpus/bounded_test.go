@@ -1,6 +1,7 @@
 package corpus_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -47,7 +48,7 @@ func TestQueryLabelsDoNotGrowCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 		var stats corpus.Stats
-		if _, err := c.TopK(q, 3, corpus.WithStats(&stats), corpus.WithoutTrees()); err != nil {
+		if _, err := c.TopK(context.Background(), q, 3, corpus.WithStats(&stats), corpus.WithoutTrees()); err != nil {
 			t.Fatal(err)
 		}
 		if stats.OverlayLabels != labels {

@@ -64,6 +64,7 @@ package corpus
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -121,7 +122,9 @@ type Corpus struct {
 	mu       sync.RWMutex
 	man      *docstore.Manifest
 	profiles map[int]*docProfile // by document id
-	gen      uint64              // bumped on every ingest
+	// gen mirrors the manifest's persisted generation: bumped (and
+	// written) on every ingest and removal, monotone across restarts.
+	gen uint64
 	// dict is the frozen corpus base dictionary. It is replaced wholesale
 	// on every ingest (clone → intern → freeze → publish), never mutated
 	// in place, so snapshots taken under mu stay internally consistent
@@ -194,6 +197,7 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 		c.p, c.q = man.P, man.Q
 	}
 	c.man = man
+	c.gen = man.Generation
 	base := dict.New()
 	for _, d := range man.Docs {
 		p, err := c.loadProfile(base, d)
@@ -214,7 +218,10 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 func (c *Corpus) Dir() string { return c.dir }
 
 // Generation returns a counter that increases with every successful
-// ingest. Result caches key on it to invalidate when the corpus changes.
+// ingest or removal. It is persisted in the manifest, so it stays
+// monotone across restarts and result caches keyed on it (even ones that
+// outlive this process) never see a value repeat for a different
+// document set.
 func (c *Corpus) Generation() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -227,6 +234,11 @@ func (c *Corpus) Len() int {
 	defer c.mu.RUnlock()
 	return len(c.man.Docs)
 }
+
+// NumDocs returns the document count without cost or staleness — the
+// non-blocking count interface shared with remote backends (see
+// shard.Client.NumDocs), used by serving-layer liveness probes.
+func (c *Corpus) NumDocs() (int, bool) { return c.Len(), true }
 
 // DictLen returns the number of labels in the corpus base dictionary —
 // the ingested documents' distinct labels. It is bounded by the corpus
@@ -354,14 +366,64 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 	man := *c.man
 	man.Docs = append(append([]DocInfo{}, c.man.Docs...), info)
 	man.NextID = id + 1
+	man.Generation = c.gen + 1
 	if err := docstore.WriteManifest(filepath.Join(c.dir, manifestFile), &man); err != nil {
 		return DocInfo{}, err
 	}
 	c.man = &man
 	c.profiles[id] = &docProfile{grams: grams, labels: labels}
 	c.dict = nd.Freeze()
-	c.gen++
+	c.gen = man.Generation
 	return info, nil
+}
+
+// ErrNotFound reports that a named document does not exist in the corpus;
+// test with errors.Is.
+var ErrNotFound = errors.New("document not found")
+
+// Remove deletes the named document from the corpus: the manifest entry
+// is tombstoned (rewritten without the document — NextID is untouched, so
+// ids are never reused and generation-keyed caches stay valid), the
+// profile index entry is dropped, and the store and profile files are
+// garbage-collected best-effort after the manifest commit.
+//
+// The shared dictionary is not shrunk: it stays bounded by every label
+// the corpus has ever ingested, which keeps in-flight scans (that still
+// resolve through it) valid. A query that snapshotted the corpus before
+// the Remove may race the file GC and fail its scan of this one document
+// with a ScanError; retrying observes the new manifest.
+func (c *Corpus) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := -1
+	for i, d := range c.man.Docs {
+		if d.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("corpus: %w: %q", ErrNotFound, name)
+	}
+	doomed := c.man.Docs[idx]
+
+	man := *c.man
+	man.Docs = append(append([]DocInfo{}, c.man.Docs[:idx]...), c.man.Docs[idx+1:]...)
+	man.Generation = c.gen + 1
+	if err := docstore.WriteManifest(filepath.Join(c.dir, manifestFile), &man); err != nil {
+		return err
+	}
+	c.man = &man
+	delete(c.profiles, doomed.ID)
+	c.gen = man.Generation
+
+	// Best-effort file GC: the manifest no longer references the files, so
+	// a failed unlink merely leaks disk until the next Remove of the same
+	// name... which cannot happen (names are gone) — so report nothing and
+	// leave orphans for operators; the manifest is the source of truth.
+	os.Remove(filepath.Join(c.dir, doomed.Store))
+	os.Remove(filepath.Join(c.dir, doomed.Profile))
+	return nil
 }
 
 // writeFile writes a corpus-relative file atomically (temp + rename).

@@ -1,6 +1,7 @@
 package corpus_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -60,7 +61,7 @@ func TestIngestManifestTopKRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.TopK(q, 3)
+	got, err := c.TopK(context.Background(), q, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestIngestManifestTopKRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got2, err := c2.TopK(q2, 3)
+	got2, err := c2.TopK(context.Background(), q2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,14 +123,14 @@ func TestFilterSkipsAndMatchesExhaustive(t *testing.T) {
 	}
 
 	var stats corpus.Stats
-	filtered, err := c.TopK(q, 2, corpus.WithStats(&stats))
+	filtered, err := c.TopK(context.Background(), q, 2, corpus.WithStats(&stats))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Skipped < 1 {
 		t.Fatalf("filter skipped %d documents, want ≥ 1 (scanned %d)", stats.Skipped, stats.Scanned)
 	}
-	exhaustive, err := c.TopK(q, 2, corpus.WithoutFilter())
+	exhaustive, err := c.TopK(context.Background(), q, 2, corpus.WithoutFilter())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,19 +168,19 @@ func TestEquivalenceRandom(t *testing.T) {
 				t.Fatal(err)
 			}
 			k := 1 + rng.Intn(8)
-			filtered, err := c.TopK(qc, k)
+			filtered, err := c.TopK(context.Background(), qc, k)
 			if err != nil {
 				t.Fatal(err)
 			}
-			exhaustive, err := c.TopK(qc, k, corpus.WithoutFilter())
+			exhaustive, err := c.TopK(context.Background(), qc, k, corpus.WithoutFilter())
 			if err != nil {
 				t.Fatal(err)
 			}
-			parallel, err := c.TopK(qc, k, corpus.WithWorkers(-1))
+			parallel, err := c.TopK(context.Background(), qc, k, corpus.WithWorkers(-1))
 			if err != nil {
 				t.Fatal(err)
 			}
-			unpruned, err := c.TopK(qc, k, corpus.WithoutCandidatePruning())
+			unpruned, err := c.TopK(context.Background(), qc, k, corpus.WithoutCandidatePruning())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -220,14 +221,14 @@ func TestPruneStatsReported(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats corpus.Stats
-	if _, err := c.TopK(q, 2, corpus.WithStats(&stats)); err != nil {
+	if _, err := c.TopK(context.Background(), q, 2, corpus.WithStats(&stats)); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Evaluated == 0 {
 		t.Error("Stats.Evaluated = 0: no subtree evaluation was recorded")
 	}
 	var off corpus.Stats
-	if _, err := c.TopK(q, 2, corpus.WithStats(&off), corpus.WithoutCandidatePruning()); err != nil {
+	if _, err := c.TopK(context.Background(), q, 2, corpus.WithStats(&off), corpus.WithoutCandidatePruning()); err != nil {
 		t.Fatal(err)
 	}
 	if off.HistSkipped != 0 || off.TEDAborted != 0 {
@@ -256,10 +257,10 @@ func TestSelectionAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.TopK(q, 0); err == nil {
+	if _, err := c.TopK(context.Background(), q, 0); err == nil {
 		t.Fatal("k=0 must be rejected")
 	}
-	if _, err := c.TopK(q, 1, corpus.WithDocs("nope")); err == nil {
+	if _, err := c.TopK(context.Background(), q, 1, corpus.WithDocs("nope")); err == nil {
 		t.Fatal("unknown document selection must be rejected")
 	}
 	// A query from a foreign dictionary is re-interned through a request
@@ -274,18 +275,18 @@ func TestSelectionAndErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fm, err := c.TopK(foreign, 3)
+	fm, err := c.TopK(context.Background(), foreign, 3)
 	if err != nil {
 		t.Fatalf("foreign-dictionary query failed: %v", err)
 	}
-	nm, err := c.TopK(native, 3)
+	nm, err := c.TopK(context.Background(), native, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if matchesJSON(t, fm) != matchesJSON(t, nm) {
 		t.Fatalf("foreign-dictionary query diverged:\n %s\n %s", matchesJSON(t, fm), matchesJSON(t, nm))
 	}
-	only, err := c.TopK(q, 10, corpus.WithDocs("b"))
+	only, err := c.TopK(context.Background(), q, 10, corpus.WithDocs("b"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestConcurrentQueriesAndIngest(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if _, err := c.TopK(q, 2, corpus.WithoutTrees()); err != nil {
+				if _, err := c.TopK(context.Background(), q, 2, corpus.WithoutTrees()); err != nil {
 					t.Error(err)
 					return
 				}

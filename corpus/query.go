@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -61,35 +62,74 @@ type Stats struct {
 	OverlayLabels int
 }
 
-// QueryOption configures one TopK run.
-type QueryOption func(*queryConfig)
+// QueryOption configures one TopK or TopKBatch run.
+type QueryOption func(*QueryConfig)
 
-type queryConfig struct {
-	docs     []string
-	workers  int
-	noTrees  bool
-	noFilter bool
-	noPrune  bool
-	stats    *Stats
+// QueryConfig is the resolved form of a run's options. The fields are
+// exported so Searcher implementations outside this package (the
+// scatter-gather shard.Group, the remote shard.Client) can interpret the
+// same options a *Corpus accepts; callers configure runs with the With*
+// option constructors rather than building a QueryConfig by hand.
+type QueryConfig struct {
+	// Docs restricts the run to the named documents; nil means all.
+	Docs []string
+	// Workers fans per-document distance work out to a worker pool
+	// (0 sequential, <0 GOMAXPROCS).
+	Workers int
+	// NoTrees suppresses materialization of matched subtrees.
+	NoTrees bool
+	// NoFilter disables the document-level profile index.
+	NoFilter bool
+	// NoPrune disables the per-candidate pruning pipeline.
+	NoPrune bool
+	// Stats, when non-nil, receives the run's scan statistics.
+	Stats *Stats
+	// Cutoff, when non-nil, is the shared k-th-distance bound a TopK run
+	// publishes to and prunes against; a scatter-gather group passes one
+	// cutoff to every shard so they prune against each other's results.
+	// Nil means the run uses a private cutoff.
+	Cutoff *Cutoff
+	// Cutoffs is the per-query counterpart of Cutoff for TopKBatch runs;
+	// when non-nil its length must equal the number of queries.
+	Cutoffs []*Cutoff
+}
+
+// ResolveQueryOptions applies opts to a zero QueryConfig and returns it.
+// Searcher implementations use it to interpret the options they are
+// handed.
+func ResolveQueryOptions(opts ...QueryOption) QueryConfig {
+	var cfg QueryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithConfig replaces the whole resolved configuration. It is the
+// forwarding primitive for Searcher wrappers: resolve the caller's
+// options, adjust fields (per-shard stats, the shared cutoff), and hand
+// the adjusted config down as a single option.
+func WithConfig(cfg QueryConfig) QueryOption {
+	return func(q *QueryConfig) { *q = cfg }
 }
 
 // WithDocs restricts the query to the named documents (default: all).
 func WithDocs(names ...string) QueryOption {
-	return func(q *queryConfig) { q.docs = names }
+	return func(q *QueryConfig) { q.Docs = names }
 }
 
 // WithWorkers fans the per-document distance work out to a worker pool:
 // n > 0 sets the pool size, n < 0 selects GOMAXPROCS, 0 (the default)
 // scans sequentially. Results are identical in all modes.
 func WithWorkers(n int) QueryOption {
-	return func(q *queryConfig) { q.workers = n }
+	return func(q *QueryConfig) { q.Workers = n }
 }
 
 // WithoutTrees suppresses materialization of the matched subtrees
 // (Match.Tree stays nil), saving allocation when only positions and
 // distances are needed.
 func WithoutTrees() QueryOption {
-	return func(q *queryConfig) { q.noTrees = true }
+	return func(q *QueryConfig) { q.NoTrees = true }
 }
 
 // WithoutFilter disables the profile index: documents are scanned
@@ -97,7 +137,7 @@ func WithoutTrees() QueryOption {
 // to the filtered scan; it exists as the equivalence oracle for tests and
 // for debugging filter behaviour.
 func WithoutFilter() QueryOption {
-	return func(q *queryConfig) { q.noFilter = true }
+	return func(q *QueryConfig) { q.NoFilter = true }
 }
 
 // WithoutCandidatePruning disables the per-candidate pruning pipeline
@@ -106,12 +146,25 @@ func WithoutFilter() QueryOption {
 // identical; it exists as the equivalence oracle for tests and for
 // benchmarking the gates.
 func WithoutCandidatePruning() QueryOption {
-	return func(q *queryConfig) { q.noPrune = true }
+	return func(q *QueryConfig) { q.NoPrune = true }
 }
 
 // WithStats records scan statistics into s.
 func WithStats(s *Stats) QueryOption {
-	return func(q *queryConfig) { q.stats = s }
+	return func(q *QueryConfig) { q.Stats = s }
+}
+
+// WithCutoff shares a k-th-distance bound between this TopK run and other
+// runs holding the same cutoff; see Cutoff. Results are unchanged.
+func WithCutoff(c *Cutoff) QueryOption {
+	return func(q *QueryConfig) { q.Cutoff = c }
+}
+
+// WithBatchCutoffs is WithCutoff for TopKBatch: cs[i] is shared by
+// query i across the cooperating batch runs. len(cs) must equal the
+// number of queries.
+func WithBatchCutoffs(cs []*Cutoff) QueryOption {
+	return func(q *QueryConfig) { q.Cutoffs = cs }
 }
 
 // scanDoc is one document of a TopK run's scan plan.
@@ -144,21 +197,23 @@ func requestOverlay(st snapshot, q *tree.Tree) (*dict.Overlay, *tree.Tree) {
 // overlay of the corpus dictionary, so the shared dictionary is never
 // mutated by a query.
 //
+// The context carries cancellation and deadline: a cancelled ctx stops
+// the run between documents and mid-scan (the ring-buffer loop polls it
+// once per candidate) and returns ctx.Err(). A nil ctx is treated as
+// context.Background().
+//
 // Documents are scanned most-promising-first (ascending pq-gram distance)
 // into one shared ranking, so the running k-th distance both tightens the
 // τ′ bound inside later documents and lets the label-histogram lower
 // bound skip documents outright. The result is deterministic and
 // identical to an exhaustive scan of every selected document.
-func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error) {
-	var cfg queryConfig
-	for _, o := range opts {
-		o(&cfg)
+func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOption) ([]Match, error) {
+	cfg := ResolveQueryOptions(opts...)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if q == nil || q.Size() == 0 {
-		return nil, fmt.Errorf("corpus: query must be a non-empty tree")
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("corpus: k must be ≥ 1, got %d", k)
+	if err := ValidateQuery(q, k); err != nil {
+		return nil, err
 	}
 
 	st := c.snapshot()
@@ -174,20 +229,29 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 	// shared by every per-document scan: sequential scans' heap pushes,
 	// parallel workers' merges, and the document-level skip decision below
 	// all read one atomic, and the bound carries across document
-	// boundaries so earlier documents tighten later ones.
-	cut := ranking.NewCutoff()
+	// boundaries so earlier documents tighten later ones. A caller-
+	// supplied cutoff (a scatter-gather group shares one across shards)
+	// additionally carries bounds in from cooperating runs.
+	cut := cfg.Cutoff
+	if cut == nil {
+		cut = ranking.NewCutoff()
+	}
 	heap.PublishTo(cut)
 	stats := Stats{}
 	prune := &core.PruneStats{}
 	coreOpts := core.Options{
+		Ctx:                   ctx,
 		Model:                 c.model,
-		NoTrees:               cfg.noTrees,
+		NoTrees:               cfg.NoTrees,
 		Prune:                 prune,
-		DisableHistogramBound: cfg.noPrune,
-		DisableEarlyAbort:     cfg.noPrune,
+		DisableHistogramBound: cfg.NoPrune,
+		DisableEarlyAbort:     cfg.NoPrune,
 	}
 	for _, d := range plan {
-		if !cfg.noFilter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !cfg.NoFilter {
 			if kth := cut.Load(); d.bound > kth {
 				stats.Skipped++
 				continue
@@ -196,7 +260,7 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 				stats.Unprofiled++
 			}
 		}
-		if err := c.scanInto(q, ov, d, heap, cfg.workers, coreOpts); err != nil {
+		if err := c.scanInto(q, ov, d, heap, cfg.Workers, coreOpts); err != nil {
 			return nil, err
 		}
 		stats.Scanned++
@@ -204,8 +268,8 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
 	stats.BaseDictLabels = st.base.Len()
 	stats.OverlayLabels = ov.Added()
-	if cfg.stats != nil {
-		*cfg.stats = stats
+	if cfg.Stats != nil {
+		*cfg.Stats = stats
 	}
 	return resolve(heap, plan), nil
 }
@@ -214,7 +278,7 @@ func (c *Corpus) TopK(q *tree.Tree, k int, opts ...QueryOption) ([]Match, error)
 // offsets, bounds and ordering, and returns them in scan order. The query
 // must already be resolved through an overlay over st.base, so its label
 // ids are commensurable with the profile index's.
-func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *queryConfig) ([]scanDoc, error) {
+func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *QueryConfig) ([]scanDoc, error) {
 	qGrams, err := pqgram.New(q, c.p, c.q)
 	if err != nil {
 		return nil, err
@@ -225,9 +289,9 @@ func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *queryConfig) ([]scanDoc, e
 	}
 
 	var selected map[string]bool
-	if cfg.docs != nil {
-		selected = make(map[string]bool, len(cfg.docs))
-		for _, n := range cfg.docs {
+	if cfg.Docs != nil {
+		selected = make(map[string]bool, len(cfg.Docs))
+		for _, n := range cfg.Docs {
 			selected[n] = false
 		}
 	}
@@ -249,7 +313,7 @@ func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *queryConfig) ([]scanDoc, e
 		}
 		if include {
 			sd := scanDoc{info: d, offset: offset}
-			if !cfg.noFilter {
+			if !cfg.NoFilter {
 				if p := st.profiles[d.ID]; p != nil {
 					sd.bound = labelLowerBound(qLabels, p.labels)
 					if sd.pqdist, err = pqgram.Distance(qGrams, p.grams); err != nil {
@@ -274,7 +338,7 @@ func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *queryConfig) ([]scanDoc, e
 			return nil, fmt.Errorf("corpus: unknown document %q", name)
 		}
 	}
-	if !cfg.noFilter {
+	if !cfg.NoFilter {
 		sort.SliceStable(plan, func(i, j int) bool {
 			if plan[i].pqdist != plan[j].pqdist {
 				return plan[i].pqdist < plan[j].pqdist
@@ -307,15 +371,30 @@ func labelLowerBound(query map[int]int, doc map[int]int) float64 {
 // ScanError wraps a failure to read or scan a persisted document during
 // TopK. It signals corpus-side state problems (missing or corrupt store
 // files) as opposed to bad query input, so servers can map it to an
-// internal error rather than blaming the caller.
+// internal error rather than blaming the caller. errors.As surfaces it
+// through any wrapping a scatter-gather merge adds, so a one-shard
+// failure stays attributable to that shard.
 type ScanError struct {
-	// Doc is the name of the document whose scan failed.
+	// Shard names the backend the failure came from. A single corpus
+	// leaves it empty; a scatter-gather group stamps the failing shard's
+	// name, and a remote client its own.
+	Shard string
+	// Doc is the name of the document whose scan failed; empty when the
+	// failure is not attributable to one document (e.g. a failed remote
+	// call).
 	Doc string
 	Err error
 }
 
 func (e *ScanError) Error() string {
-	return fmt.Sprintf("corpus: scanning document %q: %v", e.Doc, e.Err)
+	switch {
+	case e.Shard != "" && e.Doc != "":
+		return fmt.Sprintf("corpus: shard %s: scanning document %q: %v", e.Shard, e.Doc, e.Err)
+	case e.Shard != "":
+		return fmt.Sprintf("corpus: shard %s: %v", e.Shard, e.Err)
+	default:
+		return fmt.Sprintf("corpus: scanning document %q: %v", e.Doc, e.Err)
+	}
 }
 
 func (e *ScanError) Unwrap() error { return e.Err }

@@ -1,0 +1,429 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tasm/corpus"
+	"tasm/internal/dict"
+	"tasm/internal/tree"
+)
+
+// Client is a corpus.Searcher over a remote tasmd instance's HTTP API:
+// queries are serialized in bracket notation, re-interned by the server
+// through its own request-scoped dictionary overlay, and answered from
+// its corpus (or, when the remote is itself a router, its shard group).
+// Contexts are honored end to end — the HTTP request carries the ctx, so
+// a cancelled query aborts the connection and the server's ctx plumbing
+// stops the remote scan.
+//
+// The shared-cutoff protocol of a local Group does not cross the process
+// boundary: the remote end prunes within itself only, and a surrounding
+// Group folds the returned k-th distance into its cutoff after the
+// response arrives. WithoutCandidatePruning is not part of the wire API
+// and is ignored.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	base string
+	name string
+	hc   *http.Client
+
+	gen          atomic.Uint64 // last generation observed from /healthz
+	genRefreshed atomic.Int64  // unix nanos of the last refresh start
+	numDocs      atomic.Int64  // last document count observed; -1 = never
+
+	mu sync.Mutex
+	// docs caches the remote manifest for enriching matches, keyed by
+	// document NAME: names are unique across a whole deployment (the same
+	// contract as within one corpus), while ids are only unique per leaf —
+	// a client pointed at a router sees its leaves' id spaces collide.
+	docs map[string]corpus.DocInfo
+}
+
+var _ corpus.Searcher = (*Client)(nil)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the HTTP client (default: 5-minute timeout,
+// matching the server's write timeout for long scans).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithName overrides the name the client reports in errors and to a
+// surrounding Group (default: the base URL).
+func WithName(name string) ClientOption {
+	return func(c *Client) { c.name = name }
+}
+
+// NewClient returns a Searcher speaking to the tasmd instance at baseURL
+// (e.g. "http://db1:8421"). No connection is made until the first call.
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	baseURL = strings.TrimRight(baseURL, "/")
+	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
+		return nil, fmt.Errorf("shard: base URL %q must start with http:// or https://", baseURL)
+	}
+	c := &Client{
+		base: baseURL,
+		name: baseURL,
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+		docs: map[string]corpus.DocInfo{},
+	}
+	c.numDocs.Store(-1)
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Name returns the client's name (the base URL unless overridden); a
+// Group uses it to attribute failures.
+func (c *Client) Name() string { return c.name }
+
+// The wire shapes mirror cmd/tasmd's JSON API.
+type wireTopKRequest struct {
+	Query      string   `json:"query,omitempty"`
+	K          int      `json:"k"`
+	Docs       []string `json:"docs,omitempty"`
+	Workers    int      `json:"workers,omitempty"`
+	Trees      bool     `json:"trees,omitempty"`
+	Exhaustive bool     `json:"exhaustive,omitempty"`
+}
+
+type wireBatchRequest struct {
+	Queries    []string `json:"queries"`
+	K          int      `json:"k"`
+	Docs       []string `json:"docs,omitempty"`
+	Trees      bool     `json:"trees,omitempty"`
+	Exhaustive bool     `json:"exhaustive,omitempty"`
+}
+
+type wireMatch struct {
+	Doc   string  `json:"doc"`
+	DocID int     `json:"docId"`
+	Pos   int     `json:"pos"`
+	Dist  float64 `json:"dist"`
+	Size  int     `json:"size"`
+	Tree  string  `json:"tree,omitempty"`
+}
+
+type wireStats struct {
+	Scanned        int    `json:"scanned"`
+	Skipped        int    `json:"skipped"`
+	HistSkipped    uint64 `json:"histSkipped"`
+	TEDAborted     uint64 `json:"tedAborted"`
+	Evaluated      uint64 `json:"evaluated"`
+	BaseDictLabels int    `json:"baseDictLabels"`
+	OverlayLabels  int    `json:"overlayLabels"`
+	Cached         bool   `json:"cached"`
+}
+
+func (s *wireStats) stats() corpus.Stats {
+	return corpus.Stats{
+		Scanned:        s.Scanned,
+		Skipped:        s.Skipped,
+		HistSkipped:    s.HistSkipped,
+		TEDAborted:     s.TEDAborted,
+		Evaluated:      s.Evaluated,
+		BaseDictLabels: s.BaseDictLabels,
+		OverlayLabels:  s.OverlayLabels,
+	}
+}
+
+type wireTopKResponse struct {
+	Matches []wireMatch `json:"matches"`
+	Stats   wireStats   `json:"stats"`
+}
+
+type wireBatchResponse struct {
+	Results [][]wireMatch `json:"results"`
+	Stats   wireStats     `json:"stats"`
+}
+
+// TopK answers the query remotely. The query tree may come from any
+// dictionary — it travels as a bracket string and is re-interned by the
+// server.
+func (c *Client) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.QueryOption) ([]corpus.Match, error) {
+	cfg := corpus.ResolveQueryOptions(opts...)
+	if err := corpus.ValidateQuery(q, k); err != nil {
+		return nil, err
+	}
+	var resp wireTopKResponse
+	err := c.post(ctx, "/v1/topk", wireTopKRequest{
+		Query:      q.String(),
+		K:          k,
+		Docs:       cfg.Docs,
+		Workers:    cfg.Workers,
+		Trees:      !cfg.NoTrees,
+		Exhaustive: cfg.NoFilter,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = resp.Stats.stats()
+	}
+	ms, err := c.matches(ctx, resp.Matches)
+	if err != nil {
+		return nil, err
+	}
+	// Late cutoff propagation: the remote scan could not see the group's
+	// bound, but its answer still tightens it for shards that are slower.
+	if cfg.Cutoff != nil && len(ms) == k {
+		cfg.Cutoff.Tighten(ms[k-1].Dist)
+	}
+	return ms, nil
+}
+
+// TopKBatch answers the batch remotely in one request (one remote corpus
+// scan serves all queries).
+func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts ...corpus.QueryOption) ([][]corpus.Match, error) {
+	cfg := corpus.ResolveQueryOptions(opts...)
+	if err := corpus.ValidateBatch(queries, k, &cfg); err != nil {
+		return nil, err
+	}
+	qs := make([]string, len(queries))
+	for i, q := range queries {
+		qs[i] = q.String()
+	}
+	var resp wireBatchResponse
+	err := c.post(ctx, "/v1/topk-batch", wireBatchRequest{
+		Queries:    qs,
+		K:          k,
+		Docs:       cfg.Docs,
+		Trees:      !cfg.NoTrees,
+		Exhaustive: cfg.NoFilter,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = resp.Stats.stats()
+	}
+	out := make([][]corpus.Match, len(resp.Results))
+	for i, ws := range resp.Results {
+		ms, err := c.matches(ctx, ws)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+		if cfg.Cutoffs != nil && i < len(cfg.Cutoffs) && cfg.Cutoffs[i] != nil && len(ms) == k {
+			cfg.Cutoffs[i].Tighten(ms[k-1].Dist)
+		}
+	}
+	return out, nil
+}
+
+// Docs fetches the remote manifest. On a transport failure it falls back
+// to the last listing it saw (Searcher.Docs carries no error); a fresh
+// client that has never reached the server returns nil. Callers that
+// must distinguish an outage from an empty corpus use DocsContext.
+func (c *Client) Docs() []corpus.DocInfo {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	docs, err := c.fetchDocs(ctx)
+	if err != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		docs = make([]corpus.DocInfo, 0, len(c.docs))
+		for _, d := range c.docs {
+			docs = append(docs, d)
+		}
+		sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+		return docs
+	}
+	return docs
+}
+
+// DocsContext fetches the remote manifest under the caller's context and
+// reports transport failures instead of falling back to a stale cache. A
+// Group resolves WithDocs selections through it, so a shard outage
+// surfaces as that shard's failure rather than as "unknown document".
+func (c *Client) DocsContext(ctx context.Context) ([]corpus.DocInfo, error) {
+	return c.fetchDocs(ctx)
+}
+
+// genRefreshTTL rate-limits background generation refreshes: between
+// refreshes Generation serves the cached value, so cache-key computation
+// on a router's request hot path never blocks on a remote round trip.
+const genRefreshTTL = time.Second
+
+// Generation returns the last remote generation observed from /healthz,
+// kicking off (at most once per genRefreshTTL) a background refresh. The
+// value therefore lags the remote corpus by at most the TTL plus one
+// round trip — a result cache keyed on it serves answers at most that
+// stale after a remote ingest or removal, and is exactly invalidated
+// once the refresh lands. A fresh client reports 0 until its first
+// refresh completes; an unreachable server leaves the last value
+// standing (queries against it fail anyway).
+func (c *Client) Generation() uint64 {
+	now := time.Now().UnixNano()
+	last := c.genRefreshed.Load()
+	if now-last >= int64(genRefreshTTL) && c.genRefreshed.CompareAndSwap(last, now) {
+		go c.refreshGeneration()
+	}
+	return c.gen.Load()
+}
+
+// refreshGeneration fetches /healthz once and stores the generation and
+// document count it reports.
+func (c *Client) refreshGeneration() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var health struct {
+		Generation uint64 `json:"generation"`
+		Docs       int64  `json:"docs"`
+	}
+	if err := c.get(ctx, "/healthz", &health); err == nil {
+		c.gen.Store(health.Generation)
+		c.numDocs.Store(health.Docs)
+	}
+}
+
+// NumDocs returns the last remote document count observed (from /healthz
+// refreshes and manifest fetches) without a remote round trip, so
+// liveness probes and metric scrapes through a router never block on its
+// leaves. false until the server has been reached at least once; a
+// rate-limited background refresh is kicked either way.
+func (c *Client) NumDocs() (int, bool) {
+	c.Generation() // kicks the rate-limited async refresh
+	if n := c.numDocs.Load(); n >= 0 {
+		return int(n), true
+	}
+	return 0, false
+}
+
+// matches converts wire matches, enriching each DocInfo from the cached
+// remote manifest (refreshed once per call on a miss — e.g. after a
+// remote ingest). A document that vanished between the response and the
+// refresh keeps the id and name the response carried.
+func (c *Client) matches(ctx context.Context, ws []wireMatch) ([]corpus.Match, error) {
+	out := make([]corpus.Match, len(ws))
+	refreshed := false
+	var d dict.Dict // one response-local dictionary for returned trees
+	for i, w := range ws {
+		info, ok := c.lookupDoc(w.Doc)
+		if !ok && !refreshed {
+			refreshed = true
+			if _, err := c.fetchDocs(ctx); err == nil {
+				info, ok = c.lookupDoc(w.Doc)
+			}
+		}
+		if !ok {
+			info = corpus.DocInfo{ID: w.DocID, Name: w.Doc}
+		}
+		out[i] = corpus.Match{Doc: info, Pos: w.Pos, Dist: w.Dist, Size: w.Size}
+		if w.Tree != "" {
+			if d == nil {
+				d = dict.New()
+			}
+			t, err := tree.Parse(d, w.Tree)
+			if err != nil {
+				return nil, fmt.Errorf("shard: %s returned unparseable match tree: %w", c.name, err)
+			}
+			out[i].Tree = t
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) lookupDoc(name string) (corpus.DocInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[name]
+	return d, ok
+}
+
+// fetchDocs retrieves the remote manifest and replaces the cache.
+func (c *Client) fetchDocs(ctx context.Context) ([]corpus.DocInfo, error) {
+	var listing struct {
+		Docs []corpus.DocInfo `json:"docs"`
+	}
+	if err := c.get(ctx, "/v1/docs", &listing); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.docs = make(map[string]corpus.DocInfo, len(listing.Docs))
+	for _, d := range listing.Docs {
+		c.docs[d.Name] = d
+	}
+	c.mu.Unlock()
+	c.numDocs.Store(int64(len(listing.Docs)))
+	return listing.Docs, nil
+}
+
+// post sends a JSON request and decodes the JSON response into out.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// get sends a GET request and decodes the JSON response into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do executes the request, mapping transport failures and 5xx responses
+// to *corpus.ScanError (backend-side state, named after this client) and
+// 4xx responses to plain errors (the caller's mistake travels back as
+// such).
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Surface the caller's cancellation as such: url.Error wraps it,
+		// and the group's error policy distinguishes cancellation from
+		// shard failure.
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &corpus.ScanError{Shard: c.name, Err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		if ctxErr := req.Context().Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return &corpus.ScanError{Shard: c.name, Err: err}
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		msg := strings.TrimSpace(string(body))
+		var wireErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &wireErr) == nil && wireErr.Error != "" {
+			msg = wireErr.Error
+		}
+		if resp.StatusCode >= 500 {
+			return &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%s: %s", resp.Status, msg)}
+		}
+		return fmt.Errorf("tasmd %s: %s: %s", c.name, resp.Status, msg)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("unparseable response: %w", err)}
+	}
+	return nil
+}

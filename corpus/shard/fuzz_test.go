@@ -1,0 +1,121 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tasm/corpus"
+	"tasm/corpus/shard"
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/tree"
+)
+
+// decodeTree turns fuzz bytes into one well-formed tree: each byte's high
+// nibble says how many completed subtrees the new node adopts (clamped),
+// the low nibble picks its label, and a final root adopts leftovers —
+// the same decoding internal/core's fuzz targets use.
+func decodeTree(d dict.Dict, data []byte) *tree.Tree {
+	if len(data) > 96 {
+		data = data[:96]
+	}
+	labelIDs := make([]int, 8)
+	for i := range labelIDs {
+		labelIDs[i] = d.Intern(string(rune('a' + i)))
+	}
+	var items []postorder.Item
+	var stack []int
+	for _, b := range data {
+		take := int(b >> 4)
+		if take > len(stack) {
+			take = len(stack)
+		}
+		sz := 1
+		for i := 0; i < take; i++ {
+			sz += stack[len(stack)-1-i]
+		}
+		stack = stack[:len(stack)-take]
+		stack = append(stack, sz)
+		items = append(items, postorder.Item{Label: labelIDs[int(b&0xf)%len(labelIDs)], Size: sz})
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if len(stack) > 1 {
+		items = append(items, postorder.Item{Label: labelIDs[0], Size: len(items) + 1})
+	}
+	t, err := postorder.BuildTree(d, postorder.NewSliceQueue(items))
+	if err != nil {
+		return nil
+	}
+	return t
+}
+
+// FuzzGroupVsMerged pins the acceptance criterion under adversarial
+// inputs: a Group over 3 shards holding fuzz-decoded documents must
+// answer TopK and TopKBatch byte-identically to one corpus holding the
+// union of the documents, for a fuzz-decoded query that may carry labels
+// no document has.
+func FuzzGroupVsMerged(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x23}, []byte{0x04, 0x15}, []byte{0x01, 0x01, 0x21}, []byte{0x02, 0x13}, uint8(3))
+	f.Add([]byte{0x31, 0x31, 0x31, 0x72}, []byte{0x00}, []byte{0x11, 0x11}, []byte{0x0f, 0x2e}, uint8(1))
+	f.Add([]byte{0x05, 0x0a, 0x21, 0x00, 0x13}, []byte{0x01, 0x02}, []byte{0x03}, []byte{0x21, 0x30, 0x41}, uint8(5))
+	f.Fuzz(func(t *testing.T, doc0, doc1, doc2, qBytes []byte, k8 uint8) {
+		k := int(k8)%8 + 1
+		qd := dict.New()
+		// Shift the query's label alphabet so some labels are foreign to
+		// the documents.
+		qd.Intern("zz0")
+		q := decodeTree(qd, qBytes)
+		if q == nil {
+			t.Skip("empty query")
+		}
+
+		union := openCorpus(t)
+		shards := make([]*corpus.Corpus, 3)
+		for i, data := range [][]byte{doc0, doc1, doc2} {
+			shards[i] = openCorpus(t)
+			dt := decodeTree(dict.New(), data)
+			if dt == nil {
+				continue // an empty shard is legal
+			}
+			name := fmt.Sprintf("doc%d", i)
+			if _, err := shards[i].AddTree(name, dt); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := union.AddTree(name, dt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := shard.NewGroup(searchers(shards)...)
+		ctx := context.Background()
+
+		want, err := union.TopK(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.TopK(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw, ng := normalize(t, want), normalize(t, got); nw != ng {
+			t.Fatalf("TopK k=%d:\n union %s\n group %s", k, nw, ng)
+		}
+
+		qs := []*tree.Tree{q, tree.MustParse(dict.New(), "{a{b}}")}
+		wantB, err := union.TopKBatch(ctx, qs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, err := g.TopKBatch(ctx, qs, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if nw, ng := normalize(t, wantB[i]), normalize(t, gotB[i]); nw != ng {
+				t.Fatalf("TopKBatch query %d k=%d:\n union %s\n group %s", i, k, nw, ng)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ package corpus
 // the degradation counted in Stats — instead of crashing.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -57,7 +58,7 @@ func checkUnprofiledTopK(t *testing.T, c *Corpus) {
 		t.Fatal(err)
 	}
 	var stats Stats
-	got, err := c.TopK(q, 4, WithStats(&stats))
+	got, err := c.TopK(context.Background(), q, 4, WithStats(&stats))
 	if err != nil {
 		t.Fatalf("TopK with missing profile: %v", err)
 	}
@@ -67,7 +68,7 @@ func checkUnprofiledTopK(t *testing.T, c *Corpus) {
 	if stats.Scanned != 3 {
 		t.Errorf("Stats.Scanned = %d, want 3 (an unprofiled document must never be skipped)", stats.Scanned)
 	}
-	want, err := c.TopK(q, 4, WithoutFilter())
+	want, err := c.TopK(context.Background(), q, 4, WithoutFilter())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestPlanNilProfileDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats Stats
-	if _, err := c.TopK(q, 2, WithStats(&stats)); err != nil {
+	if _, err := c.TopK(context.Background(), q, 2, WithStats(&stats)); err != nil {
 		t.Fatalf("TopK with nil profile entry: %v", err)
 	}
 	if stats.Unprofiled != 1 {

@@ -14,6 +14,7 @@ package core
 // count assertions are skipped; see internal/race.
 
 import (
+	"context"
 	"testing"
 
 	"tasm/internal/cost"
@@ -48,13 +49,17 @@ func scanAllocs(t *testing.T, scan func() error) float64 {
 
 // TestPostorderStreamAllocsPerCandidateZero: total allocations of a
 // NoTrees PostorderStream scan must not depend on the number of
-// candidates, i.e. the per-candidate path allocates nothing.
+// candidates, i.e. the per-candidate path allocates nothing. The scan
+// runs under a live cancellable context: the per-candidate cancellation
+// poll must not cost the invariant.
 func TestPostorderStreamAllocsPerCandidateZero(t *testing.T) {
 	d := dict.New()
 	q := tree.MustParse(d, "{rec{a}{b}}")
 	small := recordDoc(t, d, 60)
 	large := recordDoc(t, d, 600)
-	opts := Options{NoTrees: true, CT: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{NoTrees: true, CT: 1, Ctx: ctx}
 	run := func(items []postorder.Item) func() error {
 		return func() error {
 			_, err := PostorderStream(q, postorder.NewSliceQueue(items), 2, opts)
@@ -74,7 +79,8 @@ func TestPostorderStreamAllocsPerCandidateZero(t *testing.T) {
 	}
 }
 
-// TestPostorderBatchAllocsPerCandidateZero is the batch-scan counterpart.
+// TestPostorderBatchAllocsPerCandidateZero is the batch-scan counterpart
+// (cancellation poll active, like the stream test).
 func TestPostorderBatchAllocsPerCandidateZero(t *testing.T) {
 	d := dict.New()
 	queries := []*tree.Tree{
@@ -83,7 +89,9 @@ func TestPostorderBatchAllocsPerCandidateZero(t *testing.T) {
 	}
 	small := recordDoc(t, d, 60)
 	large := recordDoc(t, d, 600)
-	opts := Options{NoTrees: true, CT: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := Options{NoTrees: true, CT: 1, Ctx: ctx}
 	run := func(items []postorder.Item) func() error {
 		return func() error {
 			_, err := PostorderBatch(queries, postorder.NewSliceQueue(items), 2, opts)

@@ -118,7 +118,14 @@ func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap
 
 	buf := prb.New(docQ, tauMax)
 	view := &tree.View{} // flat subtree view, recycled across queries and candidates
+	done := opts.done()
 	for {
+		// Cancellation poll, once per candidate; see postorderScan.
+		select {
+		case <-done:
+			return opts.Ctx.Err()
+		default:
+		}
 		ok, err := buf.Next()
 		if err != nil {
 			return err
@@ -131,11 +138,12 @@ func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap
 		}
 		for _, st := range states {
 			// Gate 1 per query: the candidate's label histogram bounds the
-			// distance of every subtree within it from below; a full
-			// ranking whose k-th distance is already smaller makes this
+			// distance of every subtree within it from below; a ranking
+			// whose k-th distance bound is already smaller makes this
 			// candidate irrelevant for this query.
-			if st.hist != nil && st.rank.Full() {
-				if float64(st.hist.CandidateBound(buf, buf.Leaf(), buf.Root())) > st.rank.Max().Dist {
+			if st.hist != nil {
+				if kth := st.rank.KthBound(); !math.IsInf(kth, 1) &&
+					float64(st.hist.CandidateBound(buf, buf.Leaf(), buf.Root())) > kth {
 					if opts.Prune != nil {
 						opts.Prune.HistSkipped.Add(1)
 					}
@@ -170,15 +178,16 @@ func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, view *tree.Vi
 			rt--
 			continue
 		}
+		kth := r.KthBound()
 		compute := true
-		if r.Full() && !opts.DisableIntermediateBound {
+		if !math.IsInf(kth, 1) && !opts.DisableIntermediateBound {
 			if strictTies {
 				// Order-independent margin: skip only subtrees whose
 				// distance lower bound size−|Q| strictly exceeds the
 				// current k-th distance (see PostorderStreamInto).
-				compute = float64(size) <= r.Max().Dist+float64(m)
+				compute = float64(size) <= kth+float64(m)
 			} else {
-				tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
+				tauP := math.Min(float64(tau), kth+float64(m))
 				compute = float64(size) < tauP
 			}
 		}
@@ -187,8 +196,8 @@ func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, view *tree.Vi
 				return err
 			}
 			// Gate 2: bounded evaluation against this query's running k-th
-			// distance; see postorderScan.
-			row := evaluateRow(comp, view, r, &opts)
+			// distance bound; see postorderScan.
+			row := evaluateRow(comp, view, kth, &opts)
 			sizes := view.Sizes()
 			for j := 0; j < size; j++ {
 				e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}

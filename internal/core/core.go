@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,6 +43,12 @@ type Probe interface {
 type Options struct {
 	// Model is the node cost model; nil means the unit cost model.
 	Model cost.Model
+	// Ctx carries cancellation and deadline for the scan; nil means
+	// context.Background(). The scan polls it once per ring-buffer
+	// candidate (a non-blocking channel read, no allocation), so a
+	// cancelled request stops mid-scan promptly and returns ctx.Err()
+	// without breaking the zero-allocations-per-candidate invariant.
+	Ctx context.Context
 	// CT overrides cT, the bound on document node costs used in
 	// τ = |Q|·(cQ+1) + k·cT. Zero means Model.DocBound(). For
 	// memory-resident documents the exact maximum is used instead when
@@ -78,6 +85,16 @@ func (o *Options) model() cost.Model {
 		return cost.Unit{}
 	}
 	return o.Model
+}
+
+// done returns the run's cancellation channel, nil when no context was
+// supplied (a nil channel never becomes ready, so the per-candidate poll
+// degenerates to the select's default branch).
+func (o *Options) done() <-chan struct{} {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Done()
 }
 
 // validate checks the common query/k preconditions.
@@ -268,8 +285,17 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 	if !opts.DisableHistogramBound {
 		hist = prb.NewLabelHist(q)
 	}
+	done := opts.done()
 
 	for {
+		// Cancellation poll, once per candidate: a non-blocking read of the
+		// context's done channel (nil — never ready — without a context),
+		// so a cancelled request abandons the scan mid-document.
+		select {
+		case <-done:
+			return opts.Ctx.Err()
+		default:
+		}
 		ok, err := buf.Next()
 		if err != nil {
 			return err
@@ -281,6 +307,11 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 		if opts.Probe != nil {
 			opts.Probe.Candidate(rootID - leafID + 1)
 		}
+		// The bound every gate prunes against: the ranking's own k-th
+		// distance, tightened through its cutoff publisher by any
+		// cooperating scans (other documents of a corpus run, other shards
+		// of a scatter-gather group) that share the publisher.
+		kth := r.KthBound()
 		// Gate 1: the sliding label histogram yields a lower bound on the
 		// distance of EVERY subtree of the candidate (their label bags are
 		// sub-bags of the candidate's). If it strictly exceeds the current
@@ -288,8 +319,8 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 		// candidate without filling a view or touching the DP. Strict
 		// comparison keeps exact boundary ties evaluated, so results stay
 		// byte-identical in both tie-handling modes.
-		if hist != nil && r.Full() {
-			if float64(hist.CandidateBound(buf, leafID, rootID)) > r.Max().Dist {
+		if hist != nil && !math.IsInf(kth, 1) {
+			if float64(hist.CandidateBound(buf, leafID, rootID)) > kth {
 				if opts.Prune != nil {
 					opts.Prune.HistSkipped.Add(1)
 				}
@@ -301,19 +332,20 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 		for rt := rootID; rt >= leafID; {
 			lml := buf.LMLOf(rt)
 			size := rt - lml + 1
+			kth = r.KthBound()
 			// τ′ tightens τ once an intermediate ranking exists
 			// (Lemma 4): subtrees of size ≥ max(R)+|Q| cannot improve it.
 			compute := true
-			if r.Full() && !opts.DisableIntermediateBound {
+			if !math.IsInf(kth, 1) && !opts.DisableIntermediateBound {
 				if strictTies {
 					// Order-independent margin: skip only subtrees whose
 					// distance lower bound size−|Q| strictly exceeds the
 					// current k-th distance, so an exact tie that would win
 					// its position tie-break is never discarded. The static
 					// τ cut is already enforced by the ring buffer.
-					compute = float64(size) <= r.Max().Dist+float64(m)
+					compute = float64(size) <= kth+float64(m)
 				} else {
-					tauP := math.Min(float64(tau), r.Max().Dist+float64(m))
+					tauP := math.Min(float64(tau), kth+float64(m))
 					compute = float64(size) < tauP
 				}
 			}
@@ -327,7 +359,7 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 				// the current k-th distance — distances at or below it stay
 				// exact, anything above may abort to +Inf, which the heap
 				// rejects just like the true value.
-				row := evaluateRow(comp, view, r, &opts)
+				row := evaluateRow(comp, view, kth, &opts)
 				sizes := view.Sizes()
 				for j := 0; j < size; j++ {
 					e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}

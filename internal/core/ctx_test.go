@@ -1,0 +1,125 @@
+package core
+
+// Context plumbing tests: scans poll their context once per ring-buffer
+// candidate, so a cancelled request stops mid-scan (without draining the
+// document stream) — and the poll costs no allocations (see alloc_test.go
+// for the AllocsPerRun pin with a context installed).
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tasm/internal/dict"
+	"tasm/internal/postorder"
+	"tasm/internal/ranking"
+	"tasm/internal/tree"
+)
+
+// cancellingQueue wraps a queue and cancels a context after yielding n
+// items, then counts how many more are consumed — a deterministic way to
+// cancel "mid-scan".
+type cancellingQueue struct {
+	inner  postorder.Queue
+	after  int
+	cancel context.CancelFunc
+	served int
+	extra  int
+}
+
+func (q *cancellingQueue) Next() (postorder.Item, error) {
+	it, err := q.inner.Next()
+	if err != nil {
+		return it, err
+	}
+	q.served++
+	if q.served == q.after {
+		q.cancel()
+	} else if q.served > q.after {
+		q.extra++
+	}
+	return it, nil
+}
+
+// TestScanStopsMidStream: cancelling during a PostorderStream scan
+// returns context.Canceled and abandons the stream long before its end.
+func TestScanStopsMidStream(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{rec{a}{b}}")
+	items := recordDoc(t, d, 5000)
+
+	for _, tc := range []struct {
+		name string
+		run  func(docQ postorder.Queue, opts Options) error
+	}{
+		{"stream", func(docQ postorder.Queue, opts Options) error {
+			_, err := PostorderStream(q, docQ, 2, opts)
+			return err
+		}},
+		{"streamInto", func(docQ postorder.Queue, opts Options) error {
+			return PostorderStreamInto(q, docQ, ranking.New(2), 0, opts)
+		}},
+		{"batch", func(docQ postorder.Queue, opts Options) error {
+			_, err := PostorderBatch([]*tree.Tree{q}, docQ, 2, opts)
+			return err
+		}},
+		{"parallel", func(docQ postorder.Queue, opts Options) error {
+			_, err := PostorderParallel(q, docQ, 2, 4, opts)
+			return err
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			cq := &cancellingQueue{inner: postorder.NewSliceQueue(items), after: 100, cancel: cancel}
+			err := tc.run(cq, Options{NoTrees: true, CT: 1, Ctx: ctx})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// The ring buffer may legitimately read ahead to complete the
+			// candidate in flight (bounded by τ), but must not drain the
+			// stream: cancelling after 100 of 20001 items leaves the vast
+			// majority unread.
+			if cq.extra > 1000 {
+				t.Errorf("scan consumed %d items after cancellation (of %d total): not stopping mid-scan", cq.extra, len(items))
+			}
+		})
+	}
+}
+
+// TestNilCtxMeansBackground: scans without a context behave exactly as
+// before the ctx plumbing existed.
+func TestNilCtxMeansBackground(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{rec{a}{b}}")
+	items := recordDoc(t, d, 50)
+	withCtx, err := PostorderStream(q, postorder.NewSliceQueue(items), 3, Options{Ctx: context.Background(), NoTrees: true, CT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := PostorderStream(q, postorder.NewSliceQueue(items), 3, Options{NoTrees: true, CT: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withCtx) != len(without) {
+		t.Fatalf("result lengths differ: %d vs %d", len(withCtx), len(without))
+	}
+	for i := range withCtx {
+		if withCtx[i] != without[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, withCtx[i], without[i])
+		}
+	}
+}
+
+// TestCancelledBeforeScan: an already-cancelled context fails immediately
+// without touching the stream.
+func TestCancelledBeforeScan(t *testing.T) {
+	d := dict.New()
+	q := tree.MustParse(d, "{a}")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eof := postorder.NewSliceQueue(nil)
+	if _, err := PostorderStream(q, eof, 1, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -155,8 +155,19 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 	}
 	var produceErr error
 	buf := prb.New(docQ, tau)
+	done := opts.done()
 scan:
 	for {
+		// Cancellation poll, once per candidate; a cancelled context stops
+		// production, the work channel closes, and the workers drain the
+		// few buffered items before exiting — no goroutine outlives the
+		// call. See postorderScan.
+		select {
+		case <-done:
+			produceErr = opts.Ctx.Err()
+			break scan
+		default:
+		}
 		ok, err := buf.Next()
 		if err != nil {
 			produceErr = err

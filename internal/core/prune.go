@@ -1,9 +1,9 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
 
-	"tasm/internal/ranking"
 	"tasm/internal/ted"
 	"tasm/internal/tree"
 )
@@ -37,12 +37,13 @@ func (s *PruneStats) Snapshot() (histSkipped, tedAborted, evaluated uint64) {
 
 // evaluateRow is the shared gate-2 unit of work of the sequential and
 // batch scans: one TASM-dynamic evaluation of the filled view, bounded
-// by r's current k-th distance when the early-abort gate is active, with
-// the pipeline counters bumped. The returned row is valid until the
+// by kth — the ranking's current k-th distance bound (Heap.KthBound) —
+// when the early-abort gate is active and the bound is finite, with the
+// pipeline counters bumped. The returned row is valid until the
 // computer's next evaluation.
-func evaluateRow(comp *ted.Computer, view *tree.View, r *ranking.Heap, opts *Options) []float64 {
-	if !opts.DisableEarlyAbort && r.Full() {
-		row, aborted := comp.SubtreeDistancesViewBounded(view, r.Max().Dist)
+func evaluateRow(comp *ted.Computer, view *tree.View, kth float64, opts *Options) []float64 {
+	if !opts.DisableEarlyAbort && !math.IsInf(kth, 1) {
+		row, aborted := comp.SubtreeDistancesViewBounded(view, kth)
 		if opts.Prune != nil {
 			if aborted {
 				opts.Prune.TEDAborted.Add(1)

@@ -26,6 +26,13 @@ type Manifest struct {
 	// NextID is the id the next ingested document will receive. Ids are
 	// never reused, so deleting a document cannot alias a cached result.
 	NextID int `json:"next_id"`
+	// Generation counts document-set changes (ingests and removals) over
+	// the corpus's whole lifetime. It is persisted so generation-keyed
+	// result caches that outlive the serving process (a router's LRU over
+	// restarting leaves) can never see a generation value repeat for a
+	// different document set. Absent in pre-PR-5 manifests, which load
+	// as 0 and become persistent on their next mutation.
+	Generation uint64 `json:"generation,omitempty"`
 	// Docs lists the documents in ascending id order.
 	Docs []ManifestDoc `json:"docs"`
 }

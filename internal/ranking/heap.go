@@ -11,6 +11,7 @@ package ranking
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tasm/internal/tree"
@@ -101,6 +102,26 @@ func (h *Heap) PublishTo(c *Cutoff) {
 
 // CutoffPublisher returns the attached publisher, or nil.
 func (h *Heap) CutoffPublisher() *Cutoff { return h.cutoff }
+
+// KthBound returns the tightest currently known bound on the distance an
+// entry must beat to reach the final ranking: the heap's own k-th distance
+// once full, further tightened by the attached cutoff publisher when one
+// is attached. Cooperating scans (corpus documents, shards of a
+// scatter-gather group) share one publisher, so the bound a scan prunes
+// against reflects results other scans have already found. +Inf while no
+// bound exists yet.
+func (h *Heap) KthBound() float64 {
+	kth := math.Inf(1)
+	if len(h.es) == h.k {
+		kth = h.es[0].Dist
+	}
+	if h.cutoff != nil {
+		if v := h.cutoff.Load(); v < kth {
+			kth = v
+		}
+	}
+	return kth
+}
 
 // Push offers an entry to the ranking. When the ranking is full, the entry
 // is retained only if it beats the current worst, which it then evicts.

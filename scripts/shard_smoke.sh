@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Two-process tasmd smoke test: a router (-shards) scatter-gathering over
+# a leaf (-dir) must answer a top-k query ingested into the leaf. Run
+# from the repository root; exits non-zero on any failure.
+set -euo pipefail
+
+LEAF_PORT="${LEAF_PORT:-18421}"
+ROUTER_PORT="${ROUTER_PORT:-18422}"
+WORKDIR="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+wait_healthy() { # url
+  for _ in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "FAIL: $1 never became healthy" >&2
+  return 1
+}
+
+go build -o "$WORKDIR/tasmd" ./cmd/tasmd
+
+"$WORKDIR/tasmd" -dir "$WORKDIR/leaf-corpus" -addr "127.0.0.1:$LEAF_PORT" &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:$LEAF_PORT"
+
+# Ingest into the leaf.
+curl -sf -X POST "http://127.0.0.1:$LEAF_PORT/v1/docs" \
+  -H 'Content-Type: application/json' \
+  -d '{"name":"smoke","xml":"<r><rec><a>1</a><b>2</b></rec><rec><a>1</a></rec></r>"}' >/dev/null
+
+# The router scatter-gathers over the leaf (second process, second tier).
+"$WORKDIR/tasmd" -shards "http://127.0.0.1:$LEAF_PORT" -addr "127.0.0.1:$ROUTER_PORT" &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:$ROUTER_PORT"
+
+# Query through the router; the exact subtree lives in the leaf.
+RESP="$(curl -sf -X POST "http://127.0.0.1:$ROUTER_PORT/v1/topk" \
+  -H 'Content-Type: application/json' \
+  -d '{"query":"{rec{a{1}}{b{2}}}","k":2,"trees":true}')"
+echo "router response: $RESP"
+
+python3 - "$RESP" <<'EOF'
+import json, sys
+resp = json.loads(sys.argv[1])
+matches = resp["matches"]
+assert len(matches) == 2, f"want 2 matches, got {len(matches)}"
+assert matches[0]["doc"] == "smoke", matches[0]
+assert matches[0]["dist"] == 0, "exact subtree must rank first with distance 0"
+assert matches[0]["tree"], "trees=true must return the matched subtree"
+EOF
+
+# The router refuses ingests (leaf-only) ...
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$ROUTER_PORT/v1/docs" \
+  -H 'Content-Type: application/json' -d '{"name":"x","xml":"<a/>"}')"
+[ "$CODE" = "501" ] || { echo "FAIL: router ingest returned $CODE, want 501" >&2; exit 1; }
+
+# ... and the leaf serves DELETE /v1/docs/{name}.
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://127.0.0.1:$LEAF_PORT/v1/docs/smoke")"
+[ "$CODE" = "200" ] || { echo "FAIL: leaf delete returned $CODE, want 200" >&2; exit 1; }
+
+# Graceful shutdown: SIGTERM must terminate both processes promptly.
+kill -TERM "${PIDS[1]}" "${PIDS[0]}"
+for pid in "${PIDS[@]}"; do
+  for _ in $(seq 1 50); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    echo "FAIL: tasmd pid $pid survived SIGTERM for 5s" >&2
+    exit 1
+  fi
+done
+PIDS=()
+
+echo "shard smoke test: OK"

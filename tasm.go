@@ -59,9 +59,38 @@
 //	     -d '{"query":"{article{author}{title}}","k":5,"trees":true}'
 //
 // See the corpus package and cmd/tasmd for details.
+//
+// # The Searcher contract and sharding
+//
+// Corpus queries go through the corpus.Searcher interface — TopK and
+// TopKBatch taking a context.Context, plus Docs and Generation — with
+// three interchangeable implementations: *corpus.Corpus (one directory),
+// shard.Group (scatter-gather over several Searchers, results identical
+// to one merged corpus), and shard.Client (a remote tasmd instance). The
+// tasmd daemon serves any of them, so a deployment grows from one
+// directory to a router fanning out over leaf daemons without the query
+// API changing:
+//
+//	tasmd -dir /data/shard0 -addr :8421                    # leaves own documents
+//	tasmd -shards http://a:8421,http://b:8421 -addr :80    # the router scatter-gathers
+//
+// Ingest-side mutation (AddXML, AddTree, Remove) is the corpus.Ingester
+// interface, implemented by *corpus.Corpus only: documents live on
+// exactly one shard, and routers are read-only.
+//
+// # Contexts and cancellation
+//
+// Corpus.TopK and Corpus.TopKBatch take a context.Context as their first
+// argument; scans poll it once per ring-buffer candidate, so cancelling a
+// request (a disconnected client, a server draining for shutdown, a
+// deadline) stops mid-scan promptly at zero steady-state allocation cost.
+// The single-document Matcher methods keep their context-free signatures
+// and gained *Ctx variants (TopKCtx, TopKStreamCtx, TopKParallelCtx,
+// TopKBatchCtx); the old names delegate with context.Background().
 package tasm
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -136,6 +165,15 @@ type Corpus = corpus.Corpus
 
 // CorpusMatch is one ranked subtree of a corpus-wide query.
 type CorpusMatch = corpus.Match
+
+// Searcher is the context-aware query contract shared by a single corpus,
+// a scatter-gather shard group, and a remote tasmd client; see package
+// corpus and corpus/shard.
+type Searcher = corpus.Searcher
+
+// Ingester is the ingest-side contract of backends owning document
+// storage (*Corpus): AddXML, AddTree, Remove.
+type Ingester = corpus.Ingester
 
 // OpenCorpus opens (or creates) the corpus directory dir.
 func OpenCorpus(dir string, opts ...corpus.Option) (*Corpus, error) {
@@ -290,14 +328,26 @@ func (m *Matcher) Tau(q *Tree, k int) int {
 // tree is streamed internally; memory beyond the document itself is
 // O(|q|² + |q|·k).
 func (m *Matcher) TopK(q, doc *Tree, k int) ([]Match, error) {
-	return core.Postorder(q, doc, k, m.options())
+	return m.TopKCtx(context.Background(), q, doc, k)
+}
+
+// TopKCtx is TopK under a context: the scan polls ctx once per candidate
+// and returns ctx.Err() promptly when it is cancelled or its deadline
+// passes.
+func (m *Matcher) TopKCtx(ctx context.Context, q, doc *Tree, k int) ([]Match, error) {
+	return core.Postorder(q, doc, k, m.optionsCtx(ctx))
 }
 
 // TopKStream is TopK over a streaming document: total memory is
 // independent of the document size (Theorem 5 of the paper). The queue is
 // consumed; stream a fresh one per query.
 func (m *Matcher) TopKStream(q *Tree, doc Queue, k int) ([]Match, error) {
-	return core.PostorderStream(q, doc, k, m.options())
+	return m.TopKStreamCtx(context.Background(), q, doc, k)
+}
+
+// TopKStreamCtx is TopKStream under a context; see TopKCtx.
+func (m *Matcher) TopKStreamCtx(ctx context.Context, q *Tree, doc Queue, k int) ([]Match, error) {
+	return core.PostorderStream(q, doc, k, m.optionsCtx(ctx))
 }
 
 // TopKBatch answers several queries in a single scan of the document
@@ -306,7 +356,12 @@ func (m *Matcher) TopKStream(q *Tree, doc Queue, k int) ([]Match, error) {
 // is identical to an individual TopKStream run; the document is parsed
 // and pruned only once.
 func (m *Matcher) TopKBatch(queries []*Tree, doc Queue, k int) ([][]Match, error) {
-	return core.PostorderBatch(queries, doc, k, m.options())
+	return m.TopKBatchCtx(context.Background(), queries, doc, k)
+}
+
+// TopKBatchCtx is TopKBatch under a context; see TopKCtx.
+func (m *Matcher) TopKBatchCtx(ctx context.Context, queries []*Tree, doc Queue, k int) ([][]Match, error) {
+	return core.PostorderBatch(queries, doc, k, m.optionsCtx(ctx))
 }
 
 // TopKParallel is TopKStream with the distance computations fanned out to
@@ -314,7 +369,13 @@ func (m *Matcher) TopKBatch(queries []*Tree, doc Queue, k int) ([][]Match, error
 // the single-threaded paper. Distances are identical to TopKStream;
 // reported positions of exact ties at the pruning boundary may differ.
 func (m *Matcher) TopKParallel(q *Tree, doc Queue, k, workers int) ([]Match, error) {
-	return core.PostorderParallel(q, doc, k, workers, m.options())
+	return m.TopKParallelCtx(context.Background(), q, doc, k, workers)
+}
+
+// TopKParallelCtx is TopKParallel under a context: a cancelled ctx stops
+// the producer, drains the workers and returns ctx.Err(); see TopKCtx.
+func (m *Matcher) TopKParallelCtx(ctx context.Context, q *Tree, doc Queue, k, workers int) ([]Match, error) {
+	return core.PostorderParallel(q, doc, k, workers, m.optionsCtx(ctx))
 }
 
 // TopKDynamic runs the TASM-dynamic baseline (Section IV-F of the paper):
@@ -326,4 +387,10 @@ func (m *Matcher) TopKDynamic(q, doc *Tree, k int) ([]Match, error) {
 
 func (m *Matcher) options() core.Options {
 	return core.Options{Model: m.model, CT: m.ct, Probe: m.probe}
+}
+
+func (m *Matcher) optionsCtx(ctx context.Context) core.Options {
+	o := m.options()
+	o.Ctx = ctx
+	return o
 }

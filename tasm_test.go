@@ -2,6 +2,7 @@ package tasm
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -315,7 +316,7 @@ func TestOpenCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	matches, err := c.TopK(q, 3)
+	matches, err := c.TopK(context.Background(), q, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
