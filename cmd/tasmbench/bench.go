@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -22,9 +21,9 @@ import (
 	"tasm/internal/datagen"
 	"tasm/internal/dict"
 	"tasm/internal/postorder"
+	"tasm/internal/qtrace"
 	"tasm/internal/ted"
 	"tasm/internal/tree"
-	"tasm/internal/xmlstream"
 )
 
 // pruneConfig selects which gates of the candidate pruning pipeline the
@@ -155,58 +154,12 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 		corpusOpts []corpus.QueryOption
 	)
 	if allOn || allOff {
-		// Corpus fixture: a temporary corpus of four generated documents,
-		// queried through the document-filter + candidate-pruning stack —
-		// plus the same four documents split over three shard corpora
-		// behind a scatter-gather group (2+1+1, the two-tier topology's
-		// local form).
-		corpusDir, err := os.MkdirTemp("", "tasmbench-corpus-*")
+		fx, err := buildCorpusFixture(scale, seed, q8)
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(corpusDir)
-		if corp, err = corpus.Open(corpusDir); err != nil {
-			return err
-		}
-		shards := make([]corpus.Searcher, 3)
-		shardCorpora := make([]*corpus.Corpus, 3)
-		for i := range shardCorpora {
-			dir, err := os.MkdirTemp("", "tasmbench-shard-*")
-			if err != nil {
-				return err
-			}
-			defer os.RemoveAll(dir)
-			if shardCorpora[i], err = corpus.Open(dir); err != nil {
-				return err
-			}
-			shards[i] = shardCorpora[i]
-		}
-		for i := 0; i < 4; i++ {
-			cd := dict.New()
-			cdoc, err := datagen.XMark(scale).Tree(cd, seed+int64(i))
-			if err != nil {
-				return err
-			}
-			var xb strings.Builder
-			if err := xmlstream.WriteTree(&xb, cdoc); err != nil {
-				return err
-			}
-			name := fmt.Sprintf("doc%d", i)
-			if _, err := corp.AddXML(name, strings.NewReader(xb.String())); err != nil {
-				return err
-			}
-			si := 0
-			if i >= 2 {
-				si = i - 1 // docs 0,1 → shard 0; doc 2 → shard 1; doc 3 → shard 2
-			}
-			if _, err := shardCorpora[si].AddXML(name, strings.NewReader(xb.String())); err != nil {
-				return err
-			}
-		}
-		group = shard.NewGroup(shards...)
-		if cq, err = corp.ParseBracket(q8.String()); err != nil {
-			return err
-		}
+		defer fx.cleanup()
+		corp, group, cq = fx.corp, fx.group, fx.query
 		corpusOpts = []corpus.QueryOption{corpus.WithoutTrees()}
 		if allOff {
 			corpusOpts = append(corpusOpts, corpus.WithoutCandidatePruning())
@@ -262,11 +215,18 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 			name string
 			fn   func(b *testing.B)
 		}{fmt.Sprintf("corpus-topk/scale=%d/docs=4/Q=8/k=5", scale), func(b *testing.B) {
+			// Measured with a live trace recording into a pooled span slab
+			// per iteration — exactly what a tasmd request does — so this
+			// number prices the scan WITH tracing enabled, keeping the
+			// instrumentation's cost visible across PRs.
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := corp.TopK(context.Background(), cq, 5, corpusOpts...); err != nil {
+				tr := qtrace.New()
+				ctx := qtrace.NewContext(context.Background(), tr)
+				if _, err := corp.TopK(ctx, cq, 5, corpusOpts...); err != nil {
 					b.Fatal(err)
 				}
+				qtrace.Release(tr)
 			}
 		}}, struct {
 			name string

@@ -42,8 +42,16 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		jsonOut = flag.Bool("json", false, "run the micro-benchmark suite and emit JSON (ns/op, B/op, allocs/op)")
 		prune   = flag.String("prune", "on", "candidate pruning gates for -json: on, off, or a comma list of hist, ted, tau")
+		trace   = flag.Bool("trace", false, "run one traced query against the corpus and shard fixtures and print the stage breakdown")
 	)
 	flag.Parse()
+	if *trace {
+		if err := runTrace(os.Stdout, *quick, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tasmbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if err := runJSON(os.Stdout, *quick, *seed, *prune); err != nil {
 			fmt.Fprintln(os.Stderr, "tasmbench:", err)

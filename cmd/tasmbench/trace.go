@@ -1,0 +1,178 @@
+package main
+
+// Trace mode (-trace): run one traced query against the -json suite's
+// corpus and shard-group fixtures and print the stage breakdown a tasmd
+// ?trace=1 response would carry — a quick way to see where a query's
+// time goes (parse, plan, per-document scan, shard fan-out, merge)
+// without standing up a daemon.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"tasm/corpus"
+	"tasm/corpus/shard"
+	"tasm/internal/datagen"
+	"tasm/internal/dict"
+	"tasm/internal/qtrace"
+	"tasm/internal/tree"
+	"tasm/internal/xmlstream"
+)
+
+// corpusFixture is the corpus-tier benchmark fixture: four generated
+// documents in one corpus, the same four split 2+1+1 over three shard
+// corpora behind a scatter-gather group, and the benchmark query parsed
+// in the corpus's dictionary context.
+type corpusFixture struct {
+	corp    *corpus.Corpus
+	group   *shard.Group
+	query   *tree.Tree
+	cleanup func()
+}
+
+// buildCorpusFixture materializes the fixture in temporary directories;
+// cleanup removes them. q is the query to re-parse into the corpus's
+// dictionary context.
+func buildCorpusFixture(scale int, seed int64, q *tree.Tree) (*corpusFixture, error) {
+	var dirs []string
+	cleanup := func() {
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}
+	fail := func(err error) (*corpusFixture, error) {
+		cleanup()
+		return nil, err
+	}
+	corpusDir, err := os.MkdirTemp("", "tasmbench-corpus-*")
+	if err != nil {
+		return nil, err
+	}
+	dirs = append(dirs, corpusDir)
+	corp, err := corpus.Open(corpusDir)
+	if err != nil {
+		return fail(err)
+	}
+	shards := make([]corpus.Searcher, 3)
+	shardCorpora := make([]*corpus.Corpus, 3)
+	for i := range shardCorpora {
+		dir, err := os.MkdirTemp("", "tasmbench-shard-*")
+		if err != nil {
+			return fail(err)
+		}
+		dirs = append(dirs, dir)
+		if shardCorpora[i], err = corpus.Open(dir); err != nil {
+			return fail(err)
+		}
+		shards[i] = shardCorpora[i]
+	}
+	for i := 0; i < 4; i++ {
+		cd := dict.New()
+		cdoc, err := datagen.XMark(scale).Tree(cd, seed+int64(i))
+		if err != nil {
+			return fail(err)
+		}
+		var xb strings.Builder
+		if err := xmlstream.WriteTree(&xb, cdoc); err != nil {
+			return fail(err)
+		}
+		name := fmt.Sprintf("doc%d", i)
+		if _, err := corp.AddXML(name, strings.NewReader(xb.String())); err != nil {
+			return fail(err)
+		}
+		si := 0
+		if i >= 2 {
+			si = i - 1 // docs 0,1 → shard 0; doc 2 → shard 1; doc 3 → shard 2
+		}
+		if _, err := shardCorpora[si].AddXML(name, strings.NewReader(xb.String())); err != nil {
+			return fail(err)
+		}
+	}
+	cq, err := corp.ParseBracket(q.String())
+	if err != nil {
+		return fail(err)
+	}
+	return &corpusFixture{
+		corp:    corp,
+		group:   shard.NewGroup(shards...),
+		query:   cq,
+		cleanup: cleanup,
+	}, nil
+}
+
+// runTrace runs one traced top-k query against the corpus fixture and
+// one against the shard group, printing each trace's stage breakdown.
+func runTrace(w io.Writer, quick bool, seed int64) error {
+	scale := 2
+	if quick {
+		scale = 1
+	}
+	d := dict.New()
+	doc, err := datagen.XMark(scale).Tree(d, seed)
+	if err != nil {
+		return err
+	}
+	q, err := datagen.QueryFromDocument(doc, rand.New(rand.NewSource(8)), 8)
+	if err != nil {
+		return err
+	}
+	fx, err := buildCorpusFixture(scale, seed, q)
+	if err != nil {
+		return err
+	}
+	defer fx.cleanup()
+
+	traced := func(title string, s corpus.Searcher) error {
+		tr := qtrace.New()
+		defer qtrace.Release(tr)
+		ctx := qtrace.NewContext(context.Background(), tr)
+		if _, err := s.TopK(ctx, fx.query, 5, corpus.WithoutTrees()); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s (trace %s, %d spans)\n", title, tr.TraceID(), len(tr.Export().Spans))
+		printWire(w, tr.Export(), "  ")
+		fmt.Fprintln(w)
+		return nil
+	}
+	if err := traced("corpus.TopK  docs=4 Q=8 k=5", fx.corp); err != nil {
+		return err
+	}
+	return traced("shard.Group.TopK  shards=3 docs=4 Q=8 k=5", fx.group)
+}
+
+// printWire renders one trace block's spans (and any nested shard
+// blocks) as an indented table, plus per-stage duration totals.
+func printWire(w io.Writer, wire *qtrace.Wire, indent string) {
+	stageTotals := map[string]float64{}
+	var order []string
+	for _, s := range wire.Spans {
+		detail := s.Detail
+		if detail != "" {
+			detail = " " + detail
+		}
+		fmt.Fprintf(w, "%s%-6s%-32s start %9.1fµs  dur %9.1fµs", indent, s.Name, detail, s.StartUs, s.DurUs)
+		if s.Prune != nil {
+			fmt.Fprintf(w, "  [hist-skipped %d, ted-aborted %d, evaluated %d]",
+				s.Prune.HistSkipped, s.Prune.TEDAborted, s.Prune.Evaluated)
+		}
+		fmt.Fprintln(w)
+		if _, seen := stageTotals[s.Name]; !seen {
+			order = append(order, s.Name)
+		}
+		stageTotals[s.Name] += s.DurUs
+	}
+	if wire.Dropped > 0 {
+		fmt.Fprintf(w, "%s(%d spans dropped: slab full)\n", indent, wire.Dropped)
+	}
+	for _, name := range order {
+		fmt.Fprintf(w, "%stotal %-28s %9.1fµs\n", indent, name, stageTotals[name])
+	}
+	for _, child := range wire.Shards {
+		fmt.Fprintf(w, "%sshard trace %s (parent span %s):\n", indent, child.TraceID, child.ParentID)
+		printWire(w, child, indent+"  ")
+	}
+}

@@ -34,7 +34,20 @@
 //	GET    /metrics         – Prometheus text-format counters: requests, cache
 //	                          hits, documents scanned/skipped, the candidate
 //	                          pruning pipeline's totals, dictionary gauges,
-//	                          and per-request latency histograms
+//	                          per-request latency histograms, per-shard router
+//	                          telemetry, and Go runtime gauges
+//	GET    /debug/slowlog   – ring buffer of recent queries at or above the
+//	                          -slow-query threshold (newest first)
+//	GET    /debug/queries   – queries executing right now, with the stage
+//	                          (parse/plan/scan/shard/merge) each is in
+//
+// Every query request may add ?trace=1 to receive a "trace" block in the
+// response: a span tree covering parse, plan, each scanned document (with
+// its pruning counters), each shard fan-out leg, and the merge. A router
+// forwards the trace context to its leaves with a W3C traceparent header,
+// so the leaves' blocks nest under the router's with one shared trace id.
+// Requests are logged structured (JSON, stderr); -debug-addr exposes
+// net/http/pprof on a separate listener that should stay private.
 //
 // Results are cached in a bounded LRU keyed on the backend generation, so
 // ingesting or removing a document transparently invalidates every cached
@@ -53,9 +66,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -78,16 +92,28 @@ func main() {
 		maxK          = flag.Int("max-k", 10000, "largest k a request may ask for")
 		maxBatch      = flag.Int("max-batch", 1024, "largest number of queries one batch request may carry")
 		drain         = flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests before cancelling them")
+		slowQuery     = flag.Duration("slow-query", 0, "record queries at least this slow in /debug/slowlog (0 disables)")
+		debugAddr     = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "tasmd: invalid -log-level %q\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dir, *shards, *addr, serverConfig{
+	if err := run(ctx, *dir, *shards, *addr, *debugAddr, serverConfig{
 		cacheSize:     *cacheSize,
 		maxConcurrent: *maxConcurrent,
 		workers:       *workers,
 		maxK:          *maxK,
 		maxBatch:      *maxBatch,
+		slowQuery:     *slowQuery,
+		logger:        logger,
 	}, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "tasmd:", err)
 		os.Exit(1)
@@ -96,9 +122,13 @@ func main() {
 
 // run builds the backend selected by the flags and serves it until ctx is
 // cancelled (by signal) or the listener fails.
-func run(ctx context.Context, dir, shards, addr string, cfg serverConfig, drain time.Duration) error {
+func run(ctx context.Context, dir, shards, addr, debugAddr string, cfg serverConfig, drain time.Duration) error {
 	if (dir == "") == (shards == "") {
 		return fmt.Errorf("exactly one of -dir and -shards is required")
+	}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
 	}
 	var (
 		src corpus.Searcher
@@ -110,7 +140,7 @@ func run(ctx context.Context, dir, shards, addr string, cfg serverConfig, drain 
 			return err
 		}
 		src, ing = c, c
-		log.Printf("tasmd: serving corpus %s (%d documents) on %s", dir, c.Len(), addr)
+		logger.Info("serving corpus", "dir", dir, "docs", c.Len(), "addr", addr)
 	} else {
 		urls := strings.Split(shards, ",")
 		children := make([]corpus.Searcher, 0, len(urls))
@@ -123,19 +153,54 @@ func run(ctx context.Context, dir, shards, addr string, cfg serverConfig, drain 
 			if err != nil {
 				return err
 			}
-			children = append(children, cl)
+			// Each shard client is wrapped with per-shard telemetry; the
+			// stats objects land in serverConfig so /metrics can export
+			// them as shard-labelled series.
+			st := &shardStats{name: cl.Name()}
+			cfg.shards = append(cfg.shards, st)
+			children = append(children, &instrumentedShard{Client: cl, st: st})
 		}
 		if len(children) == 0 {
 			return fmt.Errorf("-shards needs at least one URL")
 		}
 		src = shard.NewGroup(children...)
-		log.Printf("tasmd: routing over %d shards on %s", len(children), addr)
+		logger.Info("routing over shards", "shards", len(children), "addr", addr)
+	}
+	if debugAddr != "" {
+		if err := serveDebug(debugAddr, logger); err != nil {
+			return err
+		}
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	return serve(ctx, l, newServer(src, ing, cfg), drain)
+}
+
+// serveDebug starts the private debug listener: net/http/pprof on its
+// own mux (never the API mux, so exposing the API never exposes
+// profiling). It lives for the whole process — pprof during shutdown is
+// exactly when someone wants a goroutine dump of a stuck drain.
+func serveDebug(addr string, logger *slog.Logger) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug listener: %w", err)
+	}
+	logger.Info("pprof debug server listening", "addr", addr)
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		if err := srv.Serve(l); err != nil && err != http.ErrServerClosed {
+			logger.Error("debug server failed", "err", err)
+		}
+	}()
+	return nil
 }
 
 // serve runs the HTTP server on l until ctx is cancelled, then shuts down
@@ -168,14 +233,14 @@ func serve(ctx context.Context, l net.Listener, handler http.Handler, drain time
 	shutdownDone := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		log.Printf("tasmd: shutting down, draining in-flight requests for up to %s", drain)
+		slog.Info("shutting down, draining in-flight requests", "drain", drain.String())
 		shCtx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		err := srv.Shutdown(shCtx)
 		if err != nil {
 			// The drain deadline passed with requests still in flight:
 			// cancel their contexts so the scans stop, then tear down.
-			log.Printf("tasmd: drain deadline exceeded, cancelling in-flight scans")
+			slog.Warn("drain deadline exceeded, cancelling in-flight scans")
 			baseCancel()
 			err = srv.Close()
 		}

@@ -2,12 +2,19 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"tasm/corpus"
 )
+
+// processStart anchors tasmd_process_start_time_seconds: the moment the
+// process (strictly: this package's initialization) began.
+var processStart = time.Now()
 
 // latencyBuckets are the fixed per-request latency histogram boundaries
 // in seconds. They span sub-millisecond cache hits to multi-second scans
@@ -26,7 +33,6 @@ const numLatencyBuckets = 13
 // format are computed at scrape time.
 type latencyHistogram struct {
 	buckets [numLatencyBuckets + 1]atomic.Uint64 // last is +Inf
-	count   atomic.Uint64
 	sumNs   atomic.Uint64
 }
 
@@ -38,22 +44,64 @@ func (h *latencyHistogram) observe(d time.Duration) {
 		i++
 	}
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	h.sumNs.Add(uint64(d.Nanoseconds()))
 }
 
-// write emits the histogram in Prometheus text exposition format.
-func (h *latencyHistogram) write(w http.ResponseWriter, name, help string) {
+// writeHeader emits the HELP/TYPE preamble shared by every series of the
+// metric (a labelled histogram family emits it once, then one series per
+// label set).
+func writeHistogramHeader(w io.Writer, name, help string) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+}
+
+// writeSeries emits one series of the histogram. labels is either empty
+// or a comma-terminated rendered label prefix like `shard="db1",` — the
+// le label is appended after it, keeping le last as is conventional.
+//
+// The sample lines are derived from ONE pass over the buckets: _count is
+// the +Inf cumulative value by construction, so a scrape racing
+// concurrent observes can never expose `_count` disagreeing with the
+// +Inf bucket (a previous version kept a separate count counter and
+// loaded it after summing the buckets, which could tear).
+func (h *latencyHistogram) writeSeries(w io.Writer, name, labels string) {
 	cum := uint64(0)
 	for i, le := range latencyBuckets {
 		cum += h.buckets[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", name, labels, le, cum)
 	}
 	cum += h.buckets[numLatencyBuckets].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// write emits an unlabelled histogram (header + its only series).
+func (h *latencyHistogram) write(w io.Writer, name, help string) {
+	writeHistogramHeader(w, name, help)
+	h.writeSeries(w, name, "")
+}
+
+// escapeLabelValue escapes a Prometheus label value per the text
+// exposition format.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// shardStats instruments one shard of a router: request/error totals, an
+// in-flight gauge and a latency histogram, each exported on /metrics as
+// a per-shard series labelled with the shard's name. Updated by the
+// instrumentedShard wrapper around shard.Client (see observe.go).
+type shardStats struct {
+	name     string
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	inflight atomic.Int64
+	latency  latencyHistogram
 }
 
 // serverMetrics accumulates the daemon's lifetime counters, exported on
@@ -67,6 +115,8 @@ type serverMetrics struct {
 	cacheHits     atomic.Uint64 // requests answered from the result cache
 	ingests       atomic.Uint64 // documents ingested
 	removes       atomic.Uint64 // documents removed
+	slowQueries   atomic.Uint64 // queries at or above the slow-query threshold
+	tracedQueries atomic.Uint64 // queries that requested a trace block (?trace=1)
 
 	// Aggregated corpus.Stats of every computed (non-cached) run.
 	docsScanned     atomic.Uint64
@@ -111,6 +161,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_topk_cache_hits_total", "counter", "Requests answered from the result cache.", m.cacheHits.Load()},
 		{"tasmd_ingests_total", "counter", "Documents ingested.", m.ingests.Load()},
 		{"tasmd_removes_total", "counter", "Documents removed.", m.removes.Load()},
+		{"tasmd_slow_queries_total", "counter", "Queries that took at least the -slow-query threshold (recorded in /debug/slowlog).", m.slowQueries.Load()},
+		{"tasmd_traced_queries_total", "counter", "Queries that requested a per-response trace block (?trace=1).", m.tracedQueries.Load()},
 		{"tasmd_docs_scanned_total", "counter", "Documents streamed through TASM-postorder.", m.docsScanned.Load()},
 		{"tasmd_docs_skipped_total", "counter", "Documents skipped by the document-level label lower bound.", m.docsSkipped.Load()},
 		{"tasmd_docs_unprofiled_total", "counter", "Documents scanned without a usable profile.", m.docsUnprofiled.Load()},
@@ -118,6 +170,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_ted_evals_aborted_total", "counter", "Subtree evaluations abandoned early by the bounded Zhang-Shasha DP.", m.tedAborted.Load()},
 		{"tasmd_ted_evals_completed_total", "counter", "Subtree evaluations run to completion.", m.evaluated.Load()},
 		{"tasmd_overlay_labels_total", "counter", "Request-local labels held in per-request dictionary overlays (released with each request).", m.overlayLabels.Load()},
+		{"tasmd_inflight_queries", "gauge", "Queries currently executing (see /debug/queries).", uint64(s.inflight.len())},
 		{"tasmd_corpus_docs", "gauge", "Documents currently served (all shards for a router; cached, eventually consistent there).", uint64(s.numDocs())},
 		{"tasmd_corpus_generation", "gauge", "Backend generation (changes whenever the document set does).", s.src.Generation()},
 	} {
@@ -130,4 +183,57 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m.topkLatency.write(w, "tasmd_topk_latency_seconds", "Per-request latency of POST /v1/topk (cache hits included).")
 	m.batchLatency.write(w, "tasmd_topk_batch_latency_seconds", "Per-request latency of POST /v1/topk-batch (cache hits included).")
+	s.writeShardMetrics(w)
+	writeRuntimeMetrics(w)
+}
+
+// writeShardMetrics emits the router's per-shard series: request/error
+// totals, the in-flight gauge, and one latency histogram series per
+// shard under a single family header. A leaf (no shards) emits nothing.
+func (s *server) writeShardMetrics(w io.Writer) {
+	if len(s.shards) == 0 {
+		return
+	}
+	for _, c := range []struct {
+		name, kind, help string
+		value            func(*shardStats) int64
+	}{
+		{"tasmd_shard_requests_total", "counter", "Query requests fanned out to the shard (topk and topk-batch).",
+			func(st *shardStats) int64 { return int64(st.requests.Load()) }},
+		{"tasmd_shard_errors_total", "counter", "Shard query requests that failed.",
+			func(st *shardStats) int64 { return int64(st.errors.Load()) }},
+		{"tasmd_shard_inflight_requests", "gauge", "Shard query requests currently in flight.",
+			func(st *shardStats) int64 { return st.inflight.Load() }},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", c.name, c.help, c.name, c.kind)
+		for _, st := range s.shards {
+			fmt.Fprintf(w, "%s{shard=\"%s\"} %d\n", c.name, escapeLabelValue(st.name), c.value(st))
+		}
+	}
+	writeHistogramHeader(w, "tasmd_shard_latency_seconds", "Per-shard latency of fanned-out query requests, observed at the router.")
+	for _, st := range s.shards {
+		st.latency.writeSeries(w, "tasmd_shard_latency_seconds", fmt.Sprintf("shard=%q,", escapeLabelValue(st.name)))
+	}
+}
+
+// writeRuntimeMetrics emits Go runtime gauges: goroutines, heap bytes,
+// cumulative GC pause, GOMAXPROCS and the process start time. One
+// ReadMemStats per scrape (a sub-millisecond stop-the-world) is the
+// standard price of heap visibility.
+func writeRuntimeMetrics(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for _, c := range []struct {
+		name, kind, help string
+		value            float64
+	}{
+		{"tasmd_goroutines", "gauge", "Goroutines currently live.", float64(runtime.NumGoroutine())},
+		{"tasmd_gomaxprocs", "gauge", "GOMAXPROCS of the process.", float64(runtime.GOMAXPROCS(0))},
+		{"tasmd_heap_bytes", "gauge", "Heap bytes currently allocated and in use (runtime.MemStats.HeapAlloc).", float64(ms.HeapAlloc)},
+		{"tasmd_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs) / 1e9},
+		{"tasmd_gc_cycles_total", "counter", "Completed GC cycles.", float64(ms.NumGC)},
+		{"tasmd_process_start_time_seconds", "gauge", "Unix time the process started.", float64(processStart.UnixNano()) / 1e9},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", c.name, c.help, c.name, c.kind, c.name, c.value)
+	}
 }

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"tasm/corpus"
 	"tasm/internal/dict"
+	"tasm/internal/qtrace"
 	"tasm/internal/tree"
 	"tasm/internal/xmlstream"
 )
@@ -37,6 +39,14 @@ type serverConfig struct {
 	// maxBatch rejects batch requests carrying more queries than the
 	// server is willing to scan for in one pass.
 	maxBatch int
+	// slowQuery is the slow-query log threshold; queries running at least
+	// this long are recorded in /debug/slowlog. 0 disables the log.
+	slowQuery time.Duration
+	// logger receives the structured request log; nil discards it.
+	logger *slog.Logger
+	// shards carries the per-shard telemetry of a router backend (one
+	// entry per shard, exported on /metrics); nil for a leaf.
+	shards []*shardStats
 }
 
 // queryParser is the optional backend interface for parsing queries in
@@ -54,12 +64,16 @@ type queryParser interface {
 // Ingest endpoints require the backend to also be an Ingester (a local
 // corpus); a router serves queries only.
 type server struct {
-	src     corpus.Searcher
-	ing     corpus.Ingester // nil: read-only backend (shard router)
-	cfg     serverConfig
-	cache   *lruCache
-	sem     chan struct{}
-	metrics serverMetrics
+	src      corpus.Searcher
+	ing      corpus.Ingester // nil: read-only backend (shard router)
+	cfg      serverConfig
+	cache    *lruCache
+	sem      chan struct{}
+	metrics  serverMetrics
+	log      *slog.Logger
+	slow     *slowLog
+	inflight *inflightRegistry
+	shards   []*shardStats
 }
 
 // newServer returns the daemon's http.Handler over the given backend.
@@ -71,7 +85,17 @@ func newServer(src corpus.Searcher, ing corpus.Ingester, cfg serverConfig) http.
 	if cfg.maxBatch <= 0 {
 		cfg.maxBatch = 1024
 	}
-	s := &server{src: src, ing: ing, cfg: cfg, cache: newLRUCache(cfg.cacheSize)}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	s := &server{
+		src: src, ing: ing, cfg: cfg, cache: newLRUCache(cfg.cacheSize),
+		log:      logger,
+		slow:     &slowLog{threshold: cfg.slowQuery},
+		inflight: newInflightRegistry(),
+		shards:   cfg.shards,
+	}
 	if cfg.maxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.maxConcurrent)
 	}
@@ -83,7 +107,40 @@ func newServer(src corpus.Searcher, ing corpus.Ingester, cfg serverConfig) http.
 	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleRemove)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	mux.HandleFunc("GET /debug/queries", s.handleQueries)
+	return withRequestLog(logger, mux)
+}
+
+// traceFor builds the request's trace: a continuation of the caller's
+// trace when a valid W3C traceparent header is present (a router's
+// shard.Client stitches its leaves this way), a fresh root otherwise.
+// wantTrace (?trace=1) additionally opts the response into the exported
+// trace block and propagates the trace onward to remote shards.
+func (s *server) traceFor(r *http.Request, wantTrace bool) *qtrace.Trace {
+	var tr *qtrace.Trace
+	if tid, sid, ok := qtrace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		tr = qtrace.NewWithParent(tid, sid)
+	} else {
+		tr = qtrace.New()
+	}
+	tr.SetPropagate(wantTrace)
+	if wantTrace {
+		s.metrics.tracedQueries.Add(1)
+	}
+	return tr
+}
+
+// observeSlow feeds one finished query to the slow-query log and, when
+// it qualifies, the structured log and the slow-query counter.
+func (s *server) observeSlow(d time.Duration, e slowEntry) {
+	if s.slow.observe(d, e) {
+		s.metrics.slowQueries.Add(1)
+		s.log.Warn("slow query",
+			"reqId", e.ReqID, "traceId", e.TraceID, "endpoint", e.Endpoint,
+			"query", e.Query, "k", e.K, "durMs", float64(d.Microseconds())/1000,
+			"scanned", e.Scanned, "evaluated", e.Evaluated, "error", e.Error)
+	}
 }
 
 // parseBracket parses a bracket-notation query in the backend's
@@ -162,6 +219,9 @@ func statsOf(stats *corpus.Stats) topkStats {
 type topkResponse struct {
 	Matches []topkMatch `json:"matches"`
 	Stats   topkStats   `json:"stats"`
+	// Trace is the request's span tree, present only for ?trace=1
+	// requests. A router's trace embeds each leaf's block under shards.
+	Trace *qtrace.Wire `json:"trace,omitempty"`
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -189,22 +249,40 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.metrics.topkRequests.Add(1)
+	// Traced requests bypass the result cache in both directions: a
+	// cached answer has no spans to show, and a response carrying a trace
+	// block must never be replayed to a request that asked for none.
+	wantTrace := r.URL.Query().Get("trace") == "1"
 	key := s.cacheKey(&req)
-	if cached, ok := s.cache.get(key); ok {
-		var resp topkResponse
-		if err := json.Unmarshal(cached, &resp); err == nil {
-			s.metrics.cacheHits.Add(1)
-			resp.Stats.Cached = true
-			writeJSON(w, http.StatusOK, resp)
-			return
+	if !wantTrace {
+		if cached, ok := s.cache.get(key); ok {
+			var resp topkResponse
+			if err := json.Unmarshal(cached, &resp); err == nil {
+				s.metrics.cacheHits.Add(1)
+				resp.Stats.Cached = true
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
 		}
 	}
+
+	tr := s.traceFor(r, wantTrace)
+	defer qtrace.Release(tr)
+	ctx := qtrace.NewContext(r.Context(), tr)
+	// Registered before the semaphore so a query stuck waiting for a slot
+	// is visible in /debug/queries (with no active stage yet).
+	inflightID := s.inflight.register(&inflightEntry{
+		reqID: requestIDFrom(ctx), endpoint: "/v1/topk",
+		query: previewOf(&req), k: req.K, start: start, trace: tr,
+	})
+	defer s.inflight.deregister(inflightID)
 
 	if s.sem != nil {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 	}
 
+	parseSpan := tr.Begin(qtrace.SpanParse, "")
 	var (
 		q   *tree.Tree
 		err error
@@ -214,6 +292,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	} else {
 		q, err = s.parseXML(strings.NewReader(req.QueryXML))
 	}
+	tr.End(parseSpan)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "parsing query: %v", err)
 		return
@@ -237,7 +316,16 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if workers != 0 {
 		opts = append(opts, corpus.WithWorkers(workers))
 	}
-	matches, err := s.src.TopK(r.Context(), q, req.K, opts...)
+	matches, err := s.src.TopK(ctx, q, req.K, opts...)
+	entry := slowEntry{
+		Time: start, ReqID: requestIDFrom(ctx), TraceID: tr.TraceID().String(),
+		Endpoint: "/v1/topk", Query: previewOf(&req), K: req.K,
+		Scanned: stats.Scanned, Skipped: stats.Skipped, Evaluated: stats.Evaluated,
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	s.observeSlow(time.Since(start), entry)
 	if err != nil {
 		s.queryError(w, r, err)
 		return
@@ -247,6 +335,11 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	resp := topkResponse{
 		Matches: matchesOf(matches),
 		Stats:   statsOf(&stats),
+	}
+	if wantTrace {
+		resp.Trace = tr.Export()
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
 	if data, err := json.Marshal(resp); err == nil {
 		s.cache.put(key, data)
@@ -305,6 +398,8 @@ type topkBatchRequest struct {
 type topkBatchResponse struct {
 	Results [][]topkMatch `json:"results"`
 	Stats   topkStats     `json:"stats"`
+	// Trace is the batch's span tree, present only for ?trace=1 requests.
+	Trace *qtrace.Wire `json:"trace,omitempty"`
 }
 
 func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
@@ -337,31 +432,48 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.batchRequests.Add(1)
 	s.metrics.batchQueries.Add(uint64(len(req.Queries)))
+	// See handleTopK: traced requests bypass the cache in both directions.
+	wantTrace := r.URL.Query().Get("trace") == "1"
 	key := s.batchCacheKey(&req)
-	if cached, ok := s.cache.get(key); ok {
-		var resp topkBatchResponse
-		if err := json.Unmarshal(cached, &resp); err == nil {
-			s.metrics.cacheHits.Add(1)
-			resp.Stats.Cached = true
-			writeJSON(w, http.StatusOK, resp)
-			return
+	if !wantTrace {
+		if cached, ok := s.cache.get(key); ok {
+			var resp topkBatchResponse
+			if err := json.Unmarshal(cached, &resp); err == nil {
+				s.metrics.cacheHits.Add(1)
+				resp.Stats.Cached = true
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
 		}
 	}
+
+	tr := s.traceFor(r, wantTrace)
+	defer qtrace.Release(tr)
+	ctx := qtrace.NewContext(r.Context(), tr)
+	inflightID := s.inflight.register(&inflightEntry{
+		reqID: requestIDFrom(ctx), endpoint: "/v1/topk-batch",
+		query: queryPreview(req.Queries[0]), queries: len(req.Queries),
+		k: req.K, start: start, trace: tr,
+	})
+	defer s.inflight.deregister(inflightID)
 
 	if s.sem != nil {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 	}
 
+	parseSpan := tr.Begin(qtrace.SpanParse, "")
 	queries := make([]*tree.Tree, len(req.Queries))
 	for i, qs := range req.Queries {
 		q, err := s.parseBracket(qs)
 		if err != nil {
+			tr.End(parseSpan)
 			httpError(w, http.StatusBadRequest, "parsing query %d: %v", i, err)
 			return
 		}
 		queries[i] = q
 	}
+	tr.End(parseSpan)
 
 	var stats corpus.Stats
 	opts := []corpus.QueryOption{corpus.WithStats(&stats)}
@@ -374,7 +486,17 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Exhaustive {
 		opts = append(opts, corpus.WithoutFilter())
 	}
-	results, err := s.src.TopKBatch(r.Context(), queries, req.K, opts...)
+	results, err := s.src.TopKBatch(ctx, queries, req.K, opts...)
+	entry := slowEntry{
+		Time: start, ReqID: requestIDFrom(ctx), TraceID: tr.TraceID().String(),
+		Endpoint: "/v1/topk-batch", Query: queryPreview(req.Queries[0]),
+		Queries: len(req.Queries), K: req.K,
+		Scanned: stats.Scanned, Skipped: stats.Skipped, Evaluated: stats.Evaluated,
+	}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	s.observeSlow(time.Since(start), entry)
 	if err != nil {
 		s.queryError(w, r, err)
 		return
@@ -387,6 +509,11 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, ms := range results {
 		resp.Results[i] = matchesOf(ms)
+	}
+	if wantTrace {
+		resp.Trace = tr.Export()
+		writeJSON(w, http.StatusOK, resp)
+		return
 	}
 	if data, err := json.Marshal(resp); err == nil {
 		s.cache.put(key, data)
@@ -518,6 +645,29 @@ func (s *server) numDocs() int {
 		return n
 	}
 	return len(s.src.Docs())
+}
+
+// handleSlowlog serves GET /debug/slowlog: the most recent slow queries
+// (newest first), the active threshold, and the lifetime count. Entries
+// carry the trace id, so a recorded slow query can be re-run with
+// ?trace=1 for a stage-level breakdown.
+func (s *server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	entries, total := s.slow.snapshot()
+	if entries == nil {
+		entries = []slowEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"thresholdMs": float64(s.cfg.slowQuery.Microseconds()) / 1000,
+		"total":       total,
+		"entries":     entries,
+	})
+}
+
+// handleQueries serves GET /debug/queries: every query currently
+// executing, longest-running first, with the stage (and document or
+// shard) its trace is in right now.
+func (s *server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": s.inflight.snapshot()})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

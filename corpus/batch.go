@@ -12,6 +12,7 @@ import (
 	"tasm/internal/dict"
 	"tasm/internal/docstore"
 	"tasm/internal/pqgram"
+	"tasm/internal/qtrace"
 	"tasm/internal/ranking"
 	"tasm/internal/tree"
 )
@@ -59,7 +60,13 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 		qs[i] = q.Reintern(ov)
 	}
 
+	// Stage spans mirror TopK's: plan, one span per scanned document
+	// (shared by the whole batch — the scan reads each document once for
+	// all queries), and the merge. See TopK for the granularity contract.
+	tr := qtrace.FromContext(ctx)
+	planSpan := tr.Begin(qtrace.SpanPlan, "")
 	plan, err := c.planBatch(st, qs, &cfg)
+	tr.End(planSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +117,19 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 				stats.Unprofiled++
 			}
 		}
-		if err := c.scanBatchInto(qs, ov, d.scanDoc, heaps, coreOpts); err != nil {
+		var h0, a0, e0 uint64
+		docSpan := -1
+		if tr != nil {
+			h0, a0, e0 = prune.Snapshot()
+			docSpan = tr.Begin(qtrace.SpanScan, d.info.Name)
+		}
+		err := c.scanBatchInto(qs, ov, d.scanDoc, heaps, coreOpts)
+		if tr != nil {
+			tr.End(docSpan)
+			h1, a1, e1 := prune.Snapshot()
+			tr.SetPrune(docSpan, h1-h0, a1-a0, e1-e0)
+		}
+		if err != nil {
 			return nil, err
 		}
 		stats.Scanned++
@@ -122,6 +141,7 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 		*cfg.Stats = stats
 	}
 
+	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
 	docsOnly := make([]scanDoc, len(plan))
 	for i, d := range plan {
 		docsOnly[i] = d.scanDoc
@@ -130,6 +150,7 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	for i, h := range heaps {
 		out[i] = resolve(h, docsOnly)
 	}
+	tr.End(mergeSpan)
 	return out, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"tasm/internal/dict"
 	"tasm/internal/docstore"
 	"tasm/internal/pqgram"
+	"tasm/internal/qtrace"
 	"tasm/internal/ranking"
 	"tasm/internal/tree"
 )
@@ -219,7 +220,16 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 	st := c.snapshot()
 	ov, q := requestOverlay(st, q)
 
+	// A trace in the context records stage spans: planning, every scanned
+	// document (with its pruning-counter deltas), and the final merge.
+	// Spans stay at document granularity — the candidate loop below this
+	// layer never sees the trace, so its 0 allocs/candidate invariant is
+	// untouched. All qtrace methods are nil-safe; an untraced run pays a
+	// nil check per document.
+	tr := qtrace.FromContext(ctx)
+	planSpan := tr.Begin(qtrace.SpanPlan, "")
 	plan, err := c.plan(st, q, &cfg)
+	tr.End(planSpan)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +270,19 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 				stats.Unprofiled++
 			}
 		}
-		if err := c.scanInto(q, ov, d, heap, cfg.Workers, coreOpts); err != nil {
+		var h0, a0, e0 uint64
+		docSpan := -1
+		if tr != nil {
+			h0, a0, e0 = prune.Snapshot()
+			docSpan = tr.Begin(qtrace.SpanScan, d.info.Name)
+		}
+		err := c.scanInto(q, ov, d, heap, cfg.Workers, coreOpts)
+		if tr != nil {
+			tr.End(docSpan)
+			h1, a1, e1 := prune.Snapshot()
+			tr.SetPrune(docSpan, h1-h0, a1-a0, e1-e0)
+		}
+		if err != nil {
 			return nil, err
 		}
 		stats.Scanned++
@@ -271,7 +293,10 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 	if cfg.Stats != nil {
 		*cfg.Stats = stats
 	}
-	return resolve(heap, plan), nil
+	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
+	out := resolve(heap, plan)
+	tr.End(mergeSpan)
+	return out, nil
 }
 
 // plan snapshots the documents a query will consider, computes their

@@ -15,6 +15,7 @@ import (
 
 	"tasm/corpus"
 	"tasm/internal/dict"
+	"tasm/internal/qtrace"
 	"tasm/internal/tree"
 )
 
@@ -142,13 +143,15 @@ func (s *wireStats) stats() corpus.Stats {
 }
 
 type wireTopKResponse struct {
-	Matches []wireMatch `json:"matches"`
-	Stats   wireStats   `json:"stats"`
+	Matches []wireMatch  `json:"matches"`
+	Stats   wireStats    `json:"stats"`
+	Trace   *qtrace.Wire `json:"trace,omitempty"`
 }
 
 type wireBatchResponse struct {
 	Results [][]wireMatch `json:"results"`
 	Stats   wireStats     `json:"stats"`
+	Trace   *qtrace.Wire  `json:"trace,omitempty"`
 }
 
 // TopK answers the query remotely. The query tree may come from any
@@ -171,6 +174,7 @@ func (c *Client) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Q
 	if err != nil {
 		return nil, err
 	}
+	qtrace.FromContext(ctx).AddChild(resp.Trace)
 	if cfg.Stats != nil {
 		*cfg.Stats = resp.Stats.stats()
 	}
@@ -208,6 +212,7 @@ func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	if err != nil {
 		return nil, err
 	}
+	qtrace.FromContext(ctx).AddChild(resp.Trace)
 	if cfg.Stats != nil {
 		*cfg.Stats = resp.Stats.stats()
 	}
@@ -364,16 +369,29 @@ func (c *Client) fetchDocs(ctx context.Context) ([]corpus.DocInfo, error) {
 }
 
 // post sends a JSON request and decodes the JSON response into out.
+// When the context carries a trace marked for propagation, the request
+// asks the remote tier for its trace block (?trace=1) and stitches the
+// tiers with a W3C traceparent header: the remote tasmd continues this
+// trace's id and names our root span as its parent, so the caller's
+// AddChild produces one tree of spans across processes.
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	url := c.base + path
+	tr := qtrace.FromContext(ctx)
+	if tr.Propagate() {
+		url += "?trace=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tr.Propagate() {
+		req.Header.Set("traceparent", tr.Traceparent())
+	}
 	return c.do(req, out)
 }
 

@@ -35,6 +35,7 @@ import (
 	"sync"
 
 	"tasm/corpus"
+	"tasm/internal/qtrace"
 	"tasm/internal/tree"
 )
 
@@ -204,7 +205,11 @@ func (g *Group) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Qu
 	if cfg.Stats != nil {
 		*cfg.Stats = mergeStats(stats)
 	}
-	return mergeRanked(k, perShard), nil
+	tr := qtrace.FromContext(ctx)
+	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
+	out := mergeRanked(k, perShard)
+	tr.End(mergeSpan)
+	return out, nil
 }
 
 // TopKBatch is TopK for several queries in one fan-out: every shard runs
@@ -247,6 +252,8 @@ func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts
 	if cfg.Stats != nil {
 		*cfg.Stats = mergeStats(stats)
 	}
+	tr := qtrace.FromContext(ctx)
+	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
 	out := make([][]corpus.Match, len(queries))
 	for qi := range queries {
 		per := make([][]corpus.Match, len(g.children))
@@ -257,6 +264,7 @@ func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts
 		}
 		out[qi] = mergeRanked(k, per)
 	}
+	tr.End(mergeSpan)
 	return out, nil
 }
 
@@ -267,6 +275,7 @@ func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts
 // shards through the derived context, and fn's error is attributed to the
 // failing shard by name.
 func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx context.Context, i int, docs []string) error) error {
+	tr := qtrace.FromContext(ctx)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, len(g.children))
@@ -281,7 +290,13 @@ func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx con
 		wg.Add(1)
 		go func(i int, docs []string) {
 			defer wg.Done()
-			if err := fn(ctx, i, docs); err != nil {
+			// One span per fan-out leg, recorded into the shared trace
+			// (Trace is concurrency-safe); a remote child additionally
+			// attaches the leaf's own trace block — see Client.
+			span := tr.Begin(qtrace.SpanShard, g.children[i].name)
+			err := fn(ctx, i, docs)
+			tr.End(span)
+			if err != nil {
 				errs[i] = attribute(g.children[i].name, err)
 				cancel() // a failed shard fails the query; stop the others
 			}

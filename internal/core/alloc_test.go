@@ -21,6 +21,7 @@ import (
 	"tasm/internal/dict"
 	"tasm/internal/postorder"
 	"tasm/internal/prb"
+	"tasm/internal/qtrace"
 	"tasm/internal/race"
 	"tasm/internal/ted"
 	"tasm/internal/tree"
@@ -50,8 +51,10 @@ func scanAllocs(t *testing.T, scan func() error) float64 {
 // TestPostorderStreamAllocsPerCandidateZero: total allocations of a
 // NoTrees PostorderStream scan must not depend on the number of
 // candidates, i.e. the per-candidate path allocates nothing. The scan
-// runs under a live cancellable context: the per-candidate cancellation
-// poll must not cost the invariant.
+// runs under a live cancellable context CARRYING A LIVE TRACE — the
+// daemon's request shape: the per-candidate cancellation poll and the
+// trace in the context chain must not cost the invariant (spans are
+// per-document, recorded by the corpus layer, never per-candidate).
 func TestPostorderStreamAllocsPerCandidateZero(t *testing.T) {
 	d := dict.New()
 	q := tree.MustParse(d, "{rec{a}{b}}")
@@ -59,6 +62,9 @@ func TestPostorderStreamAllocsPerCandidateZero(t *testing.T) {
 	large := recordDoc(t, d, 600)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	tr := qtrace.New()
+	defer qtrace.Release(tr)
+	ctx = qtrace.NewContext(ctx, tr)
 	opts := Options{NoTrees: true, CT: 1, Ctx: ctx}
 	run := func(items []postorder.Item) func() error {
 		return func() error {
@@ -80,7 +86,7 @@ func TestPostorderStreamAllocsPerCandidateZero(t *testing.T) {
 }
 
 // TestPostorderBatchAllocsPerCandidateZero is the batch-scan counterpart
-// (cancellation poll active, like the stream test).
+// (cancellation poll and live trace active, like the stream test).
 func TestPostorderBatchAllocsPerCandidateZero(t *testing.T) {
 	d := dict.New()
 	queries := []*tree.Tree{
@@ -91,6 +97,9 @@ func TestPostorderBatchAllocsPerCandidateZero(t *testing.T) {
 	large := recordDoc(t, d, 600)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	tr := qtrace.New()
+	defer qtrace.Release(tr)
+	ctx = qtrace.NewContext(ctx, tr)
 	opts := Options{NoTrees: true, CT: 1, Ctx: ctx}
 	run := func(items []postorder.Item) func() error {
 		return func() error {

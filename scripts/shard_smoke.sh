@@ -41,7 +41,8 @@ curl -sf -X POST "http://127.0.0.1:$LEAF_PORT/v1/docs" \
   -d '{"name":"smoke","xml":"<r><rec><a>1</a><b>2</b></rec><rec><a>1</a></rec></r>"}' >/dev/null
 
 # The router scatter-gathers over the leaf (second process, second tier).
-"$WORKDIR/tasmd" -shards "http://127.0.0.1:$LEAF_PORT" -addr "127.0.0.1:$ROUTER_PORT" &
+# -slow-query 1ns records every query in /debug/slowlog for the check below.
+"$WORKDIR/tasmd" -shards "http://127.0.0.1:$LEAF_PORT" -addr "127.0.0.1:$ROUTER_PORT" -slow-query 1ns &
 PIDS+=($!)
 wait_healthy "http://127.0.0.1:$ROUTER_PORT"
 
@@ -59,6 +60,56 @@ assert len(matches) == 2, f"want 2 matches, got {len(matches)}"
 assert matches[0]["doc"] == "smoke", matches[0]
 assert matches[0]["dist"] == 0, "exact subtree must rank first with distance 0"
 assert matches[0]["tree"], "trees=true must return the matched subtree"
+EOF
+
+# A traced query through both tiers: the router's trace block must embed
+# the leaf's, stitched by the propagated W3C trace context — the leaf
+# block carries the router's trace id and names the router's root span as
+# its parent, and the leaf's own scan spans are visible from here.
+TRACED="$(curl -sf -X POST "http://127.0.0.1:$ROUTER_PORT/v1/topk?trace=1" \
+  -H 'Content-Type: application/json' \
+  -d '{"query":"{rec{a{1}}{b{2}}}","k":1}')"
+
+python3 - "$TRACED" <<'EOF'
+import json, sys
+resp = json.loads(sys.argv[1])
+trace = resp.get("trace")
+assert trace, "?trace=1 response carries no trace block"
+router_spans = {s["name"] for s in trace["spans"]}
+assert "shard" in router_spans, f"router trace has no shard span: {router_spans}"
+shards = trace.get("shards") or []
+assert len(shards) == 1, f"router trace embeds {len(shards)} leaf blocks, want 1"
+leaf = shards[0]
+assert leaf["traceId"] == trace["traceId"], \
+    f"leaf trace id {leaf['traceId']} != router trace id {trace['traceId']} (stitching broken)"
+assert leaf["parentId"] == trace["spanId"], \
+    f"leaf parent id {leaf['parentId']} != router span id {trace['spanId']}"
+leaf_spans = {s["name"] for s in leaf["spans"]}
+assert "scan" in leaf_spans, f"leaf trace has no scan span: {leaf_spans}"
+EOF
+
+# The router's /metrics exposition: runtime gauges and the shard-labelled
+# router telemetry must be present, and the latency histogram's _count
+# must equal its +Inf bucket (the scrape-tear regression check).
+METRICS="$(curl -sf "http://127.0.0.1:$ROUTER_PORT/metrics")"
+echo "$METRICS" | grep -q '^tasmd_process_start_time_seconds ' \
+  || { echo "FAIL: router /metrics lacks tasmd_process_start_time_seconds" >&2; exit 1; }
+echo "$METRICS" | grep -q '^tasmd_shard_latency_seconds_bucket{shard="' \
+  || { echo "FAIL: router /metrics lacks per-shard latency series" >&2; exit 1; }
+INF="$(echo "$METRICS" | sed -n 's/^tasmd_topk_latency_seconds_bucket{le="+Inf"} //p')"
+COUNT="$(echo "$METRICS" | sed -n 's/^tasmd_topk_latency_seconds_count //p')"
+[ -n "$INF" ] && [ "$INF" = "$COUNT" ] \
+  || { echo "FAIL: histogram _count ($COUNT) != +Inf bucket ($INF)" >&2; exit 1; }
+
+# Every query was slow under the 1ns threshold: the slow-query log must
+# have entries.
+SLOWLOG="$(curl -sf "http://127.0.0.1:$ROUTER_PORT/debug/slowlog")"
+python3 - "$SLOWLOG" <<'EOF'
+import json, sys
+log = json.loads(sys.argv[1])
+assert log["total"] >= 1, f"slow-query log empty under a 1ns threshold: {log}"
+assert log["entries"][0]["endpoint"] == "/v1/topk", log["entries"][0]
+assert log["entries"][0]["traceId"], "slow entry lacks a trace id"
 EOF
 
 # The router refuses ingests (leaf-only) ...
