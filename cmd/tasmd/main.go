@@ -7,12 +7,24 @@
 //
 //	tasmd -dir ./corpus -addr :8421                          # leaf: serve one directory
 //	tasmd -shards http://db1:8421,http://db2:8421 -addr :80  # router: scatter-gather over leaves
+//	tasmd -shards 'http://db1a:8421|http://db1b:8421,http://db2:8421'
+//	                                                         # router: db1 served by two replicas
 //
 // Exactly one of -dir and -shards is required. A router serves the same
 // query API as a leaf (requests fan out concurrently, per-shard rankings
 // merge deterministically, and a one-shard failure fails the query naming
 // the shard), so routers can themselves be shards of a higher tier. The
 // ingest endpoints are leaf-only: a router answers them with 501.
+//
+// Within -shards, URLs joined with "|" are interchangeable replicas of
+// one shard (same documents, same ingest order): the router queries the
+// first replica, hedges to the next after -hedge-delay (or immediately
+// when an attempt fails), takes the first success, and cancels the
+// losers. Per-shard requests additionally retry with backoff behind a
+// circuit breaker, so a dead replica is skipped cheaply. A query fails
+// only when every replica of a shard is down; requests carrying
+// "partial":true degrade instead to the surviving shards' merged
+// results, with the degraded shards reported in the response stats.
 //
 // Endpoints:
 //
@@ -84,7 +96,8 @@ import (
 func main() {
 	var (
 		dir           = flag.String("dir", "", "corpus directory to serve (created if missing); mutually exclusive with -shards")
-		shards        = flag.String("shards", "", "comma-separated tasmd base URLs to scatter-gather over; mutually exclusive with -dir")
+		shards        = flag.String("shards", "", "comma-separated tasmd base URLs to scatter-gather over; join interchangeable replicas of one shard with | (e.g. a1|a2,b); mutually exclusive with -dir")
+		hedgeDelay    = flag.Duration("hedge-delay", shard.DefaultHedgeDelay, "how long a replicated shard waits for the current replica before hedging the query to the next one (0 queries all replicas at once)")
 		addr          = flag.String("addr", ":8421", "listen address")
 		cacheSize     = flag.Int("cache", 256, "result cache entries (0 disables)")
 		maxConcurrent = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight top-k computations (0 = unbounded)")
@@ -106,7 +119,7 @@ func main() {
 	slog.SetDefault(logger)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dir, *shards, *addr, *debugAddr, serverConfig{
+	if err := run(ctx, *dir, *shards, *hedgeDelay, *addr, *debugAddr, serverConfig{
 		cacheSize:     *cacheSize,
 		maxConcurrent: *maxConcurrent,
 		workers:       *workers,
@@ -122,7 +135,7 @@ func main() {
 
 // run builds the backend selected by the flags and serves it until ctx is
 // cancelled (by signal) or the listener fails.
-func run(ctx context.Context, dir, shards, addr, debugAddr string, cfg serverConfig, drain time.Duration) error {
+func run(ctx context.Context, dir, shards string, hedgeDelay time.Duration, addr, debugAddr string, cfg serverConfig, drain time.Duration) error {
 	if (dir == "") == (shards == "") {
 		return fmt.Errorf("exactly one of -dir and -shards is required")
 	}
@@ -142,29 +155,43 @@ func run(ctx context.Context, dir, shards, addr, debugAddr string, cfg serverCon
 		src, ing = c, c
 		logger.Info("serving corpus", "dir", dir, "docs", c.Len(), "addr", addr)
 	} else {
-		urls := strings.Split(shards, ",")
-		children := make([]corpus.Searcher, 0, len(urls))
-		for _, u := range urls {
-			u = strings.TrimSpace(u)
-			if u == "" {
+		replicas := 0
+		children := make([]corpus.Searcher, 0, 4)
+		for _, spec := range strings.Split(shards, ",") {
+			// URLs joined with | are interchangeable replicas of one shard.
+			members := make([]corpus.Searcher, 0, 2)
+			for _, u := range strings.Split(spec, "|") {
+				u = strings.TrimSpace(u)
+				if u == "" {
+					continue
+				}
+				cl, err := shard.NewClient(u)
+				if err != nil {
+					return err
+				}
+				// Each replica's client is wrapped with its own telemetry;
+				// the stats objects land in serverConfig so /metrics can
+				// export them as shard-labelled series (one series per
+				// replica, including its breaker state).
+				st := &shardStats{name: cl.Name(), breaker: cl.BreakerState}
+				cfg.shards = append(cfg.shards, st)
+				members = append(members, &instrumentedShard{Client: cl, st: st})
+			}
+			switch len(members) {
+			case 0:
 				continue
+			case 1:
+				children = append(children, members[0])
+			default:
+				replicas += len(members)
+				children = append(children, shard.NewReplicaSet(members, shard.WithHedgeDelay(hedgeDelay)))
 			}
-			cl, err := shard.NewClient(u)
-			if err != nil {
-				return err
-			}
-			// Each shard client is wrapped with per-shard telemetry; the
-			// stats objects land in serverConfig so /metrics can export
-			// them as shard-labelled series.
-			st := &shardStats{name: cl.Name()}
-			cfg.shards = append(cfg.shards, st)
-			children = append(children, &instrumentedShard{Client: cl, st: st})
 		}
 		if len(children) == 0 {
 			return fmt.Errorf("-shards needs at least one URL")
 		}
 		src = shard.NewGroup(children...)
-		logger.Info("routing over shards", "shards", len(children), "addr", addr)
+		logger.Info("routing over shards", "shards", len(children), "replicas", replicas, "addr", addr, "hedgeDelay", hedgeDelay.String())
 	}
 	if debugAddr != "" {
 		if err := serveDebug(debugAddr, logger); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tasm/corpus"
+	"tasm/corpus/shard"
 )
 
 // processStart anchors tasmd_process_start_time_seconds: the moment the
@@ -102,6 +103,9 @@ type shardStats struct {
 	errors   atomic.Uint64
 	inflight atomic.Int64
 	latency  latencyHistogram
+	// breaker reports the shard client's circuit-breaker state for the
+	// tasmd_shard_breaker_state gauge; nil when the child has none.
+	breaker func() shard.BreakerState
 }
 
 // serverMetrics accumulates the daemon's lifetime counters, exported on
@@ -130,6 +134,13 @@ type serverMetrics struct {
 	// mutable dictionary would have leaked into process memory forever.
 	overlayLabels atomic.Uint64
 
+	// Fault-tolerance accounting of a router's computed runs.
+	retries         atomic.Uint64 // extra per-shard request attempts after failures
+	hedges          atomic.Uint64 // hedge/failover requests fired at replicas
+	breakerSkips    atomic.Uint64 // replica attempts refused by an open breaker
+	degradedQueries atomic.Uint64 // queries answered best-effort with shards missing
+	degradedShards  atomic.Uint64 // shard outages those degraded answers absorbed
+
 	// Per-request latency, cache hits included (they are requests too).
 	topkLatency  latencyHistogram
 	batchLatency latencyHistogram
@@ -144,6 +155,13 @@ func (m *serverMetrics) observe(s *corpus.Stats) {
 	m.tedAborted.Add(s.TEDAborted)
 	m.evaluated.Add(s.Evaluated)
 	m.overlayLabels.Add(uint64(s.OverlayLabels))
+	m.retries.Add(s.Retries)
+	m.hedges.Add(s.Hedges)
+	m.breakerSkips.Add(uint64(len(s.BreakerSkipped)))
+	if len(s.Degraded) > 0 {
+		m.degradedQueries.Add(1)
+		m.degradedShards.Add(uint64(len(s.Degraded)))
+	}
 }
 
 // handleMetrics serves the Prometheus text exposition format (version
@@ -170,6 +188,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_ted_evals_aborted_total", "counter", "Subtree evaluations abandoned early by the bounded Zhang-Shasha DP.", m.tedAborted.Load()},
 		{"tasmd_ted_evals_completed_total", "counter", "Subtree evaluations run to completion.", m.evaluated.Load()},
 		{"tasmd_overlay_labels_total", "counter", "Request-local labels held in per-request dictionary overlays (released with each request).", m.overlayLabels.Load()},
+		{"tasmd_shard_retries_total", "counter", "Extra per-shard request attempts after retryable failures.", m.retries.Load()},
+		{"tasmd_shard_hedges_total", "counter", "Hedge and failover requests fired at replicas of replicated shards.", m.hedges.Load()},
+		{"tasmd_breaker_skips_total", "counter", "Replica attempts refused locally by an open circuit breaker.", m.breakerSkips.Load()},
+		{"tasmd_degraded_queries_total", "counter", "Queries answered best-effort (partial=true) with at least one shard missing.", m.degradedQueries.Load()},
+		{"tasmd_degraded_shards_total", "counter", "Shard outages absorbed by degraded answers (one per missing shard per query).", m.degradedShards.Load()},
 		{"tasmd_inflight_queries", "gauge", "Queries currently executing (see /debug/queries).", uint64(s.inflight.len())},
 		{"tasmd_corpus_docs", "gauge", "Documents currently served (all shards for a router; cached, eventually consistent there).", uint64(s.numDocs())},
 		{"tasmd_corpus_generation", "gauge", "Backend generation (changes whenever the document set does).", s.src.Generation()},
@@ -213,6 +236,19 @@ func (s *server) writeShardMetrics(w io.Writer) {
 	writeHistogramHeader(w, "tasmd_shard_latency_seconds", "Per-shard latency of fanned-out query requests, observed at the router.")
 	for _, st := range s.shards {
 		st.latency.writeSeries(w, "tasmd_shard_latency_seconds", fmt.Sprintf("shard=%q,", escapeLabelValue(st.name)))
+	}
+	// The breaker gauge family appears only when some shard has one, so a
+	// family is never declared without samples.
+	declared := false
+	for _, st := range s.shards {
+		if st.breaker == nil {
+			continue
+		}
+		if !declared {
+			fmt.Fprint(w, "# HELP tasmd_shard_breaker_state Circuit-breaker state of the shard client (0 closed, 1 half-open, 2 open).\n# TYPE tasmd_shard_breaker_state gauge\n")
+			declared = true
+		}
+		fmt.Fprintf(w, "tasmd_shard_breaker_state{shard=\"%s\"} %d\n", escapeLabelValue(st.name), int(st.breaker()))
 	}
 }
 

@@ -121,7 +121,13 @@ type slowEntry struct {
 	Scanned   int    `json:"scanned"`
 	Skipped   int    `json:"skipped"`
 	Evaluated uint64 `json:"evaluated"`
-	Error     string `json:"error,omitempty"`
+	// Fault-tolerance accounting, by shard name: a slow query that was
+	// retried or hedged usually explains itself.
+	Retried        []string `json:"retried,omitempty"`
+	Hedged         []string `json:"hedged,omitempty"`
+	BreakerSkipped []string `json:"breakerSkipped,omitempty"`
+	Degraded       []string `json:"degraded,omitempty"`
+	Error          string   `json:"error,omitempty"`
 }
 
 // slowLog is a fixed-size ring of the most recent queries that ran for

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"tasm/corpus"
 	"tasm/corpus/shard"
@@ -195,5 +196,111 @@ func TestRemoveEndpoint(t *testing.T) {
 	}
 	if w := doJSON(t, h, "DELETE", "/v1/docs/ghost", nil); w.Code != http.StatusNotFound {
 		t.Errorf("unknown delete: status %d, want 404", w.Code)
+	}
+}
+
+// TestRunFlagParsing pins run's topology parsing: the "|" replica
+// syntax builds a server that comes up (and shuts straight down under
+// an already-cancelled context), bad URLs and contradictory flags fail.
+func TestRunFlagParsing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "", "http://127.0.0.1:1|http://127.0.0.1:2, http://127.0.0.1:3", time.Millisecond,
+		"127.0.0.1:0", "", serverConfig{}, time.Millisecond)
+	if err != nil {
+		t.Fatalf("replica syntax: %v", err)
+	}
+	if err := run(ctx, "", "://bad", 0, "127.0.0.1:0", "", serverConfig{}, time.Millisecond); err == nil {
+		t.Fatal("invalid shard URL accepted")
+	}
+	if err := run(ctx, "", "", 0, "127.0.0.1:0", "", serverConfig{}, time.Millisecond); err == nil {
+		t.Fatal("neither -dir nor -shards accepted")
+	}
+	if err := run(ctx, t.TempDir(), "http://x", 0, "127.0.0.1:0", "", serverConfig{}, time.Millisecond); err == nil {
+		t.Fatal("both -dir and -shards accepted")
+	}
+}
+
+// TestRouterPartialDegradation drives the degraded path end to end over
+// HTTP: a router over one live leaf and one dead shard fails by default,
+// answers with "partial":true naming the degraded shard in the response
+// stats, never caches the degraded answer, and exports the degradation
+// and breaker state on /metrics.
+func TestRouterPartialDegradation(t *testing.T) {
+	clLive, _ := newLeaf(t, map[string]string{"a1": `<r><rec><x>1</x></rec></r>`})
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadSrv.URL
+	deadSrv.Close() // nothing listens here any more
+	clDead, err := shard.NewClient(deadURL, shard.WithRetryPolicy(shard.RetryPolicy{
+		MaxAttempts: 2, BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire the same per-shard telemetry run() builds, so /metrics carries
+	// the breaker gauge for both shards.
+	stLive := &shardStats{name: clLive.Name(), breaker: clLive.BreakerState}
+	stDead := &shardStats{name: clDead.Name(), breaker: clDead.BreakerState}
+	router := newServer(
+		shard.NewGroup(&instrumentedShard{Client: clLive, st: stLive}, &instrumentedShard{Client: clDead, st: stDead}),
+		nil,
+		serverConfig{cacheSize: 8, shards: []*shardStats{stLive, stDead}})
+
+	// Default: fail loud.
+	w := doJSON(t, router, "POST", "/v1/topk", `{"query":"{rec{x{1}}}","k":2}`)
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("default mode: status %d, want 500 (%s)", w.Code, w.Body)
+	}
+
+	// Partial: the survivor answers, the loss is reported.
+	pReq := `{"query":"{rec{x{1}}}","k":2,"partial":true}`
+	w = doJSON(t, router, "POST", "/v1/topk", pReq)
+	if w.Code != http.StatusOK {
+		t.Fatalf("partial mode: status %d (%s)", w.Code, w.Body)
+	}
+	var resp topkResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 || resp.Matches[0].Doc != "a1" {
+		t.Fatalf("partial answer lost the survivor's matches: %+v", resp.Matches)
+	}
+	if len(resp.Stats.Degraded) != 1 || resp.Stats.Degraded[0] != deadURL {
+		t.Fatalf("stats.degraded = %v, want [%s]", resp.Stats.Degraded, deadURL)
+	}
+
+	// A degraded answer must not be served from the cache once the shard
+	// recovers — it is never cached at all.
+	w = doJSON(t, router, "POST", "/v1/topk", pReq)
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats.Cached {
+		t.Fatal("degraded answer was cached")
+	}
+
+	// Batch degrades the same way.
+	w = doJSON(t, router, "POST", "/v1/topk-batch", `{"queries":["{rec{x{1}}}"],"k":2,"partial":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("partial batch: status %d (%s)", w.Code, w.Body)
+	}
+	var bresp topkBatchResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &bresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp.Results) != 1 || len(bresp.Results[0]) == 0 {
+		t.Fatalf("partial batch lost the survivor's matches: %+v", bresp.Results)
+	}
+	if len(bresp.Stats.Degraded) != 1 {
+		t.Fatalf("batch stats.degraded = %v, want one shard", bresp.Stats.Degraded)
+	}
+
+	// The degradation and the breaker state are visible on /metrics.
+	mw := doJSON(t, router, "GET", "/metrics", nil)
+	body := mw.Body.String()
+	for _, want := range []string{"tasmd_degraded_queries_total 3", "tasmd_degraded_shards_total 3", "tasmd_shard_breaker_state"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

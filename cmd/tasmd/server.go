@@ -177,6 +177,11 @@ type topkRequest struct {
 	// results are identical, only slower. Meant for debugging and
 	// verification.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Partial opts into best-effort degradation on a router: if a shard
+	// (with all its replicas) is down, the surviving shards' merged
+	// results are returned and stats.degraded names what was missing.
+	// Default is fail-loud.
+	Partial bool `json:"partial,omitempty"`
 }
 
 type topkMatch struct {
@@ -201,6 +206,15 @@ type topkStats struct {
 	BaseDictLabels int  `json:"baseDictLabels"`
 	OverlayLabels  int  `json:"overlayLabels"`
 	Cached         bool `json:"cached"`
+	// Fault-tolerance accounting of a router run (see corpus.Stats):
+	// retry/hedge totals and, by shard name, who was retried, hedged,
+	// skipped by an open breaker, or degraded out of a partial answer.
+	Retries        uint64   `json:"retries,omitempty"`
+	Hedges         uint64   `json:"hedges,omitempty"`
+	Retried        []string `json:"retried,omitempty"`
+	Hedged         []string `json:"hedged,omitempty"`
+	BreakerSkipped []string `json:"breakerSkipped,omitempty"`
+	Degraded       []string `json:"degraded,omitempty"`
 }
 
 // statsOf converts a run's corpus.Stats to the response shape.
@@ -213,6 +227,12 @@ func statsOf(stats *corpus.Stats) topkStats {
 		Evaluated:      stats.Evaluated,
 		BaseDictLabels: stats.BaseDictLabels,
 		OverlayLabels:  stats.OverlayLabels,
+		Retries:        stats.Retries,
+		Hedges:         stats.Hedges,
+		Retried:        stats.Retried,
+		Hedged:         stats.Hedged,
+		BreakerSkipped: stats.BreakerSkipped,
+		Degraded:       stats.Degraded,
 	}
 }
 
@@ -309,6 +329,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if req.Exhaustive {
 		opts = append(opts, corpus.WithoutFilter())
 	}
+	if req.Partial {
+		opts = append(opts, corpus.WithPartialResults())
+	}
 	workers := req.Workers
 	if workers == 0 {
 		workers = s.cfg.workers
@@ -321,6 +344,8 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		Time: start, ReqID: requestIDFrom(ctx), TraceID: tr.TraceID().String(),
 		Endpoint: "/v1/topk", Query: previewOf(&req), K: req.K,
 		Scanned: stats.Scanned, Skipped: stats.Skipped, Evaluated: stats.Evaluated,
+		Retried: stats.Retried, Hedged: stats.Hedged,
+		BreakerSkipped: stats.BreakerSkipped, Degraded: stats.Degraded,
 	}
 	if err != nil {
 		entry.Error = err.Error()
@@ -341,8 +366,12 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	if data, err := json.Marshal(resp); err == nil {
-		s.cache.put(key, data)
+	// Degraded answers are never cached: they are not THE answer for this
+	// generation, only the best one available while a shard was down.
+	if len(stats.Degraded) == 0 {
+		if data, err := json.Marshal(resp); err == nil {
+			s.cache.put(key, data)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -391,6 +420,8 @@ type topkBatchRequest struct {
 	Trees bool `json:"trees,omitempty"`
 	// Exhaustive disables the pq-gram prefilter for this request.
 	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Partial opts into best-effort degradation; see topkRequest.Partial.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // topkBatchResponse answers a batch: Results[i] ranks queries[i], and the
@@ -486,12 +517,17 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	if req.Exhaustive {
 		opts = append(opts, corpus.WithoutFilter())
 	}
+	if req.Partial {
+		opts = append(opts, corpus.WithPartialResults())
+	}
 	results, err := s.src.TopKBatch(ctx, queries, req.K, opts...)
 	entry := slowEntry{
 		Time: start, ReqID: requestIDFrom(ctx), TraceID: tr.TraceID().String(),
 		Endpoint: "/v1/topk-batch", Query: queryPreview(req.Queries[0]),
 		Queries: len(req.Queries), K: req.K,
 		Scanned: stats.Scanned, Skipped: stats.Skipped, Evaluated: stats.Evaluated,
+		Retried: stats.Retried, Hedged: stats.Hedged,
+		BreakerSkipped: stats.BreakerSkipped, Degraded: stats.Degraded,
 	}
 	if err != nil {
 		entry.Error = err.Error()
@@ -515,8 +551,11 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	if data, err := json.Marshal(resp); err == nil {
-		s.cache.put(key, data)
+	// See handleTopK: degraded answers are never cached.
+	if len(stats.Degraded) == 0 {
+		if data, err := json.Marshal(resp); err == nil {
+			s.cache.put(key, data)
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -526,8 +565,8 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 // length-prefixed like cacheKey's.
 func (s *server) batchCacheKey(req *topkBatchRequest) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "batch\x00g%d\x00k%d\x00t%v\x00e%v\x00q%d",
-		s.src.Generation(), req.K, req.Trees, req.Exhaustive, len(req.Queries))
+	fmt.Fprintf(&sb, "batch\x00g%d\x00k%d\x00t%v\x00e%v\x00p%v\x00q%d",
+		s.src.Generation(), req.K, req.Trees, req.Exhaustive, req.Partial, len(req.Queries))
 	for _, q := range req.Queries {
 		writeLenPrefixed(&sb, q)
 	}
@@ -545,7 +584,7 @@ func (s *server) batchCacheKey(req *topkBatchRequest) string {
 // with field boundaries.
 func (s *server) cacheKey(req *topkRequest) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v", s.src.Generation(), req.K, req.Trees, req.Exhaustive)
+	fmt.Fprintf(&sb, "g%d\x00k%d\x00t%v\x00e%v\x00p%v", s.src.Generation(), req.K, req.Trees, req.Exhaustive, req.Partial)
 	writeLenPrefixed(&sb, req.Query)
 	writeLenPrefixed(&sb, req.QueryXML)
 	for _, d := range req.Docs {
@@ -628,11 +667,16 @@ func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	// The generation is read before the listing: if an ingest lands in
+	// between, clients cache the newer listing under the older generation
+	// and simply refetch next time — stale-listing-as-current can never
+	// happen. shard.Client keys its listing cache on this field.
+	gen := s.src.Generation()
 	docs := s.src.Docs()
 	if docs == nil {
 		docs = []corpus.DocInfo{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"docs": docs})
+	writeJSON(w, http.StatusOK, map[string]any{"generation": gen, "docs": docs})
 }
 
 // numDocs returns the backend's document count without blocking on

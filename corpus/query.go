@@ -61,6 +61,41 @@ type Stats struct {
 	// the corpus has never seen. They are released with the overlay; a
 	// TopK run never adds a label to the shared dictionary.
 	OverlayLabels int
+
+	// The remaining fields are the fault-tolerance accounting of the
+	// router tier (shard.Group, shard.ReplicaSet, shard.Client). A single
+	// corpus leaves them zero.
+
+	// Retries is the number of extra remote attempts performed after
+	// retryable failures (connect errors, gateway-class 5xx responses).
+	Retries uint64
+	// Hedges is the number of hedge or failover requests replica sets
+	// fired beyond the primary attempt.
+	Hedges uint64
+	// Retried names the shards that needed at least one retry.
+	Retried []string
+	// Hedged names the replica sets where a hedge or failover fired.
+	Hedged []string
+	// BreakerSkipped names the shards or replicas an open circuit breaker
+	// skipped without a network round trip.
+	BreakerSkipped []string
+	// Degraded names the shards whose results are missing from this
+	// answer. It is only ever non-empty under WithPartialResults; the
+	// default error policy fails the query instead.
+	Degraded []string
+}
+
+// MergeFault folds another run's fault-tolerance accounting into s:
+// counters add, name lists concatenate. Scan counters are left alone —
+// a replica set adopts only the winning attempt's scan statistics, but
+// every attempt's fault accounting is worth keeping.
+func (s *Stats) MergeFault(o *Stats) {
+	s.Retries += o.Retries
+	s.Hedges += o.Hedges
+	s.Retried = append(s.Retried, o.Retried...)
+	s.Hedged = append(s.Hedged, o.Hedged...)
+	s.BreakerSkipped = append(s.BreakerSkipped, o.BreakerSkipped...)
+	s.Degraded = append(s.Degraded, o.Degraded...)
 }
 
 // QueryOption configures one TopK or TopKBatch run.
@@ -93,6 +128,11 @@ type QueryConfig struct {
 	// Cutoffs is the per-query counterpart of Cutoff for TopKBatch runs;
 	// when non-nil its length must equal the number of queries.
 	Cutoffs []*Cutoff
+	// Partial opts a scatter-gather run into graceful degradation: a
+	// shard that fails (with all of its replicas) is dropped from the
+	// merge and reported in Stats.Degraded instead of failing the query.
+	// A single corpus ignores it.
+	Partial bool
 }
 
 // ResolveQueryOptions applies opts to a zero QueryConfig and returns it.
@@ -148,6 +188,17 @@ func WithoutFilter() QueryOption {
 // benchmarking the gates.
 func WithoutCandidatePruning() QueryOption {
 	return func(q *QueryConfig) { q.NoPrune = true }
+}
+
+// WithPartialResults opts the run into graceful degradation on a
+// scatter-gather backend: when a shard — including every replica of it —
+// is down, the query returns the surviving shards' merged results
+// best-effort, with the missing shards named in Stats.Degraded, instead
+// of failing. The default (without this option) stays fail-loud: any
+// shard failure fails the whole query naming the shard. A single corpus
+// has no shards to lose and ignores the option.
+func WithPartialResults() QueryOption {
+	return func(q *QueryConfig) { q.Partial = true }
 }
 
 // WithStats records scan statistics into s.

@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports that a request was refused locally by an open
+// circuit breaker, without a network round trip. It always travels
+// wrapped in a *corpus.ScanError naming the shard, so errors.Is finds it
+// through the group's error plumbing; a ReplicaSet uses it to fail over
+// to the next replica immediately and account the skip.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// BreakerState is the observable state of a client's circuit breaker.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown has passed and one probe request is
+	// allowed through; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+	// BreakerOpen: requests are refused locally with ErrBreakerOpen.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// BreakerPolicy configures a client's per-shard circuit breaker.
+type BreakerPolicy struct {
+	// Threshold is the number of consecutive attempt failures that opens
+	// the breaker. 0 selects the default; < 0 disables the breaker.
+	Threshold int
+	// Cooldown is how long an open breaker refuses requests before
+	// letting one half-open probe through. 0 selects the default.
+	Cooldown time.Duration
+}
+
+// DefaultBreakerPolicy is the breaker every NewClient starts with: five
+// consecutive failures open it, and a dead leaf is re-probed every two
+// seconds instead of being re-timed-out by every query.
+var DefaultBreakerPolicy = BreakerPolicy{Threshold: 5, Cooldown: 2 * time.Second}
+
+// withDefaults fills zero fields from DefaultBreakerPolicy.
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold == 0 {
+		p.Threshold = DefaultBreakerPolicy.Threshold
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = DefaultBreakerPolicy.Cooldown
+	}
+	return p
+}
+
+// breaker is a classic closed → open → half-open circuit breaker over
+// consecutive attempt failures. It protects the router from paying a
+// full connect timeout per query against a leaf that is known dead: once
+// open, requests fail locally and instantly until a cooldown passes, then
+// a single probe decides whether the leaf is back.
+//
+// The zero/nil breaker is disabled (always allows, never trips). The
+// clock is injectable so tests pin the state machine without sleeping.
+type breaker struct {
+	policy BreakerPolicy
+	now    func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int       // consecutive failures while closed
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // a half-open probe is in flight
+}
+
+// newBreaker returns a breaker under p, or nil (disabled) when
+// p.Threshold < 0.
+func newBreaker(p BreakerPolicy) *breaker {
+	p = p.withDefaults()
+	if p.Threshold < 0 {
+		return nil
+	}
+	return &breaker{policy: p, now: time.Now}
+}
+
+// allow reports whether an attempt may proceed. In the open state it
+// starts the half-open transition once the cooldown has passed, letting
+// exactly one probe through; concurrent requests keep failing locally
+// until the probe settles.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.policy.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a successful attempt: the breaker closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecutive = 0
+	b.probing = false
+}
+
+// failure records a failed attempt: a failed half-open probe re-opens
+// immediately, and a closed breaker opens once the streak reaches the
+// threshold.
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		return
+	}
+	b.consecutive++
+	if b.state == BreakerClosed && b.consecutive >= b.policy.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// snapshot returns the current state for telemetry.
+func (b *breaker) snapshot() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.policy.Cooldown {
+		return BreakerHalfOpen // a probe would be admitted right now
+	}
+	return b.state
+}

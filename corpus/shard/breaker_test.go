@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(p BreakerPolicy) (*breaker, *fakeClock) {
+	b := newBreaker(p)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(BreakerPolicy{Threshold: 3, Cooldown: time.Minute})
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("failure %d: breaker should still be closed", i)
+		}
+		b.failure()
+	}
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("after 2 failures: state %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("third attempt should be admitted")
+	}
+	b.failure()
+	if got := b.snapshot(); got != BreakerOpen {
+		t.Fatalf("after 3 consecutive failures: state %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := newTestBreaker(BreakerPolicy{Threshold: 2, Cooldown: time.Minute})
+	b.failure()
+	b.success() // the streak dies here
+	b.failure()
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: state %v", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerPolicy{Threshold: 1, Cooldown: time.Minute})
+	b.failure()
+	if b.allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+	clk.advance(time.Minute)
+	if got := b.snapshot(); got != BreakerHalfOpen {
+		t.Fatalf("after the cooldown: state %v, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("cooldown passed: one probe must be admitted")
+	}
+	if b.allow() {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// A failed probe re-opens immediately for a fresh cooldown.
+	b.failure()
+	if got := b.snapshot(); got != BreakerOpen {
+		t.Fatalf("failed probe: state %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request")
+	}
+
+	// A successful probe closes the breaker for good.
+	clk.advance(time.Minute)
+	if !b.allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.success()
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("successful probe: state %v, want closed", got)
+	}
+	if !b.allow() || !b.allow() {
+		t.Fatal("closed breaker must admit everything")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerPolicy{Threshold: -1})
+	if b != nil {
+		t.Fatal("Threshold < 0 should disable the breaker (nil)")
+	}
+	// The nil breaker's methods are no-ops that always allow.
+	if !b.allow() {
+		t.Fatal("nil breaker denied a request")
+	}
+	b.failure()
+	b.success()
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("nil breaker state %v, want closed", got)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half-open", BreakerOpen: "open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(state), got, want)
+		}
+	}
+}

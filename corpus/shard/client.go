@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strings"
@@ -27,6 +29,19 @@ import (
 // a cancelled query aborts the connection and the server's ctx plumbing
 // stops the remote scan.
 //
+// # Fault tolerance
+//
+// Every request runs under a retry loop: retryable failures (connect
+// errors, torn response bodies, gateway-class 502/503/504 responses) are
+// retried up to RetryPolicy.MaxAttempts times with bounded exponential
+// backoff plus jitter, each attempt under its own per-attempt timeout
+// and with a freshly built request body. Deterministic failures (4xx,
+// a 500 scan error, an oversized response) are never retried. A
+// per-client circuit breaker counts consecutive attempt failures; once
+// open, requests fail locally with ErrBreakerOpen until a cooldown
+// passes and a half-open probe succeeds — so a dead leaf is skipped
+// cheaply instead of re-timed-out by every query.
+//
 // The shared-cutoff protocol of a local Group does not cross the process
 // boundary: the remote end prunes within itself only, and a surrounding
 // Group folds the returned k-th distance into its cutoff after the
@@ -35,9 +50,12 @@ import (
 //
 // A Client is safe for concurrent use.
 type Client struct {
-	base string
-	name string
-	hc   *http.Client
+	base    string
+	name    string
+	hc      *http.Client
+	retry   RetryPolicy
+	breaker *breaker
+	maxResp int64
 
 	gen          atomic.Uint64 // last generation observed from /healthz
 	genRefreshed atomic.Int64  // unix nanos of the last refresh start
@@ -49,9 +67,63 @@ type Client struct {
 	// contract as within one corpus), while ids are only unique per leaf —
 	// a client pointed at a router sees its leaves' id spaces collide.
 	docs map[string]corpus.DocInfo
+	// docsList is the cached listing in manifest order, and docsGen the
+	// remote generation it was fetched under (0 = no valid cached
+	// listing). DocsContext serves the cache while the remote generation
+	// still matches, so a router resolving WithDocs selections pays a
+	// /healthz round trip instead of re-transferring the full manifest.
+	docsList []corpus.DocInfo
+	docsGen  uint64
 }
 
 var _ corpus.Searcher = (*Client)(nil)
+
+// RetryPolicy configures the client's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts per request (1 = no retry).
+	// 0 selects the default.
+	MaxAttempts int
+	// AttemptTimeout caps each attempt; when it expires the attempt is
+	// retried (budget permitting) while the caller's context stays live.
+	// 0 leaves attempts bounded only by the HTTP client and the caller.
+	AttemptTimeout time.Duration
+	// BaseBackoff is the backoff before the first retry; it doubles per
+	// retry up to MaxBackoff, and the actual sleep is jittered over
+	// [backoff/2, backoff]. 0 selects the default.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. 0 selects the default.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is the retry loop every NewClient starts with.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxAttempts: 3,
+	BaseBackoff: 50 * time.Millisecond,
+	MaxBackoff:  2 * time.Second,
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryPolicy.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultRetryPolicy.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetryPolicy.MaxBackoff
+	}
+	return p
+}
+
+// ErrResponseTooLarge reports a response body that exceeded the client's
+// size cap. It travels wrapped in a *corpus.ScanError — a truncated body
+// must surface as "response too large", never as a confusing JSON decode
+// failure.
+var ErrResponseTooLarge = errors.New("response too large")
+
+// defaultMaxResponseBytes caps response bodies; see WithMaxResponseBytes.
+const defaultMaxResponseBytes = 256 << 20
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -68,6 +140,24 @@ func WithName(name string) ClientOption {
 	return func(c *Client) { c.name = name }
 }
 
+// WithRetryPolicy overrides the retry loop (default DefaultRetryPolicy).
+func WithRetryPolicy(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.withDefaults() }
+}
+
+// WithBreakerPolicy overrides the circuit breaker (default
+// DefaultBreakerPolicy; Threshold < 0 disables it).
+func WithBreakerPolicy(p BreakerPolicy) ClientOption {
+	return func(c *Client) { c.breaker = newBreaker(p) }
+}
+
+// WithMaxResponseBytes overrides the response body cap (default 256 MiB).
+// A larger response fails with ErrResponseTooLarge wrapped in a
+// *corpus.ScanError.
+func WithMaxResponseBytes(n int64) ClientOption {
+	return func(c *Client) { c.maxResp = n }
+}
+
 // NewClient returns a Searcher speaking to the tasmd instance at baseURL
 // (e.g. "http://db1:8421"). No connection is made until the first call.
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -76,10 +166,13 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 		return nil, fmt.Errorf("shard: base URL %q must start with http:// or https://", baseURL)
 	}
 	c := &Client{
-		base: baseURL,
-		name: baseURL,
-		hc:   &http.Client{Timeout: 5 * time.Minute},
-		docs: map[string]corpus.DocInfo{},
+		base:    baseURL,
+		name:    baseURL,
+		hc:      &http.Client{Timeout: 5 * time.Minute},
+		retry:   DefaultRetryPolicy,
+		breaker: newBreaker(DefaultBreakerPolicy),
+		maxResp: defaultMaxResponseBytes,
+		docs:    map[string]corpus.DocInfo{},
 	}
 	c.numDocs.Store(-1)
 	for _, o := range opts {
@@ -92,6 +185,10 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 // Group uses it to attribute failures.
 func (c *Client) Name() string { return c.name }
 
+// BreakerState returns the circuit breaker's current state, for
+// telemetry (a router exports it per shard on /metrics).
+func (c *Client) BreakerState() BreakerState { return c.breaker.snapshot() }
+
 // The wire shapes mirror cmd/tasmd's JSON API.
 type wireTopKRequest struct {
 	Query      string   `json:"query,omitempty"`
@@ -100,6 +197,7 @@ type wireTopKRequest struct {
 	Workers    int      `json:"workers,omitempty"`
 	Trees      bool     `json:"trees,omitempty"`
 	Exhaustive bool     `json:"exhaustive,omitempty"`
+	Partial    bool     `json:"partial,omitempty"`
 }
 
 type wireBatchRequest struct {
@@ -108,6 +206,7 @@ type wireBatchRequest struct {
 	Docs       []string `json:"docs,omitempty"`
 	Trees      bool     `json:"trees,omitempty"`
 	Exhaustive bool     `json:"exhaustive,omitempty"`
+	Partial    bool     `json:"partial,omitempty"`
 }
 
 type wireMatch struct {
@@ -120,14 +219,20 @@ type wireMatch struct {
 }
 
 type wireStats struct {
-	Scanned        int    `json:"scanned"`
-	Skipped        int    `json:"skipped"`
-	HistSkipped    uint64 `json:"histSkipped"`
-	TEDAborted     uint64 `json:"tedAborted"`
-	Evaluated      uint64 `json:"evaluated"`
-	BaseDictLabels int    `json:"baseDictLabels"`
-	OverlayLabels  int    `json:"overlayLabels"`
-	Cached         bool   `json:"cached"`
+	Scanned        int      `json:"scanned"`
+	Skipped        int      `json:"skipped"`
+	HistSkipped    uint64   `json:"histSkipped"`
+	TEDAborted     uint64   `json:"tedAborted"`
+	Evaluated      uint64   `json:"evaluated"`
+	BaseDictLabels int      `json:"baseDictLabels"`
+	OverlayLabels  int      `json:"overlayLabels"`
+	Retries        uint64   `json:"retries,omitempty"`
+	Hedges         uint64   `json:"hedges,omitempty"`
+	Retried        []string `json:"retried,omitempty"`
+	Hedged         []string `json:"hedged,omitempty"`
+	BreakerSkipped []string `json:"breakerSkipped,omitempty"`
+	Degraded       []string `json:"degraded,omitempty"`
+	Cached         bool     `json:"cached"`
 }
 
 func (s *wireStats) stats() corpus.Stats {
@@ -139,6 +244,12 @@ func (s *wireStats) stats() corpus.Stats {
 		Evaluated:      s.Evaluated,
 		BaseDictLabels: s.BaseDictLabels,
 		OverlayLabels:  s.OverlayLabels,
+		Retries:        s.Retries,
+		Hedges:         s.Hedges,
+		Retried:        s.Retried,
+		Hedged:         s.Hedged,
+		BreakerSkipped: s.BreakerSkipped,
+		Degraded:       s.Degraded,
 	}
 }
 
@@ -163,13 +274,14 @@ func (c *Client) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Q
 		return nil, err
 	}
 	var resp wireTopKResponse
-	err := c.post(ctx, "/v1/topk", wireTopKRequest{
+	attempts, err := c.post(ctx, "/v1/topk", wireTopKRequest{
 		Query:      q.String(),
 		K:          k,
 		Docs:       cfg.Docs,
 		Workers:    cfg.Workers,
 		Trees:      !cfg.NoTrees,
 		Exhaustive: cfg.NoFilter,
+		Partial:    cfg.Partial,
 	}, &resp)
 	if err != nil {
 		return nil, err
@@ -177,6 +289,7 @@ func (c *Client) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Q
 	qtrace.FromContext(ctx).AddChild(resp.Trace)
 	if cfg.Stats != nil {
 		*cfg.Stats = resp.Stats.stats()
+		c.recordAttempts(cfg.Stats, attempts)
 	}
 	ms, err := c.matches(ctx, resp.Matches)
 	if err != nil {
@@ -202,12 +315,13 @@ func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 		qs[i] = q.String()
 	}
 	var resp wireBatchResponse
-	err := c.post(ctx, "/v1/topk-batch", wireBatchRequest{
+	attempts, err := c.post(ctx, "/v1/topk-batch", wireBatchRequest{
 		Queries:    qs,
 		K:          k,
 		Docs:       cfg.Docs,
 		Trees:      !cfg.NoTrees,
 		Exhaustive: cfg.NoFilter,
+		Partial:    cfg.Partial,
 	}, &resp)
 	if err != nil {
 		return nil, err
@@ -215,6 +329,7 @@ func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	qtrace.FromContext(ctx).AddChild(resp.Trace)
 	if cfg.Stats != nil {
 		*cfg.Stats = resp.Stats.stats()
+		c.recordAttempts(cfg.Stats, attempts)
 	}
 	out := make([][]corpus.Match, len(resp.Results))
 	for i, ws := range resp.Results {
@@ -230,6 +345,14 @@ func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	return out, nil
 }
 
+// recordAttempts folds the query's own retry accounting into its stats.
+func (c *Client) recordAttempts(s *corpus.Stats, attempts int) {
+	if attempts > 1 {
+		s.Retries += uint64(attempts - 1)
+		s.Retried = append(s.Retried, c.name)
+	}
+}
+
 // Docs fetches the remote manifest. On a transport failure it falls back
 // to the last listing it saw (Searcher.Docs carries no error); a fresh
 // client that has never reached the server returns nil. Callers that
@@ -237,7 +360,7 @@ func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 func (c *Client) Docs() []corpus.DocInfo {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	docs, err := c.fetchDocs(ctx)
+	docs, err := c.DocsContext(ctx)
 	if err != nil {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -255,7 +378,28 @@ func (c *Client) Docs() []corpus.DocInfo {
 // reports transport failures instead of falling back to a stale cache. A
 // Group resolves WithDocs selections through it, so a shard outage
 // surfaces as that shard's failure rather than as "unknown document".
+//
+// The listing is generation-cached: a cheap /healthz round trip checks
+// whether the remote document set changed since the cached listing was
+// fetched, and only a changed generation re-transfers the manifest.
 func (c *Client) DocsContext(ctx context.Context) ([]corpus.DocInfo, error) {
+	var health struct {
+		Generation uint64 `json:"generation"`
+		Docs       int64  `json:"docs"`
+	}
+	if _, err := c.get(ctx, "/healthz", &health); err != nil {
+		return nil, err
+	}
+	c.gen.Store(health.Generation)
+	c.numDocs.Store(health.Docs)
+	c.mu.Lock()
+	if c.docsGen != 0 && c.docsGen == health.Generation {
+		cached := make([]corpus.DocInfo, len(c.docsList))
+		copy(cached, c.docsList)
+		c.mu.Unlock()
+		return cached, nil
+	}
+	c.mu.Unlock()
 	return c.fetchDocs(ctx)
 }
 
@@ -290,7 +434,7 @@ func (c *Client) refreshGeneration() {
 		Generation uint64 `json:"generation"`
 		Docs       int64  `json:"docs"`
 	}
-	if err := c.get(ctx, "/healthz", &health); err == nil {
+	if _, err := c.get(ctx, "/healthz", &health); err == nil {
 		c.gen.Store(health.Generation)
 		c.numDocs.Store(health.Docs)
 	}
@@ -350,12 +494,15 @@ func (c *Client) lookupDoc(name string) (corpus.DocInfo, bool) {
 	return d, ok
 }
 
-// fetchDocs retrieves the remote manifest and replaces the cache.
+// fetchDocs retrieves the remote manifest and replaces the cache. The
+// listing response carries the generation it was served under, which
+// keys the cache DocsContext consults.
 func (c *Client) fetchDocs(ctx context.Context) ([]corpus.DocInfo, error) {
 	var listing struct {
-		Docs []corpus.DocInfo `json:"docs"`
+		Docs       []corpus.DocInfo `json:"docs"`
+		Generation uint64           `json:"generation"`
 	}
-	if err := c.get(ctx, "/v1/docs", &listing); err != nil {
+	if _, err := c.get(ctx, "/v1/docs", &listing); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
@@ -363,85 +510,196 @@ func (c *Client) fetchDocs(ctx context.Context) ([]corpus.DocInfo, error) {
 	for _, d := range listing.Docs {
 		c.docs[d.Name] = d
 	}
+	c.docsList = listing.Docs
+	c.docsGen = listing.Generation
 	c.mu.Unlock()
 	c.numDocs.Store(int64(len(listing.Docs)))
+	if listing.Generation != 0 {
+		c.gen.Store(listing.Generation)
+	}
 	return listing.Docs, nil
 }
 
-// post sends a JSON request and decodes the JSON response into out.
-// When the context carries a trace marked for propagation, the request
-// asks the remote tier for its trace block (?trace=1) and stitches the
-// tiers with a W3C traceparent header: the remote tasmd continues this
-// trace's id and names our root span as its parent, so the caller's
-// AddChild produces one tree of spans across processes.
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
+// post sends a JSON request and decodes the JSON response into out,
+// returning the number of attempts made. When the context carries a
+// trace marked for propagation, the request asks the remote tier for its
+// trace block (?trace=1) and stitches the tiers with a W3C traceparent
+// header: the remote tasmd continues this trace's id and names our root
+// span as its parent, so the caller's AddChild produces one tree of
+// spans across processes.
+func (c *Client) post(ctx context.Context, path string, body, out any) (int, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	url := c.base + path
+	var hdr http.Header
 	tr := qtrace.FromContext(ctx)
 	if tr.Propagate() {
 		url += "?trace=1"
+		hdr = http.Header{"traceparent": []string{tr.Traceparent()}}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if tr.Propagate() {
-		req.Header.Set("traceparent", tr.Traceparent())
-	}
-	return c.do(req, out)
+	return c.roundTrip(ctx, http.MethodPost, url, data, hdr, out)
 }
 
 // get sends a GET request and decodes the JSON response into out.
-func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+func (c *Client) get(ctx context.Context, path string, out any) (int, error) {
+	return c.roundTrip(ctx, http.MethodGet, c.base+path, nil, nil, out)
 }
 
-// do executes the request, mapping transport failures and 5xx responses
-// to *corpus.ScanError (backend-side state, named after this client) and
-// 4xx responses to plain errors (the caller's mistake travels back as
-// such).
-func (c *Client) do(req *http.Request, out any) error {
+// roundTrip is the retry loop every request runs under: per-attempt
+// timeouts, a freshly built request per attempt (bodies cannot be
+// replayed from a consumed reader), bounded exponential backoff with
+// jitter between retryable failures, and the circuit breaker consulted
+// before — and informed after — every attempt. The client's requests are
+// all reads (queries, listings, health), so retrying is always safe.
+// Returns the number of attempts made alongside the final outcome.
+func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte, hdr http.Header, out any) (int, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return attempt - 1, err
+		}
+		if !c.breaker.allow() {
+			return attempt - 1, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%w (skipping %s)", ErrBreakerOpen, c.name)}
+		}
+		retryable, err := c.attempt(ctx, method, url, body, hdr, out)
+		if err == nil {
+			c.breaker.success()
+			return attempt, nil
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The caller gave up (the per-attempt timeout never surfaces
+			// here — attempt maps it to a retryable failure): neither a
+			// breaker strike nor a retry.
+			return attempt, err
+		}
+		if !retryable {
+			// Deterministic failures (4xx, scan errors, oversized
+			// responses) say nothing about the shard's liveness.
+			return attempt, err
+		}
+		c.breaker.failure()
+		lastErr = err
+		if attempt >= c.retry.MaxAttempts {
+			return attempt, lastErr
+		}
+		if err := sleepBackoff(ctx, c.retry.backoff(attempt)); err != nil {
+			return attempt, err
+		}
+	}
+}
+
+// backoff returns the jittered backoff before retry n (1-based):
+// exponential from BaseBackoff, capped at MaxBackoff, jittered over
+// [d/2, d] so synchronized retries from many routers spread out.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < n && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
+
+// sleepBackoff waits for d or the caller's cancellation.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attempt executes one try of the request and reports whether its
+// failure is worth retrying: connect errors, a per-attempt timeout, a
+// torn response body and gateway-class 502/503/504 responses are
+// transient; everything else is deterministic. Transport failures and
+// 5xx responses map to *corpus.ScanError (backend-side state, named
+// after this client), 4xx responses to plain errors (the caller's
+// mistake travels back as such).
+func (c *Client) attempt(parent context.Context, method, url string, body []byte, hdr http.Header, out any) (retryable bool, err error) {
+	ctx := parent
+	if c.retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, c.retry.AttemptTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		// Surface the caller's cancellation as such: url.Error wraps it,
-		// and the group's error policy distinguishes cancellation from
-		// shard failure.
-		if ctxErr := req.Context().Err(); ctxErr != nil {
-			return ctxErr
-		}
-		return &corpus.ScanError{Shard: c.name, Err: err}
+		return true, c.transportError(parent, ctx, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResp+1))
 	if err != nil {
-		if ctxErr := req.Context().Err(); ctxErr != nil {
-			return ctxErr
-		}
-		return &corpus.ScanError{Shard: c.name, Err: err}
+		// A mid-body connection reset: the shard (or the path to it) tore
+		// the response. Retryable — the next attempt gets a fresh body.
+		return true, c.transportError(parent, ctx, err)
+	}
+	if int64(len(data)) > c.maxResp {
+		return false, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%w: body exceeds %d bytes", ErrResponseTooLarge, c.maxResp)}
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-		msg := strings.TrimSpace(string(body))
+		msg := strings.TrimSpace(string(data))
 		var wireErr struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(body, &wireErr) == nil && wireErr.Error != "" {
+		if json.Unmarshal(data, &wireErr) == nil && wireErr.Error != "" {
 			msg = wireErr.Error
 		}
 		if resp.StatusCode >= 500 {
-			return &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%s: %s", resp.Status, msg)}
+			retry := resp.StatusCode == http.StatusBadGateway ||
+				resp.StatusCode == http.StatusServiceUnavailable ||
+				resp.StatusCode == http.StatusGatewayTimeout
+			return retry, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%s: %s", resp.Status, msg)}
 		}
-		return fmt.Errorf("tasmd %s: %s: %s", c.name, resp.Status, msg)
+		return false, fmt.Errorf("tasmd %s: %s: %s", c.name, resp.Status, msg)
 	}
-	if err := json.Unmarshal(body, out); err != nil {
-		return &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("unparseable response: %w", err)}
+	if err := json.Unmarshal(data, out); err != nil {
+		return false, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("unparseable response: %w", err)}
 	}
-	return nil
+	return false, nil
+}
+
+// transportError classifies a failed attempt's transport error: the
+// caller's own cancellation surfaces as such (the group's error policy
+// distinguishes cancellation from shard failure), a per-attempt timeout
+// and genuine connect errors become attributable scan errors.
+func (c *Client) transportError(parent, attempt context.Context, err error) error {
+	if ctxErr := parent.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	if attempt.Err() != nil {
+		// Deliberately NOT wrapping attempt.Err(): a per-attempt timeout
+		// must look like a retryable shard failure, not like the caller's
+		// own DeadlineExceeded (which ends the retry loop).
+		return &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("attempt timed out after %s", c.retry.AttemptTimeout)}
+	}
+	return &corpus.ScanError{Shard: c.name, Err: err}
 }

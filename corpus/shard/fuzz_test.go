@@ -52,16 +52,30 @@ func decodeTree(d dict.Dict, data []byte) *tree.Tree {
 	return t
 }
 
+// faultyReplica builds the fuzz-selected faulty primary for one shard:
+// a dead replica (instant ScanError) or a breaker-skipped one. Both are
+// in-process stubs, so the fuzz loop never touches the network or a
+// timer — the healthy replica is the same corpus instance, and a zero
+// hedge delay races it immediately.
+func faultyReplica(kind uint8, i int) corpus.Searcher {
+	if kind&1 == 0 {
+		return &failingSearcher{}
+	}
+	return &breakerSkippedSearcher{name: fmt.Sprintf("dead%d", i)}
+}
+
 // FuzzGroupVsMerged pins the acceptance criterion under adversarial
 // inputs: a Group over 3 shards holding fuzz-decoded documents must
 // answer TopK and TopKBatch byte-identically to one corpus holding the
 // union of the documents, for a fuzz-decoded query that may carry labels
-// no document has.
+// no document has. The faults byte additionally replicates each shard
+// behind a ReplicaSet whose primary is faulted (dead or breaker-skipped,
+// one bit per shard), pinning the same identity through failover.
 func FuzzGroupVsMerged(f *testing.F) {
-	f.Add([]byte{0x01, 0x12, 0x23}, []byte{0x04, 0x15}, []byte{0x01, 0x01, 0x21}, []byte{0x02, 0x13}, uint8(3))
-	f.Add([]byte{0x31, 0x31, 0x31, 0x72}, []byte{0x00}, []byte{0x11, 0x11}, []byte{0x0f, 0x2e}, uint8(1))
-	f.Add([]byte{0x05, 0x0a, 0x21, 0x00, 0x13}, []byte{0x01, 0x02}, []byte{0x03}, []byte{0x21, 0x30, 0x41}, uint8(5))
-	f.Fuzz(func(t *testing.T, doc0, doc1, doc2, qBytes []byte, k8 uint8) {
+	f.Add([]byte{0x01, 0x12, 0x23}, []byte{0x04, 0x15}, []byte{0x01, 0x01, 0x21}, []byte{0x02, 0x13}, uint8(3), uint8(0))
+	f.Add([]byte{0x31, 0x31, 0x31, 0x72}, []byte{0x00}, []byte{0x11, 0x11}, []byte{0x0f, 0x2e}, uint8(1), uint8(0b101))
+	f.Add([]byte{0x05, 0x0a, 0x21, 0x00, 0x13}, []byte{0x01, 0x02}, []byte{0x03}, []byte{0x21, 0x30, 0x41}, uint8(5), uint8(0b11111))
+	f.Fuzz(func(t *testing.T, doc0, doc1, doc2, qBytes []byte, k8, faults uint8) {
 		k := int(k8)%8 + 1
 		qd := dict.New()
 		// Shift the query's label alphabet so some labels are foreign to
@@ -88,7 +102,20 @@ func FuzzGroupVsMerged(f *testing.F) {
 				t.Fatal(err)
 			}
 		}
-		g := shard.NewGroup(searchers(shards)...)
+		// Each shard becomes a two-replica set; the faults bits decide
+		// whether its primary is healthy or faulted (a minority of each
+		// set's replicas, so every shard still answers).
+		members := make([]corpus.Searcher, len(shards))
+		for i, s := range shards {
+			if faults>>(2*i)&1 == 0 {
+				members[i] = shard.NewReplicaSet([]corpus.Searcher{s, s}, shard.WithHedgeDelay(0))
+			} else {
+				members[i] = shard.NewReplicaSet(
+					[]corpus.Searcher{faultyReplica(faults>>(2*i+1), i), s},
+					shard.WithHedgeDelay(0))
+			}
+		}
+		g := shard.NewGroup(members...)
 		ctx := context.Background()
 
 		want, err := union.TopK(ctx, q, k)

@@ -170,7 +170,10 @@ func (g *Group) Generation() uint64 {
 // single corpus holding the union of the shards' documents; the shards
 // prune against each other through one shared cutoff. A failing shard
 // fails the whole query with the shard named in the error (errors.As
-// still finds a wrapped *corpus.ScanError).
+// still finds a wrapped *corpus.ScanError) — unless the query opted into
+// corpus.WithPartialResults, in which case backend-side failures degrade
+// to a best-effort merge of the surviving shards, reported through
+// Stats.Degraded.
 func (g *Group) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.QueryOption) ([]corpus.Match, error) {
 	cfg := corpus.ResolveQueryOptions(opts...)
 	if ctx == nil {
@@ -190,7 +193,7 @@ func (g *Group) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Qu
 
 	perShard := make([][]corpus.Match, len(g.children))
 	stats := make([]corpus.Stats, len(g.children))
-	err = g.scatter(ctx, perDocs, func(ctx context.Context, i int, docs []string) error {
+	degraded, err := g.scatter(ctx, cfg.Partial, perDocs, func(ctx context.Context, i int, docs []string) error {
 		childCfg := cfg
 		childCfg.Docs = docs
 		childCfg.Stats = &stats[i]
@@ -204,6 +207,7 @@ func (g *Group) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Qu
 	}
 	if cfg.Stats != nil {
 		*cfg.Stats = mergeStats(stats)
+		g.noteDegraded(cfg.Stats, degraded)
 	}
 	tr := qtrace.FromContext(ctx)
 	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
@@ -237,7 +241,7 @@ func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts
 
 	perShard := make([][][]corpus.Match, len(g.children))
 	stats := make([]corpus.Stats, len(g.children))
-	err = g.scatter(ctx, perDocs, func(ctx context.Context, i int, docs []string) error {
+	degraded, err := g.scatter(ctx, cfg.Partial, perDocs, func(ctx context.Context, i int, docs []string) error {
 		childCfg := cfg
 		childCfg.Docs = docs
 		childCfg.Stats = &stats[i]
@@ -251,6 +255,7 @@ func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts
 	}
 	if cfg.Stats != nil {
 		*cfg.Stats = mergeStats(stats)
+		g.noteDegraded(cfg.Stats, degraded)
 	}
 	tr := qtrace.FromContext(ctx)
 	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
@@ -269,17 +274,26 @@ func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts
 }
 
 // scatter runs fn for every participating shard concurrently and gathers
-// the first failure. perDocs is nil when every shard participates fully;
-// otherwise a shard with an empty selection is skipped (none of the
-// requested documents live there). Any failure cancels the remaining
-// shards through the derived context, and fn's error is attributed to the
-// failing shard by name.
-func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx context.Context, i int, docs []string) error) error {
+// failures. perDocs is nil when every shard participates fully; otherwise
+// a shard with an empty selection is skipped (none of the requested
+// documents live there). fn's errors are attributed to their shard by
+// name.
+//
+// In the default fail-loud mode (partial false) any failure cancels the
+// remaining shards through the derived context and fails the call. With
+// partial true (corpus.WithPartialResults) a shard failing with a
+// backend-side error is recorded as degraded and the rest keep going —
+// the caller merges what survived; only when every participating shard
+// fails, or a shard fails with a non-backend error (the caller's own
+// mistake or cancellation, which no sibling can compensate for), does the
+// call fail. The returned slice holds the degraded children's indices.
+func (g *Group) scatter(ctx context.Context, partial bool, perDocs [][]string, fn func(ctx context.Context, i int, docs []string) error) ([]int, error) {
 	tr := qtrace.FromContext(ctx)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errs := make([]error, len(g.children))
 	var wg sync.WaitGroup
+	participating := 0
 	for i := range g.children {
 		var docs []string
 		if perDocs != nil {
@@ -287,6 +301,7 @@ func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx con
 				continue
 			}
 		}
+		participating++
 		wg.Add(1)
 		go func(i int, docs []string) {
 			defer wg.Done()
@@ -298,7 +313,9 @@ func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx con
 			tr.End(span)
 			if err != nil {
 				errs[i] = attribute(g.children[i].name, err)
-				cancel() // a failed shard fails the query; stop the others
+				if !partial || !retryableError(err) {
+					cancel() // a failed shard fails the query; stop the others
+				}
 			}
 		}(i, docs)
 	}
@@ -307,8 +324,9 @@ func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx con
 	// cancel propagated into sibling shards; if every error is a
 	// cancellation, the caller's context (or the first shard's) tells the
 	// story.
-	var firstCancel error
-	for _, err := range errs {
+	var firstCancel, firstDegradable error
+	var degraded []int
+	for i, err := range errs {
 		if err == nil {
 			continue
 		}
@@ -318,9 +336,31 @@ func (g *Group) scatter(ctx context.Context, perDocs [][]string, fn func(ctx con
 			}
 			continue
 		}
-		return err
+		if partial && retryableError(err) {
+			if firstDegradable == nil {
+				firstDegradable = err
+			}
+			degraded = append(degraded, i)
+			continue
+		}
+		return nil, err
 	}
-	return firstCancel
+	if firstCancel != nil {
+		return nil, firstCancel
+	}
+	if len(degraded) == participating && firstDegradable != nil {
+		// Nothing survived: best-effort has no results to offer, so fail
+		// loudly with the first shard's root cause.
+		return nil, firstDegradable
+	}
+	return degraded, nil
+}
+
+// noteDegraded appends the degraded children's names to st.Degraded.
+func (g *Group) noteDegraded(st *corpus.Stats, degraded []int) {
+	for _, i := range degraded {
+		st.Degraded = append(st.Degraded, g.children[i].name)
+	}
 }
 
 // splitDocs partitions a WithDocs selection over the shards: each shard
@@ -395,7 +435,8 @@ func attribute(name string, err error) error {
 // a frozen base of its own).
 func mergeStats(stats []corpus.Stats) corpus.Stats {
 	var out corpus.Stats
-	for _, s := range stats {
+	for i := range stats {
+		s := &stats[i]
 		out.Scanned += s.Scanned
 		out.Skipped += s.Skipped
 		out.Unprofiled += s.Unprofiled
@@ -404,6 +445,7 @@ func mergeStats(stats []corpus.Stats) corpus.Stats {
 		out.Evaluated += s.Evaluated
 		out.BaseDictLabels += s.BaseDictLabels
 		out.OverlayLabels += s.OverlayLabels
+		out.MergeFault(s)
 	}
 	return out
 }

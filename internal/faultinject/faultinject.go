@@ -1,0 +1,172 @@
+// Package faultinject is a deterministic chaos proxy for tests: an
+// http.Handler that forwards requests to a real backend and injects
+// scripted faults — error statuses, dropped connections, mid-body
+// resets, hangs — per request, decided by a caller-supplied Script
+// rather than randomness or wall-clock timing.
+//
+// The fault repertoire is chosen so tests can pin retry, hedging, and
+// breaker behavior without sleeping:
+//
+//   - FaultStatus exercises the HTTP-level retry classification
+//     (502/503/504 retryable, others not) with zero latency.
+//   - FaultDrop and FaultCutBody exercise the transport-level
+//     classification (connect errors and torn bodies) — also instant.
+//   - FaultHang parks the request until the client gives up, which is
+//     exactly the deterministic signal hedging tests need: the hedge
+//     fires on its (tiny) timer, wins, and cancels the hung primary,
+//     whose handler observes ctx.Done and unwinds. No test ever waits
+//     for a timeout that isn't under its own control.
+//
+// A typical test stands the proxy between a shard.Client and a tasmd
+// leaf (or an httptest backend):
+//
+//	proxy := faultinject.New(leaf.URL, func(r *http.Request, seq int) faultinject.Rule {
+//		if seq == 0 {
+//			return faultinject.Rule{Fault: faultinject.FaultStatus, Code: 503}
+//		}
+//		return faultinject.Rule{}
+//	})
+//	srv := httptest.NewServer(proxy)
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+)
+
+// Fault selects what happens to one proxied request.
+type Fault int
+
+const (
+	// FaultNone forwards the request untouched.
+	FaultNone Fault = iota
+	// FaultStatus answers with Rule.Code (default 503) and a short body,
+	// without contacting the backend.
+	FaultStatus
+	// FaultDrop kills the connection without writing a response; the
+	// client sees a transport error (EOF / connection reset).
+	FaultDrop
+	// FaultCutBody forwards the request, advertises the full
+	// Content-Length, writes only half the body, and kills the
+	// connection — the client sees a torn body mid-decode.
+	FaultCutBody
+	// FaultHang parks the request until the client disconnects, then
+	// kills the connection. Because it releases exactly when the caller
+	// cancels, it lets hedging and cancellation tests run without a
+	// single real timeout.
+	FaultHang
+)
+
+// Rule is one request's scripted fate.
+type Rule struct {
+	Fault Fault
+	// Code is the status FaultStatus answers with; 0 means 503.
+	Code int
+}
+
+// Script decides the fate of each request: it receives the incoming
+// request and its zero-based sequence number across the proxy's
+// lifetime. A nil script, like a zero Rule, forwards everything.
+// Scripts run on the server's handler goroutines; they must be safe for
+// concurrent use (pure functions of (r, seq) always are).
+type Script func(r *http.Request, seq int) Rule
+
+// Proxy is the chaos proxy handler. Serve it with httptest.NewServer
+// and point a shard.Client at the test server's URL.
+type Proxy struct {
+	backend   *url.URL
+	script    Script
+	transport http.RoundTripper
+	seq       atomic.Int64
+}
+
+// New returns a Proxy forwarding to the backend base URL (e.g. a
+// httptest server's URL). It panics on an unparseable URL — a test bug.
+func New(backend string, script Script) *Proxy {
+	u, err := url.Parse(backend)
+	if err != nil {
+		panic(fmt.Sprintf("faultinject: bad backend url %q: %v", backend, err))
+	}
+	return &Proxy{backend: u, script: script, transport: http.DefaultTransport}
+}
+
+// Requests returns how many requests the proxy has received so far.
+func (p *Proxy) Requests() int { return int(p.seq.Load()) }
+
+// ServeHTTP applies the script to the request and forwards, fails, or
+// hangs it accordingly.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	seq := int(p.seq.Add(1) - 1)
+	var rule Rule
+	if p.script != nil {
+		rule = p.script(r, seq)
+	}
+	switch rule.Fault {
+	case FaultStatus:
+		code := rule.Code
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, "faultinject: scripted failure", code)
+	case FaultDrop:
+		abort()
+	case FaultHang:
+		// Drain the body first: the http server starts the background
+		// read that detects a client disconnect (and cancels r.Context())
+		// only once the request body is consumed. Without this, a hung
+		// POST would never observe the client giving up.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		abort()
+	case FaultCutBody:
+		p.forward(w, r, true)
+	default:
+		p.forward(w, r, false)
+	}
+}
+
+// forward relays the request to the backend. With cut set, it promises
+// the full response length but delivers only half before killing the
+// connection.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, cut bool) {
+	out := r.Clone(r.Context())
+	out.URL.Scheme = p.backend.Scheme
+	out.URL.Host = p.backend.Host
+	out.Host = p.backend.Host
+	out.RequestURI = ""
+	resp, err := p.transport.RoundTrip(out)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("faultinject: backend: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("faultinject: backend body: %v", err), http.StatusBadGateway)
+		return
+	}
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		hdr[k] = vs
+	}
+	hdr.Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	if cut && len(body) > 1 {
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		abort()
+	}
+	w.Write(body)
+}
+
+// abort kills the client connection without a (complete) response.
+// http.ErrAbortHandler is the server's sanctioned way to do that: the
+// connection is torn down and the panic is not logged as a crash.
+func abort() {
+	panic(http.ErrAbortHandler)
+}

@@ -1,0 +1,158 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tasm/internal/faultinject"
+)
+
+const payload = `{"hello":"world","pad":"0123456789012345678901234567890123456789"}`
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newProxy(t *testing.T, script faultinject.Script) (*faultinject.Proxy, *httptest.Server) {
+	t.Helper()
+	p := faultinject.New(newBackend(t).URL, script)
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func TestPassThrough(t *testing.T) {
+	p, srv := newProxy(t, nil)
+	resp, err := http.Get(srv.URL + "/v1/docs")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(body) != payload {
+		t.Fatalf("body = %q, want %q", body, payload)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content-type = %q", got)
+	}
+	if p.Requests() != 1 {
+		t.Fatalf("requests = %d, want 1", p.Requests())
+	}
+}
+
+func TestScriptedStatusThenPass(t *testing.T) {
+	_, srv := newProxy(t, func(r *http.Request, seq int) faultinject.Rule {
+		if seq == 0 {
+			return faultinject.Rule{Fault: faultinject.FaultStatus, Code: 503}
+		}
+		return faultinject.Rule{}
+	})
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get 1: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("first status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get 2: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("second status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestDropIsTransportError(t *testing.T) {
+	_, srv := newProxy(t, func(r *http.Request, seq int) faultinject.Rule {
+		return faultinject.Rule{Fault: faultinject.FaultDrop}
+	})
+	_, err := http.Get(srv.URL) //nolint:bodyclose // the request must fail
+	if err == nil {
+		t.Fatal("get succeeded, want transport error")
+	}
+}
+
+func TestCutBodyTearsMidRead(t *testing.T) {
+	_, srv := newProxy(t, func(r *http.Request, seq int) faultinject.Rule {
+		return faultinject.Rule{Fault: faultinject.FaultCutBody}
+	})
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200 (fault hits the body, not the header)", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read succeeded with %d bytes, want torn body", len(body))
+	}
+	if len(body) >= len(payload) {
+		t.Fatalf("got %d bytes, want fewer than %d", len(body), len(payload))
+	}
+}
+
+func TestHangReleasesOnClientCancel(t *testing.T) {
+	started := make(chan struct{})
+	_, srv := newProxy(t, func(r *http.Request, seq int) faultinject.Rule {
+		close(started)
+		return faultinject.Rule{Fault: faultinject.FaultHang}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req) //nolint:bodyclose // the request must fail
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung request did not release after cancel")
+	}
+}
+
+func TestPostBodyForwarded(t *testing.T) {
+	var got string
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got = string(b)
+		io.WriteString(w, "ok")
+	}))
+	defer backend.Close()
+	srv := httptest.NewServer(faultinject.New(backend.URL, nil))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("ping"))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if got != "ping" {
+		t.Fatalf("backend saw %q, want %q", got, "ping")
+	}
+}

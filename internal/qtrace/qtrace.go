@@ -28,6 +28,7 @@ import (
 	"math/rand/v2"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -95,6 +96,14 @@ type Trace struct {
 	spans    []Span // len ≤ spanCap; the backing array is the pooled slab
 	dropped  int
 	children []*Wire // trace blocks returned by downstream shards
+
+	// refs counts the holders that may still record into this trace: the
+	// request that created it plus every hedged replica attempt still in
+	// flight (a ReplicaSet's losing attempts outlive the response).
+	// Release only returns the trace to the pool when the last holder is
+	// gone, so a late End/AddChild from a cancelled loser writes into a
+	// still-live trace instead of a recycled slab.
+	refs atomic.Int32
 }
 
 var pool = sync.Pool{New: func() any {
@@ -122,14 +131,31 @@ func NewWithParent(id TraceID, parent SpanID) *Trace {
 	t.spans = t.spans[:0]
 	t.dropped = 0
 	t.children = nil
+	t.refs.Store(1)
 	return t
 }
 
-// Release returns the trace to the pool. The caller must guarantee no
-// goroutine still records into it (a request's fan-outs have joined by
-// the time its response is written). Safe on nil.
+// Retain adds a holder: the trace will not be recycled until a matching
+// Release. A hedged replica attempt retains the trace before launching
+// so its span recording stays valid even when the attempt loses the race
+// and unwinds after the request's response has been written. Safe on nil.
+func (t *Trace) Retain() {
+	if t == nil {
+		return
+	}
+	t.refs.Add(1)
+}
+
+// Release drops one holder; the last Release returns the trace to the
+// pool. The creating request holds one reference (from New/NewWithParent)
+// and drops it when the response has been written; concurrent recorders
+// that may outlive the response (hedged replica attempts) bracket their
+// work with Retain/Release. Safe on nil.
 func Release(t *Trace) {
 	if t == nil {
+		return
+	}
+	if t.refs.Add(-1) > 0 {
 		return
 	}
 	// Drop the strings the slab still references so released traces do
@@ -218,13 +244,17 @@ func (t *Trace) Begin(name, detail string) int {
 	return len(t.spans) - 1
 }
 
-// End closes the span.
+// End closes the span. A handle past the current slab (possible only if
+// a recorder outlived its Retain) is ignored rather than crashing.
 func (t *Trace) End(h int) {
 	if t == nil || h < 0 {
 		return
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if h >= len(t.spans) {
+		return
+	}
 	s := &t.spans[h]
 	s.Dur = time.Since(t.start) - s.Start
 	s.done = true
@@ -237,6 +267,9 @@ func (t *Trace) SetPrune(h int, histSkipped, tedAborted, evaluated uint64) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if h >= len(t.spans) {
+		return
+	}
 	s := &t.spans[h]
 	s.prune = true
 	s.HistSkipped, s.TEDAborted, s.Evaluated = histSkipped, tedAborted, evaluated

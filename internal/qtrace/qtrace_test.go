@@ -222,3 +222,40 @@ func TestWireJSONShape(t *testing.T) {
 		t.Errorf("JSON round trip lost structure: %s", data)
 	}
 }
+
+// TestRetainDefersPoolReturn pins the hedged-loser contract: a trace
+// retained by an in-flight replica attempt must not return to the pool
+// (and must keep accepting span writes) when the request releases it;
+// only the final Release recycles the slab.
+func TestRetainDefersPoolReturn(t *testing.T) {
+	tr := New()
+	h := tr.Begin(SpanShard, "replica-0")
+	tr.Retain() // the attempt goroutine
+	Release(tr) // the request's response was written
+	tr.End(h)   // the losing attempt's late span write
+	tr.AddChild(&Wire{TraceID: "late"})
+	if w := tr.Export(); len(w.Spans) != 1 || len(w.Shards) != 1 {
+		t.Fatalf("retained trace lost state after request Release: %+v", w)
+	}
+	Release(tr) // the attempt unwinds; now the slab recycles
+	tr2 := New()
+	defer Release(tr2)
+	if w := tr2.Export(); len(w.Spans) != 0 || len(w.Shards) != 0 {
+		t.Errorf("reused trace carries retained-phase state: %+v", w)
+	}
+}
+
+// TestEndPastSlabIsNoOp pins the hardening: ending a handle beyond the
+// current slab (a recorder that outlived its Retain) must be ignored,
+// not crash.
+func TestEndPastSlabIsNoOp(t *testing.T) {
+	tr := New()
+	defer Release(tr)
+	tr.End(somethingStale)
+	tr.SetPrune(somethingStale, 1, 2, 3)
+	if w := tr.Export(); len(w.Spans) != 0 {
+		t.Errorf("stale End materialized a span: %+v", w)
+	}
+}
+
+const somethingStale = 17

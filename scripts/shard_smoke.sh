@@ -112,6 +112,60 @@ assert log["entries"][0]["endpoint"] == "/v1/topk", log["entries"][0]
 assert log["entries"][0]["traceId"], "slow entry lacks a trace id"
 EOF
 
+# --- Replicated shard failover -------------------------------------------
+# A second leaf holding the SAME document (same name, same content, same
+# ingest order) acts as a replica; a second router serves the pair as ONE
+# shard via the | syntax, with the doomed replica as primary. SIGKILLing
+# the primary must not take the router down: the query fails over to the
+# surviving replica and still answers exactly.
+REPLICA_PORT="${REPLICA_PORT:-18423}"
+REPL_ROUTER_PORT="${REPL_ROUTER_PORT:-18424}"
+
+"$WORKDIR/tasmd" -dir "$WORKDIR/replica-corpus" -addr "127.0.0.1:$REPLICA_PORT" &
+DOOMED_PID=$!
+PIDS+=($DOOMED_PID)
+wait_healthy "http://127.0.0.1:$REPLICA_PORT"
+curl -sf -X POST "http://127.0.0.1:$REPLICA_PORT/v1/docs" \
+  -H 'Content-Type: application/json' \
+  -d '{"name":"smoke","xml":"<r><rec><a>1</a><b>2</b></rec><rec><a>1</a></rec></r>"}' >/dev/null
+
+# -cache 0: the post-SIGKILL query must exercise the failover path, not
+# be answered from the result cache.
+"$WORKDIR/tasmd" -shards "http://127.0.0.1:$REPLICA_PORT|http://127.0.0.1:$LEAF_PORT" \
+  -addr "127.0.0.1:$REPL_ROUTER_PORT" -cache 0 &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:$REPL_ROUTER_PORT"
+
+# Sanity: the replicated router answers while both replicas are up.
+RESP="$(curl -sf -X POST "http://127.0.0.1:$REPL_ROUTER_PORT/v1/topk" \
+  -H 'Content-Type: application/json' \
+  -d '{"query":"{rec{a{1}}{b{2}}}","k":2}')"
+python3 - "$RESP" <<'EOF'
+import json, sys
+matches = json.loads(sys.argv[1])["matches"]
+assert len(matches) == 2, f"replicated router: want 2 matches, got {len(matches)}"
+assert matches[0]["dist"] == 0, matches[0]
+EOF
+
+# Kill the primary replica outright — no drain, no goodbye.
+kill -KILL "$DOOMED_PID"
+wait "$DOOMED_PID" 2>/dev/null || true
+
+RESP="$(curl -sf -X POST "http://127.0.0.1:$REPL_ROUTER_PORT/v1/topk" \
+  -H 'Content-Type: application/json' \
+  -d '{"query":"{rec{a{1}}{b{2}}}","k":2}')"
+echo "post-SIGKILL response: $RESP"
+python3 - "$RESP" <<'EOF'
+import json, sys
+resp = json.loads(sys.argv[1])
+matches = resp["matches"]
+assert len(matches) == 2, f"router lost results after replica SIGKILL: {len(matches)}"
+assert matches[0]["doc"] == "smoke" and matches[0]["dist"] == 0, matches[0]
+stats = resp["stats"]
+assert stats.get("retried") or stats.get("hedged"), \
+    f"failover left no retry/hedge trace in stats: {stats}"
+EOF
+
 # The router refuses ingests (leaf-only) ...
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$ROUTER_PORT/v1/docs" \
   -H 'Content-Type: application/json' -d '{"name":"x","xml":"<a/>"}')"
@@ -121,8 +175,11 @@ CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$ROUTER
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://127.0.0.1:$LEAF_PORT/v1/docs/smoke")"
 [ "$CODE" = "200" ] || { echo "FAIL: leaf delete returned $CODE, want 200" >&2; exit 1; }
 
-# Graceful shutdown: SIGTERM must terminate both processes promptly.
-kill -TERM "${PIDS[1]}" "${PIDS[0]}"
+# Graceful shutdown: SIGTERM must terminate every surviving process
+# promptly (the SIGKILLed replica is already gone).
+for pid in "${PIDS[@]}"; do
+  kill -TERM "$pid" 2>/dev/null || true
+done
 for pid in "${PIDS[@]}"; do
   for _ in $(seq 1 50); do
     kill -0 "$pid" 2>/dev/null || break
