@@ -92,32 +92,35 @@ func newBreaker(p BreakerPolicy) *breaker {
 	return &breaker{policy: p, now: time.Now}
 }
 
-// allow reports whether an attempt may proceed. In the open state it
-// starts the half-open transition once the cooldown has passed, letting
-// exactly one probe through; concurrent requests keep failing locally
-// until the probe settles.
-func (b *breaker) allow() bool {
+// allow reports whether an attempt may proceed, and whether the admitted
+// attempt is the half-open probe. In the open state it starts the
+// half-open transition once the cooldown has passed, letting exactly one
+// probe through; concurrent requests keep failing locally until the
+// probe settles. A caller admitted as the probe MUST settle it — with
+// success, failure, or noVerdict — on every exit path, or the breaker
+// wedges half-open refusing all future requests.
+func (b *breaker) allow() (ok, probe bool) {
 	if b == nil {
-		return true
+		return true, false
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.policy.Cooldown {
-			return false
+			return false, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	default: // half-open
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
 }
 
@@ -153,6 +156,27 @@ func (b *breaker) failure() {
 	if b.state == BreakerClosed && b.consecutive >= b.policy.Threshold {
 		b.state = BreakerOpen
 		b.openedAt = b.now()
+	}
+}
+
+// noVerdict settles an admitted attempt that ended without a verdict on
+// the shard's health — the caller cancelled it, or it failed before
+// reaching the network. probe is the flag allow returned for this
+// attempt. For the half-open probe this reverts the breaker to open,
+// keeping the openedAt the cooldown already elapsed against, so the very
+// next request is admitted as a fresh probe; without it a cancelled
+// probe would leave probing set forever and the breaker stuck half-open
+// refusing everything. For a non-probe attempt there is nothing to
+// settle: the failure streak only counts real verdicts.
+func (b *breaker) noVerdict(probe bool) {
+	if b == nil || !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing {
+		b.state = BreakerOpen
+		b.probing = false
 	}
 }
 

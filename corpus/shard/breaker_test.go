@@ -17,10 +17,16 @@ func newTestBreaker(p BreakerPolicy) (*breaker, *fakeClock) {
 	return b, clk
 }
 
+// allowOK is allow() for tests that only care about admission.
+func allowOK(b *breaker) bool {
+	ok, _ := b.allow()
+	return ok
+}
+
 func TestBreakerOpensAtThreshold(t *testing.T) {
 	b, _ := newTestBreaker(BreakerPolicy{Threshold: 3, Cooldown: time.Minute})
 	for i := 0; i < 2; i++ {
-		if !b.allow() {
+		if !allowOK(b) {
 			t.Fatalf("failure %d: breaker should still be closed", i)
 		}
 		b.failure()
@@ -28,14 +34,14 @@ func TestBreakerOpensAtThreshold(t *testing.T) {
 	if got := b.snapshot(); got != BreakerClosed {
 		t.Fatalf("after 2 failures: state %v, want closed", got)
 	}
-	if !b.allow() {
+	if !allowOK(b) {
 		t.Fatal("third attempt should be admitted")
 	}
 	b.failure()
 	if got := b.snapshot(); got != BreakerOpen {
 		t.Fatalf("after 3 consecutive failures: state %v, want open", got)
 	}
-	if b.allow() {
+	if allowOK(b) {
 		t.Fatal("open breaker admitted a request before the cooldown")
 	}
 }
@@ -53,17 +59,17 @@ func TestBreakerSuccessResetsStreak(t *testing.T) {
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	b, clk := newTestBreaker(BreakerPolicy{Threshold: 1, Cooldown: time.Minute})
 	b.failure()
-	if b.allow() {
+	if allowOK(b) {
 		t.Fatal("open breaker admitted a request")
 	}
 	clk.advance(time.Minute)
 	if got := b.snapshot(); got != BreakerHalfOpen {
 		t.Fatalf("after the cooldown: state %v, want half-open", got)
 	}
-	if !b.allow() {
+	if !allowOK(b) {
 		t.Fatal("cooldown passed: one probe must be admitted")
 	}
-	if b.allow() {
+	if allowOK(b) {
 		t.Fatal("second request admitted while the probe is in flight")
 	}
 
@@ -72,21 +78,51 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 	if got := b.snapshot(); got != BreakerOpen {
 		t.Fatalf("failed probe: state %v, want open", got)
 	}
-	if b.allow() {
+	if allowOK(b) {
 		t.Fatal("re-opened breaker admitted a request")
 	}
 
 	// A successful probe closes the breaker for good.
 	clk.advance(time.Minute)
-	if !b.allow() {
+	if !allowOK(b) {
 		t.Fatal("second probe not admitted")
 	}
 	b.success()
 	if got := b.snapshot(); got != BreakerClosed {
 		t.Fatalf("successful probe: state %v, want closed", got)
 	}
-	if !b.allow() || !b.allow() {
+	if !allowOK(b) || !allowOK(b) {
 		t.Fatal("closed breaker must admit everything")
+	}
+}
+
+// TestBreakerProbeNoVerdict: a half-open probe that ends without a
+// verdict (the caller cancelled it) reverts the breaker to open with its
+// original openedAt — the cooldown has already elapsed, so the very next
+// request is admitted as a fresh probe instead of the breaker wedging
+// half-open refusing everything forever.
+func TestBreakerProbeNoVerdict(t *testing.T) {
+	b, clk := newTestBreaker(BreakerPolicy{Threshold: 1, Cooldown: time.Minute})
+	b.failure()
+	clk.advance(time.Minute)
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow() = (%v, %v), want the half-open probe admitted", ok, probe)
+	}
+	b.noVerdict(probe)
+	ok, probe = b.allow()
+	if !ok || !probe {
+		t.Fatalf("after a no-verdict probe: allow() = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.success()
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("successful re-probe: state %v, want closed", got)
+	}
+
+	// A non-probe no-verdict settles nothing and never disturbs state.
+	b.noVerdict(false)
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("non-probe noVerdict moved state to %v", got)
 	}
 }
 
@@ -96,7 +132,7 @@ func TestBreakerDisabled(t *testing.T) {
 		t.Fatal("Threshold < 0 should disable the breaker (nil)")
 	}
 	// The nil breaker's methods are no-ops that always allow.
-	if !b.allow() {
+	if !allowOK(b) {
 		t.Fatal("nil breaker denied a request")
 	}
 	b.failure()

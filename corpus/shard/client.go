@@ -284,6 +284,11 @@ func (c *Client) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Q
 		Partial:    cfg.Partial,
 	}, &resp)
 	if err != nil {
+		// Retries burned by a failed request still happened: record them
+		// so a replica set losing this attempt keeps the accounting.
+		if cfg.Stats != nil {
+			c.recordAttempts(cfg.Stats, attempts)
+		}
 		return nil, err
 	}
 	qtrace.FromContext(ctx).AddChild(resp.Trace)
@@ -324,6 +329,9 @@ func (c *Client) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 		Partial:    cfg.Partial,
 	}, &resp)
 	if err != nil {
+		if cfg.Stats != nil {
+			c.recordAttempts(cfg.Stats, attempts)
+		}
 		return nil, err
 	}
 	qtrace.FromContext(ctx).AddChild(resp.Trace)
@@ -560,10 +568,11 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte,
 		if err := ctx.Err(); err != nil {
 			return attempt - 1, err
 		}
-		if !c.breaker.allow() {
+		ok, probe := c.breaker.allow()
+		if !ok {
 			return attempt - 1, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%w (skipping %s)", ErrBreakerOpen, c.name)}
 		}
-		retryable, err := c.attempt(ctx, method, url, body, hdr, out)
+		retryable, responded, err := c.attempt(ctx, method, url, body, hdr, out)
 		if err == nil {
 			c.breaker.success()
 			return attempt, nil
@@ -571,12 +580,22 @@ func (c *Client) roundTrip(ctx context.Context, method, url string, body []byte,
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The caller gave up (the per-attempt timeout never surfaces
 			// here — attempt maps it to a retryable failure): neither a
-			// breaker strike nor a retry.
+			// breaker strike nor a retry, and no verdict on the shard — a
+			// half-open probe reverts to open so the next request re-probes
+			// instead of the breaker wedging.
+			c.breaker.noVerdict(probe)
 			return attempt, err
 		}
 		if !retryable {
 			// Deterministic failures (4xx, scan errors, oversized
-			// responses) say nothing about the shard's liveness.
+			// responses) are not strikes — but when the shard answered at
+			// all it is alive, which settles a probe (and the failure
+			// streak) as success. A pre-network failure settles nothing.
+			if responded {
+				c.breaker.success()
+			} else {
+				c.breaker.noVerdict(probe)
+			}
 			return attempt, err
 		}
 		c.breaker.failure()
@@ -624,13 +643,15 @@ func sleepBackoff(ctx context.Context, d time.Duration) error {
 }
 
 // attempt executes one try of the request and reports whether its
-// failure is worth retrying: connect errors, a per-attempt timeout, a
+// failure is worth retrying — connect errors, a per-attempt timeout, a
 // torn response body and gateway-class 502/503/504 responses are
-// transient; everything else is deterministic. Transport failures and
-// 5xx responses map to *corpus.ScanError (backend-side state, named
-// after this client), 4xx responses to plain errors (the caller's
-// mistake travels back as such).
-func (c *Client) attempt(parent context.Context, method, url string, body []byte, hdr http.Header, out any) (retryable bool, err error) {
+// transient; everything else is deterministic — and whether the shard
+// responded at all (an HTTP response arrived, so the shard is alive; the
+// breaker settles a half-open probe on it). Transport failures and 5xx
+// responses map to *corpus.ScanError (backend-side state, named after
+// this client), 4xx responses to plain errors (the caller's mistake
+// travels back as such).
+func (c *Client) attempt(parent context.Context, method, url string, body []byte, hdr http.Header, out any) (retryable, responded bool, err error) {
 	ctx := parent
 	if c.retry.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -643,7 +664,7 @@ func (c *Client) attempt(parent context.Context, method, url string, body []byte
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -653,17 +674,17 @@ func (c *Client) attempt(parent context.Context, method, url string, body []byte
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return true, c.transportError(parent, ctx, err)
+		return true, false, c.transportError(parent, ctx, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, c.maxResp+1))
 	if err != nil {
 		// A mid-body connection reset: the shard (or the path to it) tore
 		// the response. Retryable — the next attempt gets a fresh body.
-		return true, c.transportError(parent, ctx, err)
+		return true, true, c.transportError(parent, ctx, err)
 	}
 	if int64(len(data)) > c.maxResp {
-		return false, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%w: body exceeds %d bytes", ErrResponseTooLarge, c.maxResp)}
+		return false, true, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%w: body exceeds %d bytes", ErrResponseTooLarge, c.maxResp)}
 	}
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
 		msg := strings.TrimSpace(string(data))
@@ -677,14 +698,14 @@ func (c *Client) attempt(parent context.Context, method, url string, body []byte
 			retry := resp.StatusCode == http.StatusBadGateway ||
 				resp.StatusCode == http.StatusServiceUnavailable ||
 				resp.StatusCode == http.StatusGatewayTimeout
-			return retry, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%s: %s", resp.Status, msg)}
+			return retry, true, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("%s: %s", resp.Status, msg)}
 		}
-		return false, fmt.Errorf("tasmd %s: %s: %s", c.name, resp.Status, msg)
+		return false, true, fmt.Errorf("tasmd %s: %s: %s", c.name, resp.Status, msg)
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return false, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("unparseable response: %w", err)}
+		return false, true, &corpus.ScanError{Shard: c.name, Err: fmt.Errorf("unparseable response: %w", err)}
 	}
-	return false, nil
+	return false, true, nil
 }
 
 // transportError classifies a failed attempt's transport error: the

@@ -183,6 +183,7 @@ func (rs *ReplicaSet) race(ctx context.Context, cfg *corpus.QueryConfig, call fu
 	var fault corpus.Stats // the race's own hedge/failover/breaker accounting
 	hedges := 0
 
+	var timer *time.Timer
 	var timerC <-chan time.Time
 	if n > 1 {
 		if rs.hedgeDelay <= 0 {
@@ -193,7 +194,7 @@ func (rs *ReplicaSet) race(ctx context.Context, cfg *corpus.QueryConfig, call fu
 				hedges++
 			}
 		} else {
-			timer := time.NewTimer(rs.hedgeDelay)
+			timer = time.NewTimer(rs.hedgeDelay)
 			defer timer.Stop()
 			timerC = timer.C
 		}
@@ -208,6 +209,13 @@ func (rs *ReplicaSet) race(ctx context.Context, cfg *corpus.QueryConfig, call fu
 				launched++
 				pending++
 				hedges++
+			}
+			// Re-arm for the next replica down the list: the fired channel
+			// is drained, so without a Reset the escalation would stop at
+			// the first hedge and leave later replicas reachable only
+			// through explicit failures.
+			if launched < n {
+				timer.Reset(rs.hedgeDelay)
 			} else {
 				timerC = nil
 			}
@@ -225,6 +233,10 @@ func (rs *ReplicaSet) race(ctx context.Context, cfg *corpus.QueryConfig, call fu
 				}
 				return a.res, nil
 			}
+			// The losing attempt's own fault accounting (retries it burned
+			// before failing) still happened: fold it into the race's
+			// accumulator so the winner's merged stats report it.
+			fault.MergeFault(&a.stats)
 			// The race's own cancellation of losers never reaches here as a
 			// verdict (we return on the first success); a context error
 			// therefore means the caller gave up.
@@ -333,7 +345,10 @@ func (rs *ReplicaSet) Generation() uint64 {
 }
 
 // NumDocs returns the first replica's cached document count (replicas
-// are interchangeable), falling over to the next on unknown.
+// are interchangeable), falling over to the next on unknown. A replica
+// without a cached count is a local searcher whose Docs() is an
+// in-memory listing; one whose listing comes back nil is skipped rather
+// than reported as a confident zero.
 func (rs *ReplicaSet) NumDocs() (int, bool) {
 	for i := range rs.replicas {
 		if nd, ok := rs.replicas[i].s.(interface{ NumDocs() (int, bool) }); ok {
@@ -342,7 +357,9 @@ func (rs *ReplicaSet) NumDocs() (int, bool) {
 			}
 			continue
 		}
-		return len(rs.replicas[i].s.Docs()), true
+		if docs := rs.replicas[i].s.Docs(); docs != nil {
+			return len(docs), true
+		}
 	}
 	return 0, false
 }

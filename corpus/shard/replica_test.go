@@ -148,6 +148,47 @@ func TestReplicaSetHedgeWinsCancelsLoser(t *testing.T) {
 	}
 }
 
+// TestReplicaSetHedgeEscalatesDownList: with the primary AND the first
+// hedge both stalled (slow, not failing), the hedge timer must re-arm
+// and keep escalating down the list — the third replica is reached
+// purely by delay and answers. On broken code the timer fires once and
+// the query hangs on the two stalled replicas forever.
+func TestReplicaSetHedgeEscalatesDownList(t *testing.T) {
+	leakCheck(t)
+	c := fixtureCorpus(t)
+	rs := shard.NewReplicaSet(
+		[]corpus.Searcher{newBlockingRecorder(), newBlockingRecorder(), c},
+		shard.WithHedgeDelay(time.Millisecond), shard.WithReplicaSetName("db0"))
+	q := tree.MustParse(dict.New(), replicaQuery)
+
+	done := make(chan struct{})
+	var stats corpus.Stats
+	var got []corpus.Match
+	var err error
+	go func() {
+		got, err = rs.TopK(context.Background(), q, 3, corpus.WithStats(&stats))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("delay-based escalation never reached the third replica")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.TopK(context.Background(), q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw, ng := normalize(t, want), normalize(t, got); nw != ng {
+		t.Fatalf("escalated answer differs from direct query:\n direct %s\n set    %s", nw, ng)
+	}
+	if stats.Hedges != 2 {
+		t.Fatalf("stats.Hedges = %d, want 2 (two timer-based hedges)", stats.Hedges)
+	}
+}
+
 // TestReplicaSetBatchHedge: the batch path hedges as one unit and the
 // loser unwinds — the same race plumbing serves TopKBatch.
 func TestReplicaSetBatchHedge(t *testing.T) {
@@ -313,6 +354,22 @@ func TestReplicaSetAllSkipped(t *testing.T) {
 	var se *corpus.ScanError
 	if !errors.As(err, &se) || se.Shard != "db2" {
 		t.Fatalf("err = %v, want ScanError naming db2", err)
+	}
+}
+
+// TestReplicaSetNumDocsSkipsNilListing: a replica whose listing is
+// unavailable (nil Docs, no cached count) must not be reported as a
+// confident zero — the set falls over to the next replica, and reports
+// unknown when none has a count.
+func TestReplicaSetNumDocsSkipsNilListing(t *testing.T) {
+	dead := &breakerSkippedSearcher{name: "dead"}
+	if n, ok := shard.NewReplicaSet([]corpus.Searcher{dead}).NumDocs(); ok {
+		t.Fatalf("NumDocs = (%d, true) with no listing anywhere, want unknown", n)
+	}
+	c := fixtureCorpus(t)
+	n, ok := shard.NewReplicaSet([]corpus.Searcher{dead, c}).NumDocs()
+	if !ok || n != len(c.Docs()) {
+		t.Fatalf("NumDocs = (%d, %v), want (%d, true) from the healthy replica", n, ok, len(c.Docs()))
 	}
 }
 

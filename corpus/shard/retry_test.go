@@ -342,6 +342,130 @@ func TestClientBreakerHalfOpenRecovery(t *testing.T) {
 	}
 }
 
+// TestClientBreakerProbeCancelDoesNotWedge: a half-open probe the caller
+// cancels mid-flight delivers no verdict — the breaker must revert to
+// open and admit the next query as a fresh probe, not sit half-open
+// refusing everything until a process restart.
+func TestClientBreakerProbeCancelDoesNotWedge(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{})
+	var once sync.Once
+	cl, _ := newFaultyClient(t,
+		func(r *http.Request, seq int) faultinject.Rule {
+			if r.URL.Path != "/v1/topk" {
+				return faultinject.Rule{}
+			}
+			switch calls.Add(1) {
+			case 1, 2:
+				return faultinject.Rule{Fault: faultinject.FaultStatus, Code: 503}
+			case 3:
+				once.Do(func() { close(started) })
+				return faultinject.Rule{Fault: faultinject.FaultHang}
+			default:
+				return faultinject.Rule{}
+			}
+		},
+		shard.WithRetryPolicy(shard.RetryPolicy{MaxAttempts: 1, BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond}),
+		shard.WithBreakerPolicy(shard.BreakerPolicy{Threshold: 2, Cooldown: time.Nanosecond}))
+	// Two failing queries (one attempt each) open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.TopK(context.Background(), testQuery(t), 1); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	// The cooldown has passed: the next query is the half-open probe. It
+	// hangs, and the caller gives up on it.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	q := testQuery(t)
+	go func() {
+		_, err := cl.TopK(ctx, q, 1)
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("probe err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled probe did not return within 5s")
+	}
+	// The backend now answers: the next query must be admitted as a fresh
+	// probe, succeed, and close the breaker.
+	if _, err := cl.TopK(context.Background(), testQuery(t), 1); err != nil {
+		t.Fatalf("query after cancelled probe: %v (breaker wedged half-open?)", err)
+	}
+	if st := cl.BreakerState(); st != shard.BreakerClosed {
+		t.Fatalf("breaker %v after successful re-probe, want closed", st)
+	}
+}
+
+// TestClientBreakerProbe4xxSettles: a half-open probe answered with a
+// deterministic 4xx proves the shard alive — the probe settles as a
+// success (the breaker closes) instead of leaving probing set forever.
+func TestClientBreakerProbe4xxSettles(t *testing.T) {
+	var calls atomic.Int64
+	cl, _ := newFaultyClient(t,
+		func(r *http.Request, seq int) faultinject.Rule {
+			if r.URL.Path != "/v1/topk" {
+				return faultinject.Rule{}
+			}
+			switch calls.Add(1) {
+			case 1, 2:
+				return faultinject.Rule{Fault: faultinject.FaultStatus, Code: 503}
+			case 3:
+				return faultinject.Rule{Fault: faultinject.FaultStatus, Code: 400}
+			default:
+				return faultinject.Rule{}
+			}
+		},
+		shard.WithRetryPolicy(shard.RetryPolicy{MaxAttempts: 1, BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond}),
+		shard.WithBreakerPolicy(shard.BreakerPolicy{Threshold: 2, Cooldown: time.Nanosecond}))
+	for i := 0; i < 2; i++ {
+		if _, err := cl.TopK(context.Background(), testQuery(t), 1); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	// The probe comes back 400: the shard answered, so it is alive.
+	if _, err := cl.TopK(context.Background(), testQuery(t), 1); err == nil {
+		t.Fatal("want the 400 to surface")
+	}
+	if st := cl.BreakerState(); st != shard.BreakerClosed {
+		t.Fatalf("breaker %v after 4xx-answered probe, want closed", st)
+	}
+	if _, err := cl.TopK(context.Background(), testQuery(t), 1); err != nil {
+		t.Fatalf("query after settled probe: %v", err)
+	}
+}
+
+// TestReplicaSetLoserClientRetriesAccounted: a primary that burns its
+// retry budget before failing over still reports those retries — the
+// client records attempts on its error path and the race folds the
+// losing attempt's fault accounting into the winner's merged stats.
+func TestReplicaSetLoserClientRetriesAccounted(t *testing.T) {
+	primary, _ := newFaultyClient(t,
+		failTopK(1<<30, faultinject.Rule{Fault: faultinject.FaultStatus, Code: 503}),
+		shard.WithName("deadPrimary"))
+	secondary, _ := newFaultyClient(t, nil, shard.WithName("healthy"))
+	rs := shard.NewReplicaSet([]corpus.Searcher{primary, secondary}, shard.WithHedgeDelay(time.Hour))
+	var stats corpus.Stats
+	if _, err := rs.TopK(context.Background(), testQuery(t), 1, corpus.WithStats(&stats)); err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if want := uint64(fastRetry.MaxAttempts - 1); stats.Retries != want {
+		t.Fatalf("stats.Retries = %d, want %d (the dead primary's burned retries)", stats.Retries, want)
+	}
+	found := false
+	for _, name := range stats.Retried {
+		found = found || name == "deadPrimary"
+	}
+	if !found {
+		t.Fatalf("stats.Retried = %v, want the dead primary named", stats.Retried)
+	}
+}
+
 // TestClientResponseTooLarge: a response over the cap fails with
 // ErrResponseTooLarge (wrapped in a ScanError), not a JSON decode
 // error, and is not retried.
