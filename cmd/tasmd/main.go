@@ -42,6 +42,10 @@
 //	DELETE /v1/docs/{name}  – remove a document: the manifest entry is
 //	                          tombstoned (ids never reused, caches stay
 //	                          valid) and the files GC'd best-effort (leaf only)
+//	POST   /v1/admin/verify – re-run the integrity scrub over the live
+//	                          corpus: checksums every referenced file and
+//	                          quarantines corrupt documents (leaf only;
+//	                          a router answers 501 — verify each shard)
 //	GET    /healthz         – liveness, document count, generation
 //	GET    /metrics         – Prometheus text-format counters: requests, cache
 //	                          hits, documents scanned/skipped, the candidate
@@ -104,6 +108,8 @@ func main() {
 		workers       = flag.Int("workers", 0, "default per-request worker pool (0 = sequential, -1 = GOMAXPROCS)")
 		maxK          = flag.Int("max-k", 10000, "largest k a request may ask for")
 		maxBatch      = flag.Int("max-batch", 1024, "largest number of queries one batch request may carry")
+		maxBodyBytes  = flag.Int64("max-body-bytes", defaultMaxBodyBytes, "largest request body accepted, in bytes; oversized bodies get 413")
+		verifyMode    = flag.String("verify", "scrub", "startup integrity check over the corpus files: scrub (quarantine corrupt documents), strict (refuse to start), off (orphan sweep only); leaf only")
 		drain         = flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests before cancelling them")
 		slowQuery     = flag.Duration("slow-query", 0, "record queries at least this slow in /debug/slowlog (0 disables)")
 		debugAddr     = flag.String("debug-addr", "", "listen address for net/http/pprof (empty disables; keep it private)")
@@ -117,14 +123,27 @@ func main() {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
+	var mode corpus.VerifyMode
+	switch *verifyMode {
+	case "scrub":
+		mode = corpus.VerifyScrub
+	case "strict":
+		mode = corpus.VerifyStrict
+	case "off":
+		mode = corpus.VerifyOff
+	default:
+		fmt.Fprintf(os.Stderr, "tasmd: invalid -verify %q (want scrub, strict, or off)\n", *verifyMode)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *dir, *shards, *hedgeDelay, *addr, *debugAddr, serverConfig{
+	if err := run(ctx, *dir, *shards, *hedgeDelay, *addr, *debugAddr, mode, serverConfig{
 		cacheSize:     *cacheSize,
 		maxConcurrent: *maxConcurrent,
 		workers:       *workers,
 		maxK:          *maxK,
 		maxBatch:      *maxBatch,
+		maxBodyBytes:  *maxBodyBytes,
 		slowQuery:     *slowQuery,
 		logger:        logger,
 	}, *drain); err != nil {
@@ -135,7 +154,7 @@ func main() {
 
 // run builds the backend selected by the flags and serves it until ctx is
 // cancelled (by signal) or the listener fails.
-func run(ctx context.Context, dir, shards string, hedgeDelay time.Duration, addr, debugAddr string, cfg serverConfig, drain time.Duration) error {
+func run(ctx context.Context, dir, shards string, hedgeDelay time.Duration, addr, debugAddr string, mode corpus.VerifyMode, cfg serverConfig, drain time.Duration) error {
 	if (dir == "") == (shards == "") {
 		return fmt.Errorf("exactly one of -dir and -shards is required")
 	}
@@ -148,12 +167,12 @@ func run(ctx context.Context, dir, shards string, hedgeDelay time.Duration, addr
 		ing corpus.Ingester
 	)
 	if dir != "" {
-		c, err := corpus.Open(dir)
+		c, err := corpus.Open(dir, corpus.WithLogger(logger), corpus.WithVerifyMode(mode))
 		if err != nil {
 			return err
 		}
 		src, ing = c, c
-		logger.Info("serving corpus", "dir", dir, "docs", c.Len(), "addr", addr)
+		logger.Info("serving corpus", "dir", dir, "docs", c.Len(), "quarantined", c.Quarantined(), "addr", addr)
 	} else {
 		replicas := 0
 		children := make([]corpus.Searcher, 0, 4)

@@ -118,6 +118,7 @@ type serverMetrics struct {
 	batchQueries  atomic.Uint64 // queries carried by batch requests
 	cacheHits     atomic.Uint64 // requests answered from the result cache
 	ingests       atomic.Uint64 // documents ingested
+	ingestErrors  atomic.Uint64 // ingest requests rejected or failed (oversized bodies included)
 	removes       atomic.Uint64 // documents removed
 	slowQueries   atomic.Uint64 // queries at or above the slow-query threshold
 	tracedQueries atomic.Uint64 // queries that requested a trace block (?trace=1)
@@ -178,6 +179,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"tasmd_topk_batch_queries_total", "counter", "Queries carried by batch top-k requests.", m.batchQueries.Load()},
 		{"tasmd_topk_cache_hits_total", "counter", "Requests answered from the result cache.", m.cacheHits.Load()},
 		{"tasmd_ingests_total", "counter", "Documents ingested.", m.ingests.Load()},
+		{"tasmd_ingest_errors_total", "counter", "Ingest requests rejected or failed (oversized bodies, malformed XML, duplicate names).", m.ingestErrors.Load()},
 		{"tasmd_removes_total", "counter", "Documents removed.", m.removes.Load()},
 		{"tasmd_slow_queries_total", "counter", "Queries that took at least the -slow-query threshold (recorded in /debug/slowlog).", m.slowQueries.Load()},
 		{"tasmd_traced_queries_total", "counter", "Queries that requested a per-response trace block (?trace=1).", m.tracedQueries.Load()},
@@ -203,6 +205,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// local corpus); a router's shards each export their own.
 	if d, ok := s.src.(interface{ DictLen() int }); ok {
 		fmt.Fprintf(w, "# HELP tasmd_dict_base_labels Labels in the frozen corpus base dictionary (grows only on ingest, never on queries).\n# TYPE tasmd_dict_base_labels gauge\ntasmd_dict_base_labels %d\n", d.DictLen())
+	}
+	// The quarantine gauge likewise exists only for backends with local
+	// files: it reports the corpus's lifetime count of documents its
+	// integrity scrub removed from serving. Alert on it being non-zero.
+	if q, ok := s.src.(interface{ Quarantined() int }); ok {
+		fmt.Fprintf(w, "# HELP tasmd_quarantined_docs Documents quarantined by the integrity scrub (files preserved under quarantine/; non-zero means data loss pending operator action).\n# TYPE tasmd_quarantined_docs gauge\ntasmd_quarantined_docs %d\n", q.Quarantined())
 	}
 	m.topkLatency.write(w, "tasmd_topk_latency_seconds", "Per-request latency of POST /v1/topk (cache hits included).")
 	m.batchLatency.write(w, "tasmd_topk_batch_latency_seconds", "Per-request latency of POST /v1/topk-batch (cache hits included).")

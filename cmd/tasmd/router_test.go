@@ -206,17 +206,17 @@ func TestRunFlagParsing(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	err := run(ctx, "", "http://127.0.0.1:1|http://127.0.0.1:2, http://127.0.0.1:3", time.Millisecond,
-		"127.0.0.1:0", "", serverConfig{}, time.Millisecond)
+		"127.0.0.1:0", "", corpus.VerifyScrub, serverConfig{}, time.Millisecond)
 	if err != nil {
 		t.Fatalf("replica syntax: %v", err)
 	}
-	if err := run(ctx, "", "://bad", 0, "127.0.0.1:0", "", serverConfig{}, time.Millisecond); err == nil {
+	if err := run(ctx, "", "://bad", 0, "127.0.0.1:0", "", corpus.VerifyScrub, serverConfig{}, time.Millisecond); err == nil {
 		t.Fatal("invalid shard URL accepted")
 	}
-	if err := run(ctx, "", "", 0, "127.0.0.1:0", "", serverConfig{}, time.Millisecond); err == nil {
+	if err := run(ctx, "", "", 0, "127.0.0.1:0", "", corpus.VerifyScrub, serverConfig{}, time.Millisecond); err == nil {
 		t.Fatal("neither -dir nor -shards accepted")
 	}
-	if err := run(ctx, t.TempDir(), "http://x", 0, "127.0.0.1:0", "", serverConfig{}, time.Millisecond); err == nil {
+	if err := run(ctx, t.TempDir(), "http://x", 0, "127.0.0.1:0", "", corpus.VerifyScrub, serverConfig{}, time.Millisecond); err == nil {
 		t.Fatal("both -dir and -shards accepted")
 	}
 }

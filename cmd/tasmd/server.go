@@ -18,13 +18,16 @@ import (
 	"tasm/internal/xmlstream"
 )
 
-// maxBodyBytes caps request bodies: queries are small, and ingested
-// documents beyond this belong on the filesystem next to the corpus, not
-// in an HTTP body.
-const maxBodyBytes = 64 << 20
+// defaultMaxBodyBytes caps request bodies when -max-body-bytes is not
+// given: queries are small, and ingested documents beyond this belong on
+// the filesystem next to the corpus, not in an HTTP body.
+const defaultMaxBodyBytes = 64 << 20
 
 // serverConfig tunes the daemon.
 type serverConfig struct {
+	// maxBodyBytes caps every request body; overflowing it is a 413.
+	// ≤ 0 means defaultMaxBodyBytes.
+	maxBodyBytes int64
 	// cacheSize bounds the (query, k) result LRU; ≤ 0 disables caching.
 	cacheSize int
 	// maxConcurrent bounds in-flight top-k computations; ≤ 0 means
@@ -85,6 +88,9 @@ func newServer(src corpus.Searcher, ing corpus.Ingester, cfg serverConfig) http.
 	if cfg.maxBatch <= 0 {
 		cfg.maxBatch = 1024
 	}
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = defaultMaxBodyBytes
+	}
 	logger := cfg.logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -105,6 +111,7 @@ func newServer(src corpus.Searcher, ing corpus.Ingester, cfg serverConfig) http.
 	mux.HandleFunc("POST /v1/docs", s.handleIngest)
 	mux.HandleFunc("GET /v1/docs", s.handleListDocs)
 	mux.HandleFunc("DELETE /v1/docs/{name}", s.handleRemove)
+	mux.HandleFunc("POST /v1/admin/verify", s.handleVerify)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
@@ -203,9 +210,13 @@ type topkStats struct {
 	// Dictionary accounting: the frozen corpus dictionary's size and the
 	// request-local labels the query overlay held (released with the
 	// request; see corpus.Stats).
-	BaseDictLabels int  `json:"baseDictLabels"`
-	OverlayLabels  int  `json:"overlayLabels"`
-	Cached         bool `json:"cached"`
+	BaseDictLabels int `json:"baseDictLabels"`
+	OverlayLabels  int `json:"overlayLabels"`
+	// Quarantined is the backend's lifetime count of documents its
+	// integrity scrub removed from serving (summed across shards on a
+	// router); non-zero means results are exact over a reduced corpus.
+	Quarantined int  `json:"quarantined,omitempty"`
+	Cached      bool `json:"cached"`
 	// Fault-tolerance accounting of a router run (see corpus.Stats):
 	// retry/hedge totals and, by shard name, who was retried, hedged,
 	// skipped by an open breaker, or degraded out of a partial answer.
@@ -227,6 +238,7 @@ func statsOf(stats *corpus.Stats) topkStats {
 		Evaluated:      stats.Evaluated,
 		BaseDictLabels: stats.BaseDictLabels,
 		OverlayLabels:  stats.OverlayLabels,
+		Quarantined:    stats.Quarantined,
 		Retries:        stats.Retries,
 		Hedges:         stats.Hedges,
 		Retried:        stats.Retried,
@@ -248,11 +260,11 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.topkLatency.observe(time.Since(start)) }()
 	var req topkRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		httpError(w, bodyErrStatus(err), "invalid JSON body: %v", err)
 		return
 	}
 	if (req.Query == "") == (req.QueryXML == "") {
@@ -437,11 +449,11 @@ func (s *server) handleTopKBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.metrics.batchLatency.observe(time.Since(start)) }()
 	var req topkBatchRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		httpError(w, bodyErrStatus(err), "invalid JSON body: %v", err)
 		return
 	}
 	if len(req.Queries) == 0 {
@@ -612,7 +624,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			"this tasmd serves a shard group and is read-only; ingest into the shard that should own the document")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	var name string
 	var xml io.Reader
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
@@ -620,7 +632,8 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(body)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+			s.metrics.ingestErrors.Add(1)
+			httpError(w, bodyErrStatus(err), "invalid JSON body: %v", err)
 			return
 		}
 		name, xml = req.Name, strings.NewReader(req.XML)
@@ -628,13 +641,21 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		name, xml = r.URL.Query().Get("name"), body
 	}
 	if name == "" {
+		s.metrics.ingestErrors.Add(1)
 		httpError(w, http.StatusBadRequest, "document name is required (JSON field \"name\" or ?name=)")
 		return
 	}
 	info, err := s.ing.AddXML(name, xml)
 	if err != nil {
+		s.metrics.ingestErrors.Add(1)
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "already exists") {
+		var tooLarge *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooLarge):
+			// The XML streamed straight from the capped body; mid-parse
+			// overflow surfaces here, wrapped in the parse error.
+			status = http.StatusRequestEntityTooLarge
+		case strings.Contains(err.Error(), "already exists"):
 			status = http.StatusConflict
 		}
 		httpError(w, status, "%v", err)
@@ -642,6 +663,55 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.ingests.Add(1)
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// bodyErrStatus distinguishes a request body that overflowed the
+// -max-body-bytes cap (413, the client should not retry as-is) from a
+// merely malformed one (400).
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// verifier is the optional backend interface behind POST
+// /v1/admin/verify; *corpus.Corpus implements it. Routers do not — each
+// leaf scrubs its own disk.
+type verifier interface {
+	Verify() (corpus.VerifyReport, error)
+}
+
+// handleVerify serves POST /v1/admin/verify: an on-demand integrity
+// scrub of the backing corpus. Corrupt documents are quarantined and
+// reported; the response's quarantinedTotal is the corpus's lifetime
+// count (also exported as the tasmd_quarantined_docs gauge).
+func (s *server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.src.(verifier)
+	if !ok {
+		httpError(w, http.StatusNotImplemented,
+			"this tasmd serves a shard group with no local files; verify each shard directly")
+		return
+	}
+	rep, err := v.Verify()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "verify: %v", err)
+		return
+	}
+	quarantined := rep.Quarantined
+	if quarantined == nil {
+		quarantined = []string{}
+	}
+	total := 0
+	if q, ok := s.src.(interface{ Quarantined() int }); ok {
+		total = q.Quarantined()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checked":          rep.Checked,
+		"quarantined":      quarantined,
+		"quarantinedTotal": total,
+	})
 }
 
 // handleRemove serves DELETE /v1/docs/{name}: the manifest entry is

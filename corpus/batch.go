@@ -137,6 +137,7 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
 	stats.BaseDictLabels = st.base.Len()
 	stats.OverlayLabels = ov.Added()
+	stats.Quarantined = st.quarantined
 	if cfg.Stats != nil {
 		*cfg.Stats = stats
 	}

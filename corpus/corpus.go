@@ -11,14 +11,35 @@
 //
 // # Profile file format
 //
-// All integers are unsigned LEB128 varints:
+// Since PR 8 profiles are written inside a checksummed container (v2):
+//
+//	magic "TASMPR2\n"
+//	payload (the legacy v1 profile format below)
+//	crc32c — 4-byte little-endian CRC-32C trailer over magic + payload
+//
+// The payload, and the entire pre-PR-8 profile file format (still
+// readable), is, with all integers unsigned LEB128 varints:
 //
 //	pq-gram profile as written by pqgram.(*Profile).Write:
 //	    magic "TASMPF1\n", p, q, gramCount, gramCount × (hash, mult)
 //	labelCount, then labelCount × (byteLen, bytes, count)
 //
 // The label histogram maps each distinct label to its number of
-// occurrences in the document.
+// occurrences in the document. Legacy files are distinguished by their
+// leading "TASMPF1\n" pqgram magic.
+//
+// # Durability and integrity
+//
+// Every file commit — store, profile, manifest — goes through the
+// atomicio protocol (temp file, fsync, rename, parent directory fsync),
+// so a crash at any instant leaves each path either at its previous
+// content or its new content, never torn. Open sweeps orphaned temp
+// files and unreferenced store/profile files left by crashes, then (per
+// WithVerifyMode) checksums every referenced file; documents that fail
+// verification are quarantined — their files are moved to the corpus's
+// quarantine/ directory and the manifest is rewritten without them under
+// a bumped generation — so one rotted file costs one document, not the
+// corpus. See Verify for the on-demand scrub.
 //
 // # Dictionary lifecycle
 //
@@ -64,13 +85,18 @@ package corpus
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
+	"tasm/internal/atomicio"
 	"tasm/internal/cost"
 	"tasm/internal/dict"
 	"tasm/internal/docstore"
@@ -86,6 +112,18 @@ const manifestFile = "manifest.json"
 
 // docsDir is the subdirectory holding store and profile files.
 const docsDir = "docs"
+
+// quarantineDir is the subdirectory corrupt documents' files are moved
+// to. Nothing in it is ever read or deleted by the corpus: it exists for
+// operators to inspect, restore from backup, or discard.
+const quarantineDir = "quarantine"
+
+// profileMagicV2 marks the checksummed profile container; legacy profile
+// files start directly with the pqgram payload magic "TASMPF1\n".
+const profileMagicV2 = "TASMPR2\n"
+
+// crcTable is CRC-32C (Castagnoli), matching the docstore trailer.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // DocInfo describes one corpus document (the manifest entry).
 type DocInfo = docstore.ManifestDoc
@@ -109,6 +147,45 @@ func WithPQ(p, q int) Option {
 	return func(c *Corpus) { c.p, c.q = p, q }
 }
 
+// VerifyMode selects what Open does about file integrity.
+type VerifyMode int
+
+const (
+	// VerifyScrub (the default) checksums every referenced store and
+	// profile file at Open and quarantines documents that fail — the
+	// corpus opens and serves exact results over the surviving set.
+	VerifyScrub VerifyMode = iota
+	// VerifyStrict fails Open on the first corrupt document instead of
+	// quarantining — for operators who want a damaged corpus to refuse to
+	// serve rather than silently shrink.
+	VerifyStrict
+	// VerifyOff skips content verification at Open (the orphan sweep
+	// still runs; it is part of crash recovery, not integrity checking).
+	VerifyOff
+)
+
+// WithVerifyMode selects the Open-time integrity behaviour (default
+// VerifyScrub). The explicit Verify method always scrubs, regardless of
+// mode.
+func WithVerifyMode(m VerifyMode) Option {
+	return func(c *Corpus) { c.mode = m }
+}
+
+// WithLogger sets the logger for scrub and quarantine warnings (default
+// slog.Default()).
+func WithLogger(l *slog.Logger) Option {
+	return func(c *Corpus) { c.log = l }
+}
+
+// WithFS substitutes the filesystem used for durable commits — the
+// crash-injection seam. Production corpora use atomicio.OS; tests wrap
+// it in a crashinject.Injector to script a crash at every commit step.
+// Reads are not routed through fs: a crashed process's recovery path is
+// exercised by reopening with the real filesystem.
+func WithFS(fs atomicio.FS) Option {
+	return func(c *Corpus) { c.fs = fs }
+}
+
 // Corpus is an open corpus directory. It is safe for concurrent use:
 // queries may run while documents are ingested, and ingests are
 // serialized internally. The read path of a query never locks the label
@@ -118,6 +195,9 @@ type Corpus struct {
 	dir   string
 	model cost.Model
 	p, q  int
+	fs    atomicio.FS
+	log   *slog.Logger
+	mode  VerifyMode
 
 	mu       sync.RWMutex
 	man      *docstore.Manifest
@@ -146,9 +226,10 @@ type docProfile struct {
 // profile id resolves in base and every overlay id above base's watermark
 // is guaranteed fresh with respect to the captured documents.
 type snapshot struct {
-	docs     []DocInfo
-	profiles map[int]*docProfile
-	base     *dict.Base
+	docs        []DocInfo
+	profiles    map[int]*docProfile
+	base        *dict.Base
+	quarantined int
 }
 
 // snapshot captures the current corpus state for one query run.
@@ -161,17 +242,20 @@ func (c *Corpus) snapshot() snapshot {
 	for id, p := range c.profiles {
 		profiles[id] = p
 	}
-	return snapshot{docs: docs, profiles: profiles, base: c.dict}
+	return snapshot{docs: docs, profiles: profiles, base: c.dict, quarantined: c.man.Quarantined}
 }
 
 // Open opens the corpus directory dir, creating it (and an empty
-// manifest) if it does not exist, and loads the profile index.
+// manifest) if it does not exist, sweeps crash debris, verifies file
+// integrity (per WithVerifyMode), and loads the profile index.
 func Open(dir string, opts ...Option) (*Corpus, error) {
 	c := &Corpus{
 		dir:      dir,
 		model:    cost.Unit{},
 		p:        2,
 		q:        3,
+		fs:       atomicio.OS,
+		log:      slog.Default(),
 		profiles: map[int]*docProfile{},
 	}
 	for _, o := range opts {
@@ -188,7 +272,7 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 	switch {
 	case os.IsNotExist(err):
 		man = docstore.NewManifest(c.p, c.q)
-		if err := docstore.WriteManifest(manPath, man); err != nil {
+		if err := docstore.WriteManifestFS(c.fs, manPath, man); err != nil {
 			return nil, err
 		}
 	case err != nil:
@@ -198,20 +282,219 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 	}
 	c.man = man
 	c.gen = man.Generation
+	// Crash recovery: a crash can strand temp files and committed store or
+	// profile files whose manifest commit never happened. The manifest is
+	// the source of truth, so anything it does not reference is debris.
+	c.sweepOrphans()
+	if c.mode != VerifyOff {
+		if _, err := c.verifyLocked(c.mode == VerifyStrict); err != nil {
+			return nil, err
+		}
+	}
 	base := dict.New()
-	for _, d := range man.Docs {
+	for _, d := range c.man.Docs {
 		p, err := c.loadProfile(base, d)
 		if err != nil {
-			// A missing or corrupt profile degrades that one document to
-			// unfiltered scanning (query.go records it in Stats.Unprofiled)
-			// rather than making the whole corpus unopenable: profiles are
-			// a derived index, not source data.
+			// A missing or (under VerifyOff) unreadable profile degrades
+			// that one document to unfiltered scanning (query.go records it
+			// in Stats.Unprofiled) rather than making the whole corpus
+			// unopenable: profiles are a derived index, not source data.
+			// Corrupt profiles never reach this point under VerifyScrub —
+			// the scrub above has already quarantined those documents.
 			continue
 		}
 		c.profiles[d.ID] = p
 	}
 	c.dict = base.Freeze()
 	return c, nil
+}
+
+// sweepOrphans removes crash debris: atomicio temp files anywhere in the
+// corpus, legacy manifest temp files, and files in docs/ the manifest
+// does not reference (a crash between a file commit and its manifest
+// commit, or a failed unlink after a removal). Only called while the
+// corpus is unpublished (Open) or under mu.
+func (c *Corpus) sweepOrphans() {
+	removed := 0
+	if ents, err := os.ReadDir(c.dir); err == nil {
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), atomicio.TempPrefix) || strings.HasPrefix(e.Name(), ".manifest-") {
+				if os.Remove(filepath.Join(c.dir, e.Name())) == nil {
+					removed++
+				}
+			}
+		}
+	}
+	ref := make(map[string]bool, 2*len(c.man.Docs))
+	for _, d := range c.man.Docs {
+		ref[filepath.Base(d.Store)] = true
+		ref[filepath.Base(d.Profile)] = true
+	}
+	if ents, err := os.ReadDir(filepath.Join(c.dir, docsDir)); err == nil {
+		for _, e := range ents {
+			if e.IsDir() || ref[e.Name()] {
+				continue
+			}
+			if os.Remove(filepath.Join(c.dir, docsDir, e.Name())) == nil {
+				removed++
+			}
+		}
+	}
+	if removed > 0 {
+		c.log.Warn("corpus: swept orphaned files left by an interrupted operation",
+			"dir", c.dir, "removed", removed)
+	}
+}
+
+// VerifyReport summarizes one integrity scrub.
+type VerifyReport struct {
+	// Checked is the number of documents whose files were verified.
+	Checked int
+	// Quarantined lists the names of documents this pass quarantined.
+	Quarantined []string
+}
+
+// errProfileMissing marks a document whose profile file does not exist —
+// a degradation (unfiltered scan), not corruption, so it never
+// quarantines; see the dictionary-lifecycle notes on Open.
+var errProfileMissing = errors.New("profile file missing")
+
+// Verify scrubs every document in the corpus: each store and profile
+// file is read whole, its CRC-32C trailer verified, and its payload
+// structurally parsed. Documents that fail are quarantined — files moved
+// to quarantine/, manifest rewritten without them under a bumped
+// generation — and reported. In-flight queries that snapshotted the
+// corpus earlier are undisturbed; the shared dictionary is not shrunk
+// (as with Remove).
+func (c *Corpus) Verify() (VerifyReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verifyLocked(false)
+}
+
+// verifyLocked runs the scrub with mu held (or the corpus unpublished,
+// during Open). In strict mode the first corrupt document is an error
+// and nothing is quarantined.
+func (c *Corpus) verifyLocked(strict bool) (VerifyReport, error) {
+	var rep VerifyReport
+	var doomed []DocInfo
+	for _, d := range c.man.Docs {
+		rep.Checked++
+		err := c.checkDoc(d)
+		if err == nil || errors.Is(err, errProfileMissing) {
+			continue
+		}
+		if strict {
+			return rep, fmt.Errorf("corpus: document %q failed verification: %w", d.Name, err)
+		}
+		c.log.Warn("corpus: quarantining corrupt document",
+			"dir", c.dir, "doc", d.Name, "id", d.ID, "err", err)
+		doomed = append(doomed, d)
+		rep.Quarantined = append(rep.Quarantined, d.Name)
+	}
+	if len(doomed) > 0 {
+		if err := c.quarantineLocked(doomed); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// checkDoc verifies one document's files. A nil return means both files
+// are intact; errProfileMissing means the store is intact and the
+// profile file is absent; anything else is corruption.
+func (c *Corpus) checkDoc(d DocInfo) error {
+	data, err := os.ReadFile(filepath.Join(c.dir, d.Store))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := docstore.Verify(data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	pdata, err := os.ReadFile(filepath.Join(c.dir, d.Profile))
+	if os.IsNotExist(err) {
+		return errProfileMissing
+	}
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	payload, err := profilePayload(pdata)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	// Structural parse into a throwaway dictionary: checksum-valid (or
+	// legacy, checksum-less) bytes must also decode, or the document
+	// cannot serve.
+	if _, err := c.parseProfile(dict.New(), d, payload); err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	return nil
+}
+
+// quarantineLocked moves the doomed documents' files into quarantine/
+// and commits a manifest without them. File moves happen first: if the
+// process dies between move and manifest commit, the next Open finds
+// the stores missing and re-quarantines the same documents — the two
+// orders converge, one of them needs no special casing.
+func (c *Corpus) quarantineLocked(doomed []DocInfo) error {
+	qdir := filepath.Join(c.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	dead := make(map[int]bool, len(doomed))
+	for _, d := range doomed {
+		dead[d.ID] = true
+		// Best-effort: a file may already be missing (that can be why the
+		// document is being quarantined).
+		os.Rename(filepath.Join(c.dir, d.Store), filepath.Join(qdir, filepath.Base(d.Store)))
+		os.Rename(filepath.Join(c.dir, d.Profile), filepath.Join(qdir, filepath.Base(d.Profile)))
+	}
+	man := *c.man
+	man.Docs = make([]DocInfo, 0, len(c.man.Docs)-len(doomed))
+	for _, d := range c.man.Docs {
+		if !dead[d.ID] {
+			man.Docs = append(man.Docs, d)
+		}
+	}
+	man.Generation = c.gen + 1
+	man.Quarantined = c.man.Quarantined + len(doomed)
+	if err := docstore.WriteManifestFS(c.fs, filepath.Join(c.dir, manifestFile), &man); err != nil {
+		return err
+	}
+	c.man = &man
+	c.gen = man.Generation
+	for id := range dead {
+		delete(c.profiles, id)
+	}
+	return nil
+}
+
+// Quarantined returns the number of documents quarantined over the
+// corpus's lifetime, as recorded in the manifest.
+func (c *Corpus) Quarantined() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.man.Quarantined
+}
+
+// profilePayload validates a profile file image's container and returns
+// the inner payload. v2 containers have their CRC-32C trailer verified
+// (any single flipped byte is detected) and stripped; legacy files —
+// recognized by their leading pqgram payload magic — pass through, their
+// only check being the structural parse the caller performs.
+func profilePayload(data []byte) ([]byte, error) {
+	if len(data) >= len(profileMagicV2) && string(data[:len(profileMagicV2)]) == profileMagicV2 {
+		if len(data) < len(profileMagicV2)+4 {
+			return nil, fmt.Errorf("v2 profile of %d bytes is too short for a checksum trailer", len(data))
+		}
+		body := data[:len(data)-4]
+		want := binary.LittleEndian.Uint32(data[len(data)-4:])
+		if got := crc32.Checksum(body, crcTable); got != want {
+			return nil, fmt.Errorf("%w: crc32c %08x, trailer says %08x", docstore.ErrChecksum, got, want)
+		}
+		return data[len(profileMagicV2) : len(data)-4], nil
+	}
+	return data, nil
 }
 
 // Dir returns the corpus directory.
@@ -352,6 +635,10 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 		Store:     filepath.Join(docsDir, fmt.Sprintf("%d.store", id)),
 		Profile:   filepath.Join(docsDir, fmt.Sprintf("%d.profile", id)),
 	}
+	// Until the manifest commits below, the store and profile files are
+	// unreferenced — so every error path unlinks whatever this ingest has
+	// committed so far, rather than leaving debris for the next Open's
+	// sweep. (A crash still leaves debris; the sweep remains the backstop.)
 	if err := c.writeFile(info.Store, func(w io.Writer) error {
 		return docstore.WriteItems(w, nd, postorder.Items(t))
 	}); err != nil {
@@ -360,6 +647,7 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 	if err := c.writeFile(info.Profile, func(w io.Writer) error {
 		return writeProfile(w, nd, grams, labels)
 	}); err != nil {
+		c.removeFiles(info.Store)
 		return DocInfo{}, err
 	}
 
@@ -367,7 +655,8 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 	man.Docs = append(append([]DocInfo{}, c.man.Docs...), info)
 	man.NextID = id + 1
 	man.Generation = c.gen + 1
-	if err := docstore.WriteManifest(filepath.Join(c.dir, manifestFile), &man); err != nil {
+	if err := docstore.WriteManifestFS(c.fs, filepath.Join(c.dir, manifestFile), &man); err != nil {
+		c.removeFiles(info.Store, info.Profile)
 		return DocInfo{}, err
 	}
 	c.man = &man
@@ -410,7 +699,7 @@ func (c *Corpus) Remove(name string) error {
 	man := *c.man
 	man.Docs = append(append([]DocInfo{}, c.man.Docs[:idx]...), c.man.Docs[idx+1:]...)
 	man.Generation = c.gen + 1
-	if err := docstore.WriteManifest(filepath.Join(c.dir, manifestFile), &man); err != nil {
+	if err := docstore.WriteManifestFS(c.fs, filepath.Join(c.dir, manifestFile), &man); err != nil {
 		return err
 	}
 	c.man = &man
@@ -418,41 +707,38 @@ func (c *Corpus) Remove(name string) error {
 	c.gen = man.Generation
 
 	// Best-effort file GC: the manifest no longer references the files, so
-	// a failed unlink merely leaks disk until the next Remove of the same
-	// name... which cannot happen (names are gone) — so report nothing and
-	// leave orphans for operators; the manifest is the source of truth.
-	os.Remove(filepath.Join(c.dir, doomed.Store))
-	os.Remove(filepath.Join(c.dir, doomed.Profile))
+	// a failed unlink merely leaks disk until the next Open's orphan sweep
+	// collects it; the manifest is the source of truth.
+	c.removeFiles(doomed.Store, doomed.Profile)
 	return nil
 }
 
-// writeFile writes a corpus-relative file atomically (temp + rename).
+// writeFile durably commits a corpus-relative file through the atomicio
+// protocol against the corpus's (possibly crash-injected) filesystem.
 func (c *Corpus) writeFile(rel string, fill func(io.Writer) error) error {
-	path := filepath.Join(c.dir, rel)
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return err
-	}
-	if err := fill(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicio.WriteFile(c.fs, filepath.Join(c.dir, rel), fill)
 }
 
-// writeProfile serializes a document's profile file: the pq-gram profile
-// followed by the label histogram, with labels resolved in d.
+// removeFiles best-effort unlinks corpus-relative files — the cleanup of
+// AddTree's error paths. Failures are ignored: the manifest does not
+// reference these files, so anything left behind is debris the next
+// Open's orphan sweep collects.
+func (c *Corpus) removeFiles(rels ...string) {
+	for _, rel := range rels {
+		c.fs.Remove(filepath.Join(c.dir, rel))
+	}
+}
+
+// writeProfile serializes a document's profile file: the v2 container
+// magic, the pq-gram profile, the label histogram, and the CRC-32C
+// trailer, with labels resolved in d.
 func writeProfile(w io.Writer, d dict.Dict, grams *pqgram.Profile, labels map[int]int) error {
-	if err := grams.Write(w); err != nil {
+	h := crc32.New(crcTable)
+	mw := io.MultiWriter(w, h)
+	if _, err := io.WriteString(mw, profileMagicV2); err != nil {
+		return err
+	}
+	if err := grams.Write(mw); err != nil {
 		return err
 	}
 	var buf bytes.Buffer
@@ -474,7 +760,14 @@ func writeProfile(w io.Writer, d dict.Dict, grams *pqgram.Profile, labels map[in
 		buf.WriteString(label)
 		varint.Write(&buf, uint64(labels[id]))
 	}
-	_, err := w.Write(buf.Bytes())
+	if _, err := mw.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	// The trailer covers everything hashed so far and goes straight to w:
+	// it must not feed back into the hash.
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+	_, err := w.Write(trailer[:])
 	return err
 }
 
@@ -482,12 +775,21 @@ func writeProfile(w io.Writer, d dict.Dict, grams *pqgram.Profile, labels map[in
 // interning its labels into base (the corpus dictionary under
 // construction at Open).
 func (c *Corpus) loadProfile(base *dict.Base, d DocInfo) (*docProfile, error) {
-	f, err := os.Open(filepath.Join(c.dir, d.Profile))
+	data, err := os.ReadFile(filepath.Join(c.dir, d.Profile))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+	payload, err := profilePayload(data)
+	if err != nil {
+		return nil, err
+	}
+	return c.parseProfile(base, d, payload)
+}
+
+// parseProfile decodes a profile payload (container already stripped),
+// interning its labels into base.
+func (c *Corpus) parseProfile(base *dict.Base, d DocInfo, payload []byte) (*docProfile, error) {
+	br := bufio.NewReader(bytes.NewReader(payload))
 	grams, err := pqgram.ReadProfile(br)
 	if err != nil {
 		return nil, err

@@ -41,6 +41,14 @@ type Stats struct {
 	// bound is 0 and they sort to the end of the scan order — so results
 	// stay exact while the degradation is visible to operators.
 	Unprofiled int
+	// Quarantined is the number of documents the integrity scrub has
+	// removed from this backend's serving set (files moved to the corpus
+	// quarantine directory after failing checksum verification). It
+	// counts lifetime quarantines recorded in the manifest, not per-query
+	// work: a non-zero value means the corpus is serving exact results
+	// over a smaller document set until an operator restores or re-ingests
+	// the lost documents.
+	Quarantined int
 	// HistSkipped is the number of candidate subtrees (within scanned
 	// documents) skipped whole by the per-candidate label-histogram lower
 	// bound — the candidate-scope analogue of Skipped.
@@ -341,6 +349,7 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 	stats.HistSkipped, stats.TEDAborted, stats.Evaluated = prune.Snapshot()
 	stats.BaseDictLabels = st.base.Len()
 	stats.OverlayLabels = ov.Added()
+	stats.Quarantined = st.quarantined
 	if cfg.Stats != nil {
 		*cfg.Stats = stats
 	}

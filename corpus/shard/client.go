@@ -226,6 +226,7 @@ type wireStats struct {
 	Evaluated      uint64   `json:"evaluated"`
 	BaseDictLabels int      `json:"baseDictLabels"`
 	OverlayLabels  int      `json:"overlayLabels"`
+	Quarantined    int      `json:"quarantined,omitempty"`
 	Retries        uint64   `json:"retries,omitempty"`
 	Hedges         uint64   `json:"hedges,omitempty"`
 	Retried        []string `json:"retried,omitempty"`
@@ -244,6 +245,7 @@ func (s *wireStats) stats() corpus.Stats {
 		Evaluated:      s.Evaluated,
 		BaseDictLabels: s.BaseDictLabels,
 		OverlayLabels:  s.OverlayLabels,
+		Quarantined:    s.Quarantined,
 		Retries:        s.Retries,
 		Hedges:         s.Hedges,
 		Retried:        s.Retried,

@@ -251,17 +251,18 @@ func TestGroupDocsAndGeneration(t *testing.T) {
 // with a *corpus.ScanError naming the shard, reachable through errors.As.
 func TestGroupShardFailureAttributed(t *testing.T) {
 	_, shards := buildShards(t, fixtureDocs, 3)
-	// Corrupt the middle shard's first store file.
+	// Corrupt the middle shard's first store file under the already-open
+	// corpus: truncate into the item region (past the 4-byte CRC trailer,
+	// which the scan path never reads), so the scan hits an unexpected
+	// EOF. An Open-time scrub would quarantine this file; here the damage
+	// lands mid-flight, after the serving set was established.
 	victim := shards[1].Docs()[0]
 	path := filepath.Join(shards[1].Dir(), victim.Store)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := len(data) - 4; i < len(data); i++ {
-		data[i] = 0xff
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -440,6 +440,7 @@ func mergeStats(stats []corpus.Stats) corpus.Stats {
 		out.Scanned += s.Scanned
 		out.Skipped += s.Skipped
 		out.Unprofiled += s.Unprofiled
+		out.Quarantined += s.Quarantined
 		out.HistSkipped += s.HistSkipped
 		out.TEDAborted += s.TEDAborted
 		out.Evaluated += s.Evaluated

@@ -92,13 +92,45 @@ func TestTopKMissingProfileFile(t *testing.T) {
 	checkUnprofiledTopK(t, c)
 }
 
+// TestTopKCorruptProfileFile: a profile file that EXISTS but holds
+// garbage is corruption, not a partial ingest — since PR 8 the Open-time
+// scrub quarantines the document instead of degrading it, and the
+// survivors answer exactly.
 func TestTopKCorruptProfileFile(t *testing.T) {
 	c := brokenProfileCorpus(t, func(t *testing.T, path string) {
 		if err := os.WriteFile(path, []byte("not a profile"), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	})
-	checkUnprofiledTopK(t, c)
+	if got := c.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("corpus has %d docs after quarantine, want 2", c.Len())
+	}
+	q, err := c.ParseBracket("{x{p}{q}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := c.TopK(context.Background(), q, 4, WithStats(&stats))
+	if err != nil {
+		t.Fatalf("TopK after quarantine: %v", err)
+	}
+	if stats.Quarantined != 1 {
+		t.Errorf("Stats.Quarantined = %d, want 1", stats.Quarantined)
+	}
+	if stats.Unprofiled != 0 {
+		t.Errorf("Stats.Unprofiled = %d, want 0 (quarantined docs are out of the serving set, not degraded)", stats.Unprofiled)
+	}
+	if stats.Scanned+stats.Skipped != 2 {
+		t.Errorf("scanned %d + skipped %d, want 2 docs considered", stats.Scanned, stats.Skipped)
+	}
+	for _, m := range got {
+		if m.Doc.Name == "b" {
+			t.Errorf("quarantined document %q appeared in results", m.Doc.Name)
+		}
+	}
 }
 
 // TestPlanNilProfileDirect covers the in-memory variant: even when the

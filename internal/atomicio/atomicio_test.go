@@ -1,0 +1,120 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestMain pins the umask before any test touches FilePerm's cached
+// probe, so the permission assertions below are deterministic regardless
+// of the environment the tests run in.
+func TestMain(m *testing.M) {
+	syscall.Umask(0o022)
+	os.Exit(m.Run())
+}
+
+func TestWriteFileCommits(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target.bin")
+	if err := WriteFile(OS, path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("content = %q, want %q", got, "payload")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Errorf("temp file %s left behind after a successful commit", e.Name())
+		}
+	}
+}
+
+// TestWriteFilePerms pins the satellite contract: committed files are
+// 0644 (minus umask), not the 0600 os.CreateTemp default — stores
+// written by one user must stay readable by operators and backup jobs.
+func TestWriteFilePerms(t *testing.T) {
+	if FilePerm() != 0o644 {
+		t.Fatalf("FilePerm() = %o under umask 022, want 644", FilePerm())
+	}
+	path := filepath.Join(t.TempDir(), "perms.bin")
+	if err := WriteFile(OS, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode().Perm() != 0o644 {
+		t.Errorf("committed file mode = %o, want 644", st.Mode().Perm())
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(OS, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q, want %q", got, "new")
+	}
+}
+
+func TestWriteFileFillErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "target.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(OS, path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("target changed on aborted commit: %q", got)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), TempPrefix) {
+			t.Errorf("temp file %s left behind after an aborted commit", e.Name())
+		}
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(OS, filepath.Join(t.TempDir(), "no-such-dir", "f"), func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("commit into a missing directory succeeded")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package atomicio
+
+import "os"
+
+// processUmask on platforms without a umask syscall assumes the
+// conventional 022, yielding 0644 files.
+func processUmask() os.FileMode { return 0o022 }

@@ -1,0 +1,19 @@
+//go:build unix
+
+package atomicio
+
+import (
+	"os"
+	"sync"
+	"syscall"
+)
+
+// processUmask reads the process umask once. syscall.Umask can only read
+// by writing, so the probe briefly sets a umask of 0 and restores the
+// real one — done a single time, at first use, before which no other
+// goroutine of this package has created a file.
+var processUmask = sync.OnceValue(func() os.FileMode {
+	m := syscall.Umask(0)
+	syscall.Umask(m)
+	return os.FileMode(m)
+})

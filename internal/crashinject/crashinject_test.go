@@ -1,0 +1,112 @@
+package crashinject
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tasm/internal/atomicio"
+)
+
+// TestEveryCrashPointOfWriteFile sweeps the whole commit protocol: at
+// every scripted step the crashed commit must leave the target either
+// untouched ("old") or fully committed ("new-payload") — never a torn
+// third state — and the sweep must terminate once the crash point
+// exceeds the protocol's step count.
+func TestEveryCrashPointOfWriteFile(t *testing.T) {
+	inj := New(atomicio.OS)
+	sweep := 0
+	for at := 0; ; at++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "target")
+		if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		inj.Arm(at)
+		err := atomicio.WriteFile(inj, path, func(w io.Writer) error {
+			_, err := io.WriteString(w, "new-payload")
+			return err
+		})
+		if err == nil {
+			if !inj.Crashed() && at == 0 {
+				t.Fatal("WriteFile performed no injectable steps")
+			}
+			break
+		}
+		if !errors.Is(err, ErrCrash) {
+			t.Fatalf("crash point %d: err = %v, want ErrCrash", at, err)
+		}
+		got, rerr := os.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("crash point %d: target unreadable: %v", at, rerr)
+		}
+		if string(got) != "old" && string(got) != "new-payload" {
+			t.Fatalf("crash point %d: torn target content %q", at, got)
+		}
+		sweep++
+	}
+	if sweep < 5 {
+		t.Fatalf("swept only %d crash points; the protocol has more steps than that", sweep)
+	}
+}
+
+// TestCrashIsSticky pins the power-loss semantics: after the armed step,
+// every operation fails — a dead process cannot run cleanup.
+func TestCrashIsSticky(t *testing.T) {
+	inj := New(atomicio.OS)
+	inj.Arm(0)
+	if _, err := inj.CreateTemp(t.TempDir(), "x-*"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("armed step: err = %v, want ErrCrash", err)
+	}
+	if err := inj.Remove("whatever"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash Remove: err = %v, want ErrCrash", err)
+	}
+	if err := inj.Rename("a", "b"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash Rename: err = %v, want ErrCrash", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() = false after delivering the crash")
+	}
+}
+
+// TestTornWrite pins that a crash during a write flushes exactly half of
+// that write's bytes — the deterministic model of a partially flushed
+// page.
+func TestTornWrite(t *testing.T) {
+	inj := New(atomicio.OS)
+	inj.Disarm()
+	f, err := inj.CreateTemp(t.TempDir(), "torn-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(0)
+	if _, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("torn write err = %v, want ErrCrash", err)
+	}
+	inj.Disarm()
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("torn write left %q, want %q", got, "abc")
+	}
+}
+
+// TestDisarmedPassthrough: an unarmed injector is transparent.
+func TestDisarmedPassthrough(t *testing.T) {
+	inj := New(atomicio.OS)
+	path := filepath.Join(t.TempDir(), "f")
+	if err := atomicio.WriteFile(inj, path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "ok")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "ok" {
+		t.Fatalf("content = %q", got)
+	}
+}

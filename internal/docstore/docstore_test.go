@@ -97,7 +97,9 @@ func TestTruncatedStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	r, err := NewReader(dict.New(), bytes.NewReader(full[:len(full)-1]))
+	// Cut past the 4-byte CRC trailer into the last item, so the reader
+	// actually runs out of item bytes.
+	r, err := NewReader(dict.New(), bytes.NewReader(full[:len(full)-5]))
 	if err != nil {
 		t.Fatal(err)
 	}

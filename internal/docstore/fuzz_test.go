@@ -35,10 +35,13 @@ func validStore(t testing.TB) []byte {
 func FuzzReader(f *testing.F) {
 	valid := validStore(f)
 	f.Add(valid)
+	f.Add(v1Store(valid))
 	f.Add([]byte{})
 	f.Add([]byte("TASMPQ1\n"))
+	f.Add([]byte("TASMPQ2\n"))
 	// Huge label count with no data behind it.
 	f.Add(append([]byte("TASMPQ1\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(append([]byte("TASMPQ2\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
 	// Varint longer than 64 bits.
 	f.Add(append([]byte("TASMPQ1\n"), bytes.Repeat([]byte{0x80}, 11)...))
 	// Truncations of the valid store at every boundary.
@@ -66,14 +69,25 @@ func FuzzReader(f *testing.F) {
 	})
 }
 
+// v1Store converts a v2 store image to the legacy v1 encoding: swap the
+// magic, drop the 4-byte CRC trailer. The body layout is identical.
+func v1Store(v2 []byte) []byte {
+	v1 := append([]byte("TASMPQ1\n"), v2[8:len(v2)-4]...)
+	return v1
+}
+
 // TestTruncatedStoreIsNotEOF pins a subtle contract: a store whose
 // header promises more items than the stream holds must fail with an
 // error that does NOT satisfy errors.Is(err, io.EOF) — queue consumers
 // treat io.EOF as normal end-of-document and would otherwise silently
 // rank a truncated store as a shorter document.
+//
+// Cuts start past the 4-byte CRC trailer: the reader by design never
+// touches the trailer, so cuts inside it still parse fully (Verify, not
+// Reader, is the integrity gate — see TestVerifyFlipAnyByte).
 func TestTruncatedStoreIsNotEOF(t *testing.T) {
 	valid := validStore(t)
-	for cut := len(valid) - 1; cut > len(valid)-5; cut-- {
+	for cut := len(valid) - 5; cut > len(valid)-9; cut-- {
 		r, err := NewReader(dict.New(), bytes.NewReader(valid[:cut]))
 		if err != nil {
 			continue // truncated inside the header: open-time error is fine
@@ -89,6 +103,108 @@ func TestTruncatedStoreIsNotEOF(t *testing.T) {
 			t.Fatalf("cut at %d: truncated store surfaced as io.EOF (%v); consumers would treat it as a complete document", cut, last)
 		}
 	}
+}
+
+// TestVerifyRoundTrip: everything WriteItems produces passes Verify.
+func TestVerifyRoundTrip(t *testing.T) {
+	if err := Verify(validStore(t)); err != nil {
+		t.Fatalf("Verify(fresh store) = %v", err)
+	}
+}
+
+// TestVerifyFlipAnyByte is the acceptance property of the v2 format:
+// flipping ANY single byte of a store — magic, dictionary, items, or the
+// trailer itself — must be detected by Verify. CRC-32C guarantees this
+// for all ≤32-bit burst errors, which covers every single-byte flip.
+func TestVerifyFlipAnyByte(t *testing.T) {
+	valid := validStore(t)
+	// 0x03 is the downgrade attack: it flips the magic's version byte
+	// '2' to '1', turning a checksummed store into an apparent legacy
+	// one — caught because a real v1 store has no bytes (here: the
+	// dangling CRC trailer) after its last item.
+	for i := range valid {
+		for _, bit := range []byte{0x01, 0x03, 0x80, 0xff} {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= bit
+			if err := Verify(mut); err == nil {
+				t.Fatalf("flipping byte %d (xor %#x) went undetected", i, bit)
+			}
+		}
+	}
+}
+
+// TestVerifyV1Fallback: legacy v1 stores have no checksum, but Verify
+// still structurally parses them — intact v1 stores pass, truncated ones
+// fail.
+func TestVerifyV1Fallback(t *testing.T) {
+	v1 := v1Store(validStore(t))
+	if err := Verify(v1); err != nil {
+		t.Fatalf("Verify(intact v1 store) = %v", err)
+	}
+	if err := Verify(v1[:len(v1)-1]); err == nil {
+		t.Fatal("Verify accepted a truncated v1 store")
+	}
+	if err := Verify([]byte("NOTMAGIC")); err == nil {
+		t.Fatal("Verify accepted garbage magic")
+	}
+	if err := Verify(nil); err == nil {
+		t.Fatal("Verify accepted empty input")
+	}
+}
+
+// TestV1StoreStillLoads: corpora persisted before the format bump must
+// keep loading — NewReader accepts the v1 magic and parses the shared
+// body layout.
+func TestV1StoreStillLoads(t *testing.T) {
+	r, err := NewReader(dict.New(), bytes.NewReader(v1Store(validStore(t))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("read %d items from v1 store, want 3", n)
+	}
+}
+
+// FuzzVerify feeds arbitrary bytes to Verify. Invariants: Verify never
+// panics, and an image Verify accepts must be fully loadable — every
+// item parses and the stream ends cleanly — because the corpus serves
+// any file its scrub passes.
+func FuzzVerify(f *testing.F) {
+	valid := validStore(f)
+	f.Add(valid)
+	f.Add(v1Store(valid))
+	f.Add([]byte{})
+	f.Add([]byte("TASMPQ2\n"))
+	for i := 0; i < len(valid); i++ {
+		f.Add(valid[:i])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if err := Verify(data); err != nil {
+			return
+		}
+		r, err := NewReader(dict.New(), bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("Verify passed but NewReader failed: %v", err)
+		}
+		for {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					t.Fatalf("Verify passed but item parse failed: %v", err)
+				}
+				break
+			}
+		}
+	})
 }
 
 // TestReaderRejectsCorruptSizes pins the hardening behaviour the fuzzer

@@ -3,8 +3,10 @@ package docstore
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
-	"path/filepath"
+
+	"tasm/internal/atomicio"
 )
 
 // ManifestVersion is the current corpus manifest schema version.
@@ -33,6 +35,11 @@ type Manifest struct {
 	// different document set. Absent in pre-PR-5 manifests, which load
 	// as 0 and become persistent on their next mutation.
 	Generation uint64 `json:"generation,omitempty"`
+	// Quarantined counts documents the integrity scrub has moved to the
+	// corpus's quarantine directory over its lifetime. Persisted so the
+	// count survives restarts and keeps telling operators data was lost
+	// until they act on it. Absent in pre-PR-8 manifests (loads as 0).
+	Quarantined int `json:"quarantined,omitempty"`
 	// Docs lists the documents in ascending id order.
 	Docs []ManifestDoc `json:"docs"`
 }
@@ -99,31 +106,24 @@ func ReadManifest(path string) (*Manifest, error) {
 	return &m, nil
 }
 
-// WriteManifest atomically persists a manifest: it is written to a
-// temporary file in the same directory and renamed into place, so a crash
-// mid-ingest leaves the previous manifest intact.
+// WriteManifest durably persists a manifest via the atomicio commit
+// protocol (temp file, fsync, rename, directory fsync), so a crash at
+// any point leaves either the previous manifest or the new one — never
+// a torn or unflushed file.
 func WriteManifest(path string, m *Manifest) error {
+	return WriteManifestFS(atomicio.OS, path, m)
+}
+
+// WriteManifestFS is WriteManifest against an explicit filesystem, so
+// crash-injection harnesses can script failures at every commit step.
+func WriteManifestFS(fs atomicio.FS, path string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*.json")
-	if err != nil {
+	return atomicio.WriteFile(fs, path, func(w io.Writer) error {
+		_, err := w.Write(data)
 		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	})
 }

@@ -32,7 +32,8 @@ wait_healthy() { # url
 go build -o "$WORKDIR/tasmd" ./cmd/tasmd
 
 "$WORKDIR/tasmd" -dir "$WORKDIR/leaf-corpus" -addr "127.0.0.1:$LEAF_PORT" &
-PIDS+=($!)
+LEAF_PID=$!
+PIDS+=($LEAF_PID)
 wait_healthy "http://127.0.0.1:$LEAF_PORT"
 
 # Ingest into the leaf.
@@ -165,6 +166,53 @@ stats = resp["stats"]
 assert stats.get("retried") or stats.get("hedged"), \
     f"failover left no retry/hedge trace in stats: {stats}"
 EOF
+
+# --- Corruption quarantine ------------------------------------------------
+# Flip ONE byte in the middle of a leaf store file while the leaf is
+# down. The restarted leaf's startup scrub must catch the bad checksum,
+# quarantine that document, and keep serving the survivors — and the
+# router keeps answering with the loss reported in stats.quarantined,
+# with no reconfiguration on its side.
+curl -sf -X POST "http://127.0.0.1:$LEAF_PORT/v1/docs" \
+  -H 'Content-Type: application/json' \
+  -d '{"name":"doomed","xml":"<r><rec><a>1</a><b>2</b></rec></r>"}' >/dev/null
+
+kill -TERM "$LEAF_PID"
+for _ in $(seq 1 50); do
+  kill -0 "$LEAF_PID" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$LEAF_PID" 2>/dev/null && { echo "FAIL: leaf would not stop for the corruption leg" >&2; exit 1; }
+
+# "doomed" was the leaf's second ingest, so its store is docs/2.store.
+python3 - "$WORKDIR/leaf-corpus/docs/2.store" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[len(data) // 2] ^= 0xFF
+open(path, "wb").write(bytes(data))
+EOF
+
+"$WORKDIR/tasmd" -dir "$WORKDIR/leaf-corpus" -addr "127.0.0.1:$LEAF_PORT" &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:$LEAF_PORT"
+
+RESP="$(curl -sf -X POST "http://127.0.0.1:$ROUTER_PORT/v1/topk" \
+  -H 'Content-Type: application/json' \
+  -d '{"query":"{rec{a{1}}{b{2}}}","k":5}')"
+echo "post-corruption response: $RESP"
+python3 - "$RESP" <<'EOF'
+import json, sys
+resp = json.loads(sys.argv[1])
+docs = [m["doc"] for m in resp["matches"]]
+assert "doomed" not in docs, f"quarantined document still answering: {docs}"
+assert "smoke" in docs, f"survivor vanished after quarantine: {docs}"
+assert resp["stats"].get("quarantined") == 1, \
+    f"router stats do not report the quarantined document: {resp['stats']}"
+EOF
+
+curl -sf "http://127.0.0.1:$LEAF_PORT/metrics" | grep -q '^tasmd_quarantined_docs 1$' \
+  || { echo "FAIL: leaf /metrics lacks tasmd_quarantined_docs 1" >&2; exit 1; }
 
 # The router refuses ingests (leaf-only) ...
 CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://127.0.0.1:$ROUTER_PORT/v1/docs" \
