@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"runtime"
 	"strings"
 	"testing"
@@ -98,6 +99,54 @@ type benchReport struct {
 	Prune      string        `json:"prune,omitempty"`
 	Dict       *dictReport   `json:"dict,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// scalingFixture is the doc-count-scaling fixture: many small random
+// documents (~128–256 nodes each) over one shared small label universe
+// in a single corpus — the shape where per-document constant costs
+// (file opens, label re-interning, buffer setup) dominate a scan unless
+// they are amortized across the run.
+type scalingFixture struct {
+	corp    *corpus.Corpus
+	query   *tree.Tree
+	cleanup func()
+}
+
+// buildScalingFixture materializes the doc-count-scaling corpus in a
+// temporary directory; cleanup removes it.
+func buildScalingFixture(docs int, seed int64) (*scalingFixture, error) {
+	dir, err := os.MkdirTemp("", "tasmbench-scaling-*")
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*scalingFixture, error) {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	corp, err := corpus.Open(dir)
+	if err != nil {
+		return fail(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := dict.New()
+	for i := 0; i < docs; i++ {
+		t := tree.Random(d, rng, tree.RandomConfig{
+			Nodes: 128 + rng.Intn(129), MaxFanout: 4, Labels: 16,
+		})
+		if _, err := corp.AddTree(fmt.Sprintf("doc%04d", i), t); err != nil {
+			return fail(err)
+		}
+	}
+	q := tree.Random(d, rng, tree.RandomConfig{Nodes: 8, MaxFanout: 3, Labels: 16})
+	cq, err := corp.ParseBracket(q.String())
+	if err != nil {
+		return fail(err)
+	}
+	return &scalingFixture{
+		corp:    corp,
+		query:   cq,
+		cleanup: func() { os.RemoveAll(dir) },
+	}, nil
 }
 
 // runJSON measures the suite and writes the JSON report to w. quick
@@ -239,6 +288,33 @@ func runJSON(w io.Writer, quick bool, seed int64, pruneFlag string) error {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := group.TopK(context.Background(), cq, 5, corpusOpts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}})
+	}
+
+	// Doc-count scaling: the corpus tier's allocation story only shows at
+	// many documents — per-document constant costs that hide behind four
+	// large XMark documents dominate a thousand small ones. Runs with the
+	// default gates only; the fixture is expensive to build.
+	if allOn {
+		docs := 1000
+		if quick {
+			docs = 64
+		}
+		sfx, err := buildScalingFixture(docs, seed)
+		if err != nil {
+			return err
+		}
+		defer sfx.cleanup()
+		suite = append(suite, struct {
+			name string
+			fn   func(b *testing.B)
+		}{fmt.Sprintf("corpus-topk-scaling/docs=%d/Q=8/k=5", docs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sfx.corp.TopK(context.Background(), sfx.query, 5, corpus.WithoutTrees()); err != nil {
 					b.Fatal(err)
 				}
 			}

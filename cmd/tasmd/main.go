@@ -167,12 +167,15 @@ func run(ctx context.Context, dir, shards string, hedgeDelay time.Duration, addr
 		ing corpus.Ingester
 	)
 	if dir != "" {
+		start := time.Now()
 		c, err := corpus.Open(dir, corpus.WithLogger(logger), corpus.WithVerifyMode(mode))
 		if err != nil {
 			return err
 		}
+		cfg.openDuration = time.Since(start)
 		src, ing = c, c
-		logger.Info("serving corpus", "dir", dir, "docs", c.Len(), "quarantined", c.Quarantined(), "addr", addr)
+		logger.Info("serving corpus", "dir", dir, "docs", c.Len(), "quarantined", c.Quarantined(),
+			"openDuration", cfg.openDuration.String(), "mappedBytes", c.MappedBytes(), "addr", addr)
 	} else {
 		replicas := 0
 		children := make([]corpus.Searcher, 0, 4)

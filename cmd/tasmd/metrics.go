@@ -212,6 +212,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if q, ok := s.src.(interface{ Quarantined() int }); ok {
 		fmt.Fprintf(w, "# HELP tasmd_quarantined_docs Documents quarantined by the integrity scrub (files preserved under quarantine/; non-zero means data loss pending operator action).\n# TYPE tasmd_quarantined_docs gauge\ntasmd_quarantined_docs %d\n", q.Quarantined())
 	}
+	// Memory-mapped store bytes: file-backed pages the kernel can evict
+	// under pressure, so they are not heap (compare tasmd_heap_bytes).
+	// Exists only for backends that map local stores.
+	if mb, ok := s.src.(interface{ MappedBytes() int64 }); ok {
+		fmt.Fprintf(w, "# HELP tasmd_corpus_mapped_bytes Committed store bytes served from read-only memory mappings (0 when mmap is disabled or unsupported).\n# TYPE tasmd_corpus_mapped_bytes gauge\ntasmd_corpus_mapped_bytes %d\n", mb.MappedBytes())
+	}
+	if s.cfg.openDuration > 0 {
+		fmt.Fprintf(w, "# HELP tasmd_corpus_open_seconds Cold-start cost of opening the backend (manifest load, scrub, profile decode, store mapping).\n# TYPE tasmd_corpus_open_seconds gauge\ntasmd_corpus_open_seconds %g\n", s.cfg.openDuration.Seconds())
+	}
 	m.topkLatency.write(w, "tasmd_topk_latency_seconds", "Per-request latency of POST /v1/topk (cache hits included).")
 	m.batchLatency.write(w, "tasmd_topk_batch_latency_seconds", "Per-request latency of POST /v1/topk-batch (cache hits included).")
 	s.writeShardMetrics(w)

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"tasm/corpus/shard"
 )
@@ -289,6 +290,7 @@ func TestMetricsExpositionLeaf(t *testing.T) {
 		"tasmd_traced_queries_total",
 		"tasmd_inflight_queries",
 		"tasmd_dict_base_labels",
+		"tasmd_corpus_mapped_bytes",
 		"tasmd_goroutines",
 		"tasmd_gomaxprocs",
 		"tasmd_heap_bytes",
@@ -339,5 +341,21 @@ func TestMetricsExpositionRouter(t *testing.T) {
 	}
 	if families["tasmd_dict_base_labels"] != nil {
 		t.Errorf("router must not export the leaf-only base dictionary gauge")
+	}
+	if families["tasmd_corpus_mapped_bytes"] != nil {
+		t.Errorf("router must not export the leaf-only mapped-bytes gauge")
+	}
+}
+
+// TestMetricsOpenDuration covers the cold-start gauge: set only when the
+// server was built over a locally opened corpus.
+func TestMetricsOpenDuration(t *testing.T) {
+	h, _ := newTestServer(t, serverConfig{openDuration: 42 * time.Millisecond})
+	body, families := scrapeMetrics(t, h)
+	if families["tasmd_corpus_open_seconds"] == nil {
+		t.Fatalf("tasmd_corpus_open_seconds missing, exposition:\n%s", body)
+	}
+	if !strings.Contains(body, "tasmd_corpus_open_seconds 0.042") {
+		t.Errorf("open-duration gauge value wrong, exposition:\n%s", body)
 	}
 }

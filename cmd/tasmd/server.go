@@ -50,6 +50,10 @@ type serverConfig struct {
 	// shards carries the per-shard telemetry of a router backend (one
 	// entry per shard, exported on /metrics); nil for a leaf.
 	shards []*shardStats
+	// openDuration is the cold-start cost of the backend (corpus.Open:
+	// manifest load, scrub, profile decode, store mapping); zero when the
+	// backend has no local open phase (a shard router).
+	openDuration time.Duration
 }
 
 // queryParser is the optional backend interface for parsing queries in

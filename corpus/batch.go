@@ -65,8 +65,13 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	// all queries), and the merge. See TopK for the granularity contract.
 	tr := qtrace.FromContext(ctx)
 	planSpan := tr.Begin(qtrace.SpanPlan, "")
-	plan, err := c.planBatch(st, qs, &cfg)
+	planBuf := c.batchPool.Get().(*[]batchDoc)
+	plan, err := c.planBatch(st, qs, &cfg, (*planBuf)[:0])
 	tr.End(planSpan)
+	defer func() {
+		*planBuf = plan[:0]
+		c.batchPool.Put(planBuf)
+	}()
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +91,14 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	}
 	stats := Stats{}
 	prune := &core.PruneStats{}
+	// Pooled per-document batch scan state, reused across every document
+	// of this run; see TopK.
+	scratch := c.batchScratchPool.Get().(*core.BatchScratch)
+	scratch.Reset()
+	defer func() {
+		scratch.Reset()
+		c.batchScratchPool.Put(scratch)
+	}()
 	coreOpts := core.Options{
 		Ctx:                   ctx,
 		Model:                 c.model,
@@ -93,6 +106,7 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 		Prune:                 prune,
 		DisableHistogramBound: cfg.NoPrune,
 		DisableEarlyAbort:     cfg.NoPrune,
+		BatchScratch:          scratch,
 	}
 	for _, d := range plan {
 		if err := ctx.Err(); err != nil {
@@ -123,7 +137,7 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 			h0, a0, e0 = prune.Snapshot()
 			docSpan = tr.Begin(qtrace.SpanScan, d.info.Name)
 		}
-		err := c.scanBatchInto(qs, ov, d.scanDoc, heaps, coreOpts)
+		err := c.scanBatchInto(qs, ov, st, d.scanDoc, heaps, coreOpts)
 		if tr != nil {
 			tr.End(docSpan)
 			h1, a1, e1 := prune.Snapshot()
@@ -143,14 +157,17 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 	}
 
 	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
-	docsOnly := make([]scanDoc, len(plan))
-	for i, d := range plan {
-		docsOnly[i] = d.scanDoc
+	docsBuf := c.planPool.Get().(*[]scanDoc)
+	docsOnly := (*docsBuf)[:0]
+	for _, d := range plan {
+		docsOnly = append(docsOnly, d.scanDoc)
 	}
 	out := make([][]Match, len(heaps))
 	for i, h := range heaps {
-		out[i] = resolve(h, docsOnly)
+		out[i] = c.resolve(h, docsOnly)
 	}
+	*docsBuf = docsOnly[:0]
+	c.planPool.Put(docsBuf)
 	tr.End(mergeSpan)
 	return out, nil
 }
@@ -159,14 +176,15 @@ func (c *Corpus) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opt
 // documents deriving, per query, the sound label lower bound and the
 // pq-gram ordering distance. Documents are ordered by their minimum
 // pq-gram distance over the queries (then minimum bound, then id), so a
-// document promising for any query of the batch is scanned early.
-func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *QueryConfig) ([]batchDoc, error) {
+// document promising for any query of the batch is scanned early. The
+// plan is built on dst's backing array (from the corpus batch pool).
+func (c *Corpus) planBatch(st *snapshot, qs []*tree.Tree, cfg *QueryConfig, dst []batchDoc) ([]batchDoc, error) {
 	qGrams := make([]*pqgram.Profile, len(qs))
 	qLabels := make([]map[int]int, len(qs))
 	for i, q := range qs {
 		g, err := pqgram.New(q, c.p, c.q)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		qGrams[i] = g
 		labels := make(map[int]int, q.Size())
@@ -184,7 +202,7 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *QueryConfig) ([]ba
 		}
 	}
 
-	plan := make([]batchDoc, 0, len(st.docs))
+	plan := dst
 	offset := 0
 	for _, d := range st.docs {
 		include := true
@@ -208,7 +226,7 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *QueryConfig) ([]ba
 						bd.bounds[i] = labelLowerBound(qLabels[i], p.labels)
 						pqd, err := pqgram.Distance(qGrams[i], p.grams)
 						if err != nil {
-							return nil, err
+							return plan, err
 						}
 						if pqd < bd.pqdist {
 							bd.pqdist = pqd
@@ -231,7 +249,7 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *QueryConfig) ([]ba
 	}
 	for name, found := range selected {
 		if !found {
-			return nil, fmt.Errorf("corpus: unknown document %q", name)
+			return plan, fmt.Errorf("corpus: unknown document %q", name)
 		}
 	}
 	if !cfg.NoFilter {
@@ -249,8 +267,20 @@ func (c *Corpus) planBatch(st snapshot, qs []*tree.Tree, cfg *QueryConfig) ([]ba
 }
 
 // scanBatchInto streams one document store through the shared ring-buffer
-// scan of core.PostorderBatchInto, ranking all queries at once.
-func (c *Corpus) scanBatchInto(qs []*tree.Tree, ov dict.Dict, d scanDoc, heaps []*ranking.Heap, opts core.Options) error {
+// scan of core.PostorderBatchInto, ranking all queries at once. Like
+// scanInto, the snapshot's cached store serves a pooled zero-copy reader;
+// a document without one falls back to a streaming read.
+func (c *Corpus) scanBatchInto(qs []*tree.Tree, ov dict.Dict, st *snapshot, d scanDoc, heaps []*ranking.Heap, opts core.Options) error {
+	if ds := st.stores[d.info.ID]; ds != nil {
+		ir := c.readerPool.Get().(*docstore.ImageReader)
+		ir.Reset(ds.img, ds.remap)
+		err := core.PostorderBatchInto(qs, ir, heaps, d.offset, opts)
+		c.readerPool.Put(ir)
+		if err != nil {
+			return &ScanError{Doc: d.info.Name, Err: err}
+		}
+		return nil
+	}
 	f, err := os.Open(filepath.Join(c.dir, d.info.Store))
 	if err != nil {
 		return &ScanError{Doc: d.info.Name, Err: err}

@@ -97,9 +97,11 @@ import (
 	"sync"
 
 	"tasm/internal/atomicio"
+	"tasm/internal/core"
 	"tasm/internal/cost"
 	"tasm/internal/dict"
 	"tasm/internal/docstore"
+	"tasm/internal/mmapio"
 	"tasm/internal/postorder"
 	"tasm/internal/pqgram"
 	"tasm/internal/tree"
@@ -186,6 +188,19 @@ func WithFS(fs atomicio.FS) Option {
 	return func(c *Corpus) { c.fs = fs }
 }
 
+// WithMmap selects how committed store files are loaded for the serving
+// set (default true: memory-mapped read-only, so scans are zero-copy,
+// the kernel pages store bytes on demand, and a corpus larger than RAM
+// still opens near-instantly). false reads each store whole into the
+// heap instead — the portable fallback, behind the same cached-image
+// interface, and the equivalence oracle for the mapped path. Either
+// way the query path never re-opens or re-parses a store; a store that
+// fails to load at all degrades that one document to per-query
+// streaming reads.
+func WithMmap(on bool) Option {
+	return func(c *Corpus) { c.mmap = on }
+}
+
 // Corpus is an open corpus directory. It is safe for concurrent use:
 // queries may run while documents are ingested, and ingests are
 // serialized internally. The read path of a query never locks the label
@@ -198,10 +213,21 @@ type Corpus struct {
 	fs    atomicio.FS
 	log   *slog.Logger
 	mode  VerifyMode
+	mmap  bool
 
 	mu       sync.RWMutex
 	man      *docstore.Manifest
 	profiles map[int]*docProfile // by document id
+	// stores caches each document's loaded store: the mapped (or, under
+	// WithMmap(false), heap-copied) bytes, the header parsed once, and
+	// the label remap into the base dictionary. Entries are created when
+	// a document enters the serving set (Open, AddTree) and deleted when
+	// it leaves (Remove, quarantine); a document that fails to load has
+	// no entry and is served by per-query streaming reads instead. The
+	// remap never goes stale: label ids are assigned once and preserved
+	// by every dictionary clone, so a remap computed at load time stays
+	// valid under every later base and every request overlay.
+	stores map[int]*docStore
 	// gen mirrors the manifest's persisted generation: bumped (and
 	// written) on every ingest and removal, monotone across restarts.
 	gen uint64
@@ -210,6 +236,21 @@ type Corpus struct {
 	// in place, so snapshots taken under mu stay internally consistent
 	// with the manifest and profiles captured alongside them.
 	dict *dict.Base
+	// snap is the prebuilt immutable snapshot queries run against,
+	// rebuilt by publishLocked after every mutation (generation bump).
+	// Serving a query is one RLock'd pointer read — no copying.
+	snap *snapshot
+
+	// Per-corpus pools of query-lifetime scan state: plan slices, image
+	// readers, and core scan scratch (distance computer, ring buffer,
+	// candidate view). Everything a pool hands out is reset before use
+	// and returned at end of run, so steady-state queries allocate O(k),
+	// not O(corpus).
+	planPool         sync.Pool // *[]scanDoc
+	batchPool        sync.Pool // *[]batchDoc
+	readerPool       sync.Pool // *docstore.ImageReader
+	scratchPool      sync.Pool // *core.ScanScratch
+	batchScratchPool sync.Pool // *core.BatchScratch
 }
 
 // docProfile is the in-memory profile index entry of one document.
@@ -220,29 +261,102 @@ type docProfile struct {
 	labels map[int]int
 }
 
+// docStore is the cached, query-ready form of one document's store file:
+// region keeps the bytes alive (and unmaps them via finalizer once no
+// snapshot references them), img is the header parsed once, remap
+// translates stored label ids to base-dictionary ids. Immutable after
+// construction; shared by every snapshot that includes the document.
+type docStore struct {
+	region *mmapio.Region
+	img    *docstore.Image
+	remap  []int
+}
+
 // snapshot is one consistent view of the corpus for a single query run:
-// the manifest documents, their profiles, and the frozen dictionary they
-// were interned in. All three are published together under mu, so every
-// profile id resolves in base and every overlay id above base's watermark
-// is guaranteed fresh with respect to the captured documents.
+// the manifest documents, their profiles, their loaded stores, and the
+// frozen dictionary they were interned in. All of it is published
+// together as one immutable value, so every profile and remap id
+// resolves in base and every overlay id above base's watermark is
+// guaranteed fresh with respect to the captured documents. Queries that
+// captured a snapshot before a Remove or quarantine keep scanning the
+// old mapped bytes — a mapping keeps its inode alive past rename and
+// unlink — and the region is unmapped by GC once the last such query
+// drops it.
 type snapshot struct {
 	docs        []DocInfo
 	profiles    map[int]*docProfile
+	stores      map[int]*docStore
 	base        *dict.Base
 	quarantined int
 }
 
-// snapshot captures the current corpus state for one query run.
-func (c *Corpus) snapshot() snapshot {
+// snapshot returns the prebuilt immutable snapshot for one query run.
+func (c *Corpus) snapshot() *snapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	docs := make([]DocInfo, len(c.man.Docs))
-	copy(docs, c.man.Docs)
-	profiles := make(map[int]*docProfile, len(c.profiles))
-	for id, p := range c.profiles {
-		profiles[id] = p
+	return c.snap
+}
+
+// publishLocked rebuilds the immutable snapshot from the current
+// manifest, profiles, stores, and dictionary. Call with mu held after
+// every mutation; during Open (c.dict still nil) it is a no-op — Open
+// publishes once at the end.
+func (c *Corpus) publishLocked() {
+	if c.dict == nil {
+		return
 	}
-	return snapshot{docs: docs, profiles: profiles, base: c.dict, quarantined: c.man.Quarantined}
+	st := &snapshot{
+		docs:        c.man.Docs,
+		profiles:    make(map[int]*docProfile, len(c.profiles)),
+		stores:      make(map[int]*docStore, len(c.stores)),
+		base:        c.dict,
+		quarantined: c.man.Quarantined,
+	}
+	for id, p := range c.profiles {
+		st.profiles[id] = p
+	}
+	for id, s := range c.stores {
+		st.stores[id] = s
+	}
+	c.snap = st
+}
+
+// loadStore maps (or, under WithMmap(false), reads) a committed store
+// file, parses its header, and interns its label table into base —
+// which must still be mutable (Open) or be a private pre-freeze clone
+// (AddTree). Failures are not fatal: the document falls back to
+// per-query streaming reads, and the degradation is logged.
+func (c *Corpus) loadStore(base *dict.Base, d DocInfo) *docStore {
+	open := mmapio.Map
+	if !c.mmap {
+		open = mmapio.ReadFile
+	}
+	region, err := open(filepath.Join(c.dir, d.Store))
+	if err == nil {
+		var img *docstore.Image
+		if img, err = docstore.ParseImage(region.Bytes()); err == nil {
+			return &docStore{region: region, img: img, remap: img.Remap(base)}
+		}
+		region.Close()
+	}
+	c.log.Warn("corpus: store not cacheable, document degrades to streaming reads",
+		"dir", c.dir, "doc", d.Name, "id", d.ID, "err", err)
+	return nil
+}
+
+// MappedBytes returns the total size of store bytes the corpus currently
+// serves from read-only file mappings — memory visible to the process
+// but owned by the page cache, not the heap. Heap-loaded stores (the
+// WithMmap(false) fallback and non-unix platforms) do not count.
+func (c *Corpus) MappedBytes() int64 {
+	st := c.snapshot()
+	var n int64
+	for _, s := range st.stores {
+		if s.region.Mapped() {
+			n += int64(s.region.Len())
+		}
+	}
+	return n
 }
 
 // Open opens the corpus directory dir, creating it (and an empty
@@ -256,8 +370,15 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 		q:        3,
 		fs:       atomicio.OS,
 		log:      slog.Default(),
+		mmap:     true,
 		profiles: map[int]*docProfile{},
+		stores:   map[int]*docStore{},
 	}
+	c.planPool.New = func() any { return new([]scanDoc) }
+	c.batchPool.New = func() any { return new([]batchDoc) }
+	c.readerPool.New = func() any { return new(docstore.ImageReader) }
+	c.scratchPool.New = func() any { return new(core.ScanScratch) }
+	c.batchScratchPool.New = func() any { return new(core.BatchScratch) }
 	for _, o := range opts {
 		o(c)
 	}
@@ -305,7 +426,19 @@ func Open(dir string, opts ...Option) (*Corpus, error) {
 		}
 		c.profiles[d.ID] = p
 	}
+	// Load every surviving store into the cache: map the file, parse the
+	// header once, intern the label table into the still-mutable base.
+	// For a profiled document the store's labels are a subset of the
+	// profile's, so the dictionary does not grow here; an unprofiled
+	// document contributes its labels now instead of per query. This is
+	// the whole cold start — no store's item bytes are touched.
+	for _, d := range c.man.Docs {
+		if s := c.loadStore(base, d); s != nil {
+			c.stores[d.ID] = s
+		}
+	}
 	c.dict = base.Freeze()
+	c.publishLocked()
 	return c, nil
 }
 
@@ -465,7 +598,12 @@ func (c *Corpus) quarantineLocked(doomed []DocInfo) error {
 	c.gen = man.Generation
 	for id := range dead {
 		delete(c.profiles, id)
+		// Drop the cached store; queries that snapshotted before the
+		// quarantine keep their reference and the mapping keeps the
+		// (renamed) inode readable until they finish.
+		delete(c.stores, id)
 	}
+	c.publishLocked()
 	return nil
 }
 
@@ -661,8 +799,16 @@ func (c *Corpus) AddTree(name string, t *tree.Tree) (DocInfo, error) {
 	}
 	c.man = &man
 	c.profiles[id] = &docProfile{grams: grams, labels: labels}
+	// Cache the just-committed store before freezing the clone, so its
+	// label table interns into nd (a no-op: the document's labels are
+	// already there). The file is read back rather than re-encoded from t
+	// — the cache must serve exactly the committed bytes.
+	if s := c.loadStore(nd, info); s != nil {
+		c.stores[id] = s
+	}
 	c.dict = nd.Freeze()
 	c.gen = man.Generation
+	c.publishLocked()
 	return info, nil
 }
 
@@ -679,8 +825,8 @@ var ErrNotFound = errors.New("document not found")
 // The shared dictionary is not shrunk: it stays bounded by every label
 // the corpus has ever ingested, which keeps in-flight scans (that still
 // resolve through it) valid. A query that snapshotted the corpus before
-// the Remove may race the file GC and fail its scan of this one document
-// with a ScanError; retrying observes the new manifest.
+// the Remove still answers over the old document set: its snapshot holds
+// the document's mapped store, which outlives the unlink.
 func (c *Corpus) Remove(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -704,11 +850,18 @@ func (c *Corpus) Remove(name string) error {
 	}
 	c.man = &man
 	delete(c.profiles, doomed.ID)
+	delete(c.stores, doomed.ID)
 	c.gen = man.Generation
+	c.publishLocked()
 
 	// Best-effort file GC: the manifest no longer references the files, so
 	// a failed unlink merely leaks disk until the next Open's orphan sweep
-	// collects it; the manifest is the source of truth.
+	// collects it; the manifest is the source of truth. A query that
+	// snapshotted the corpus before this Remove is undisturbed: its
+	// snapshot still references the cached store, whose mapping keeps the
+	// unlinked inode readable until the last such query drops it (only a
+	// document that had degraded to streaming reads can race the GC and
+	// fail with a ScanError).
 	c.removeFiles(doomed.Store, doomed.Profile)
 	return nil
 }

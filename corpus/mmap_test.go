@@ -1,0 +1,189 @@
+package corpus_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tasm/corpus"
+	"tasm/internal/qtrace"
+	"tasm/internal/tree"
+)
+
+// randBracket emits a random bracket-notation tree of roughly n nodes
+// over a small label universe, the same corpus shape the benchmarks use.
+func randBracket(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	var emit func(budget int) int
+	emit = func(budget int) int {
+		fmt.Fprintf(&b, "{l%d", rng.Intn(12))
+		used := 1
+		for used < budget {
+			c := 1 + rng.Intn(budget-used)
+			used += emit(c)
+		}
+		b.WriteByte('}')
+		return used
+	}
+	emit(n)
+	return b.String()
+}
+
+// buildMmapCorpus populates dir with docs random documents so the same
+// directory can be reopened under different load modes.
+func buildMmapCorpus(t *testing.T, dir string, docs int) {
+	t.Helper()
+	c, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < docs; i++ {
+		tr, err := c.ParseBracket(randBracket(rng, 40+rng.Intn(40)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.AddTree(fmt.Sprintf("doc%02d", i), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMmapFallbackEquivalence pins the tentpole contract: the mapped
+// zero-copy reader and the WithMmap(false) heap fallback answer every
+// query byte-identically, for both single and batch serving.
+func TestMmapFallbackEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	buildMmapCorpus(t, dir, 8)
+
+	mapped, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := corpus.Open(dir, corpus.WithMmap(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{"{l0{l1}{l2}}", "{l3{l4{l5}}{l6}}", "{l7}", "{l1{l1{l1}}}"}
+	ctx := context.Background()
+	for qi, qs := range queries {
+		q1, err := mapped.ParseBracket(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := heap.ParseBracket(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5} {
+			m1, err := mapped.TopK(ctx, q1, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := heap.TopK(ctx, q2, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := matchesJSON(t, m1), matchesJSON(t, m2); a != b {
+				t.Fatalf("query %d k=%d: mapped and fallback disagree\n mapped  %s\n fallback %s", qi, k, a, b)
+			}
+		}
+	}
+
+	// Batch serving shares the same per-document readers.
+	var bq1, bq2 []*tree.Tree
+	for _, qs := range queries {
+		t1, err := mapped.ParseBracket(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := heap.ParseBracket(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bq1 = append(bq1, t1)
+		bq2 = append(bq2, t2)
+	}
+	r1, err := mapped.TopKBatch(ctx, bq1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := heap.TopKBatch(ctx, bq2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if a, b := matchesJSON(t, r1[i]), matchesJSON(t, r2[i]); a != b {
+			t.Fatalf("batch query %d: mapped and fallback disagree\n mapped  %s\n fallback %s", i, a, b)
+		}
+	}
+}
+
+// TestMappedBytes checks the serving-tier accounting: a mapped corpus
+// reports its store bytes, the heap fallback reports zero, and removal
+// shrinks the figure.
+func TestMappedBytes(t *testing.T) {
+	dir := t.TempDir()
+	buildMmapCorpus(t, dir, 4)
+
+	heap, err := corpus.Open(dir, corpus.WithMmap(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := heap.MappedBytes(); got != 0 {
+		t.Fatalf("WithMmap(false) corpus reports %d mapped bytes, want 0", got)
+	}
+
+	mapped, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mapped.MappedBytes()
+	if before <= 0 {
+		t.Skip("platform without mmap support: MappedBytes is 0 by design")
+	}
+	if err := mapped.Remove("doc00"); err != nil {
+		t.Fatal(err)
+	}
+	if after := mapped.MappedBytes(); after >= before {
+		t.Fatalf("MappedBytes did not shrink after Remove: before=%d after=%d", before, after)
+	}
+}
+
+// TestTopKAllocBudget pins the corpus-level allocation contract of this
+// change: a TopK over an already-open corpus must not scale allocations
+// with document size — no per-query file opens, label re-interning, or
+// ring-buffer rebuilds — even with a live trace attached. The bound is a
+// regression tripwire with headroom over the measured steady state, not
+// a precise count.
+func TestTopKAllocBudget(t *testing.T) {
+	dir := t.TempDir()
+	buildMmapCorpus(t, dir, 6)
+	c, err := corpus.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := c.ParseBracket("{l0{l1}{l2}}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm pools and the frozen dictionary read-through path.
+	if _, err := c.TopK(ctx, q, 3); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		tr := qtrace.New()
+		if _, err := c.TopK(qtrace.NewContext(ctx, tr), q, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 400
+	t.Logf("TopK allocs per query: %.0f (budget %d)", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("TopK allocates %.0f objects per query, budget %d", allocs, budget)
+	}
+}

@@ -243,7 +243,7 @@ type scanDoc struct {
 // the returned tree resolves corpus labels to their shared frozen ids and
 // keeps request-local labels above the base watermark, and the overlay
 // dies with the request.
-func requestOverlay(st snapshot, q *tree.Tree) (*dict.Overlay, *tree.Tree) {
+func requestOverlay(st *snapshot, q *tree.Tree) (*dict.Overlay, *tree.Tree) {
 	if o, ok := q.Dict().(*dict.Overlay); ok && o.Base() == dict.Dict(st.base) {
 		return o, q
 	}
@@ -287,8 +287,13 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 	// nil check per document.
 	tr := qtrace.FromContext(ctx)
 	planSpan := tr.Begin(qtrace.SpanPlan, "")
-	plan, err := c.plan(st, q, &cfg)
+	planBuf := c.planPool.Get().(*[]scanDoc)
+	plan, err := c.plan(st, q, &cfg, (*planBuf)[:0])
 	tr.End(planSpan)
+	defer func() {
+		*planBuf = plan[:0]
+		c.planPool.Put(planBuf)
+	}()
 	if err != nil {
 		return nil, err
 	}
@@ -308,6 +313,17 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 	heap.PublishTo(cut)
 	stats := Stats{}
 	prune := &core.PruneStats{}
+	// Per-document scan state — distance computer, histogram, ring
+	// buffer, candidate view — comes from the corpus pool and is reused
+	// across every document of this run (and across runs, for the parts
+	// that carry only capacity). Reset detaches it from whatever query a
+	// previous run built it for.
+	scratch := c.scratchPool.Get().(*core.ScanScratch)
+	scratch.Reset()
+	defer func() {
+		scratch.Reset() // drop query-lifetime references before pooling
+		c.scratchPool.Put(scratch)
+	}()
 	coreOpts := core.Options{
 		Ctx:                   ctx,
 		Model:                 c.model,
@@ -315,6 +331,7 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 		Prune:                 prune,
 		DisableHistogramBound: cfg.NoPrune,
 		DisableEarlyAbort:     cfg.NoPrune,
+		Scratch:               scratch,
 	}
 	for _, d := range plan {
 		if err := ctx.Err(); err != nil {
@@ -335,7 +352,7 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 			h0, a0, e0 = prune.Snapshot()
 			docSpan = tr.Begin(qtrace.SpanScan, d.info.Name)
 		}
-		err := c.scanInto(q, ov, d, heap, cfg.Workers, coreOpts)
+		err := c.scanInto(q, ov, st, d, heap, cfg.Workers, coreOpts)
 		if tr != nil {
 			tr.End(docSpan)
 			h1, a1, e1 := prune.Snapshot()
@@ -354,19 +371,21 @@ func (c *Corpus) TopK(ctx context.Context, q *tree.Tree, k int, opts ...QueryOpt
 		*cfg.Stats = stats
 	}
 	mergeSpan := tr.Begin(qtrace.SpanMerge, "")
-	out := resolve(heap, plan)
+	out := c.resolve(heap, plan)
 	tr.End(mergeSpan)
 	return out, nil
 }
 
 // plan snapshots the documents a query will consider, computes their
-// offsets, bounds and ordering, and returns them in scan order. The query
-// must already be resolved through an overlay over st.base, so its label
-// ids are commensurable with the profile index's.
-func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *QueryConfig) ([]scanDoc, error) {
+// offsets, bounds and ordering, and returns them in scan order, built on
+// dst's backing array (from the corpus plan pool; steady state appends
+// without allocating). The query must already be resolved through an
+// overlay over st.base, so its label ids are commensurable with the
+// profile index's.
+func (c *Corpus) plan(st *snapshot, q *tree.Tree, cfg *QueryConfig, dst []scanDoc) ([]scanDoc, error) {
 	qGrams, err := pqgram.New(q, c.p, c.q)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	qLabels := make(map[int]int, q.Size())
 	for i := 0; i < q.Size(); i++ {
@@ -385,7 +404,7 @@ func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *QueryConfig) ([]scanDoc, e
 	// selection), so a subtree's global position — and with it the
 	// deterministic tie-break — is a property of the corpus, stable
 	// across selections and scan orders.
-	plan := make([]scanDoc, 0, len(st.docs))
+	plan := dst
 	offset := 0
 	for _, d := range st.docs {
 		include := true
@@ -402,7 +421,7 @@ func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *QueryConfig) ([]scanDoc, e
 				if p := st.profiles[d.ID]; p != nil {
 					sd.bound = labelLowerBound(qLabels, p.labels)
 					if sd.pqdist, err = pqgram.Distance(qGrams, p.grams); err != nil {
-						return nil, err
+						return plan, err
 					}
 				} else {
 					// A document can lack its profile after a partial
@@ -420,7 +439,7 @@ func (c *Corpus) plan(st snapshot, q *tree.Tree, cfg *QueryConfig) ([]scanDoc, e
 	}
 	for name, found := range selected {
 		if !found {
-			return nil, fmt.Errorf("corpus: unknown document %q", name)
+			return plan, fmt.Errorf("corpus: unknown document %q", name)
 		}
 	}
 	if !cfg.NoFilter {
@@ -484,12 +503,32 @@ func (e *ScanError) Error() string {
 
 func (e *ScanError) Unwrap() error { return e.Err }
 
-// scanInto streams one document from its store file into the shared
-// ranking. Document labels resolve through the request overlay: labels
-// the corpus ingested hit the frozen base lock-free, and anything else
-// (possible only with store files written outside this corpus) stays
-// request-local.
-func (c *Corpus) scanInto(q *tree.Tree, ov *dict.Overlay, d scanDoc, heap *ranking.Heap, workers int, opts core.Options) error {
+// scanInto streams one document into the shared ranking. The fast path
+// serves the snapshot's cached store: a pooled zero-copy reader walks
+// the mapped bytes with the remap computed at load time — no file open,
+// no dictionary work, no buffer. A document without a cached store (its
+// load failed at open) falls back to a per-query streaming read, whose
+// labels resolve through the request overlay: labels the corpus
+// ingested hit the frozen base lock-free, and anything else (possible
+// only with store files written outside this corpus) stays
+// request-local. Both paths are byte-identical (fuzz-pinned in
+// docstore).
+func (c *Corpus) scanInto(q *tree.Tree, ov *dict.Overlay, st *snapshot, d scanDoc, heap *ranking.Heap, workers int, opts core.Options) error {
+	if ds := st.stores[d.info.ID]; ds != nil {
+		ir := c.readerPool.Get().(*docstore.ImageReader)
+		ir.Reset(ds.img, ds.remap)
+		var err error
+		if workers != 0 {
+			err = core.PostorderParallelInto(q, ir, heap, d.offset, workers, opts)
+		} else {
+			err = core.PostorderStreamInto(q, ir, heap, d.offset, opts)
+		}
+		c.readerPool.Put(ir)
+		if err != nil {
+			return &ScanError{Doc: d.info.Name, Err: err}
+		}
+		return nil
+	}
 	f, err := os.Open(filepath.Join(c.dir, d.info.Store))
 	if err != nil {
 		return &ScanError{Doc: d.info.Name, Err: err}
@@ -511,10 +550,12 @@ func (c *Corpus) scanInto(q *tree.Tree, ov *dict.Overlay, d scanDoc, heap *ranki
 }
 
 // resolve maps the shared ranking's global positions back to
-// (document, local position) matches, in final ranking order.
-func resolve(heap *ranking.Heap, plan []scanDoc) []Match {
-	byOffset := make([]scanDoc, len(plan))
-	copy(byOffset, plan)
+// (document, local position) matches, in final ranking order. Its
+// offset-sorted working copy of the plan comes from the corpus plan
+// pool.
+func (c *Corpus) resolve(heap *ranking.Heap, plan []scanDoc) []Match {
+	bp := c.planPool.Get().(*[]scanDoc)
+	byOffset := append((*bp)[:0], plan...)
 	sort.Slice(byOffset, func(i, j int) bool { return byOffset[i].offset < byOffset[j].offset })
 	out := make([]Match, 0, heap.Len())
 	for _, e := range heap.Sorted() {
@@ -528,5 +569,7 @@ func resolve(heap *ranking.Heap, plan []scanDoc) []Match {
 			Tree: e.Tree,
 		})
 	}
+	*bp = byOffset[:0]
+	c.planPool.Put(bp)
 	return out
 }

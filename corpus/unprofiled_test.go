@@ -153,6 +153,7 @@ func TestPlanNilProfileDirect(t *testing.T) {
 	}
 	c.mu.Lock()
 	delete(c.profiles, c.man.Docs[0].ID)
+	c.publishLocked() // queries read the prebuilt snapshot, not c.profiles
 	c.mu.Unlock()
 
 	q, err := c.ParseBracket("{x}")

@@ -79,45 +79,60 @@ func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap
 	}
 	model := opts.model()
 	d := queries[0].Dict()
-	type qstate struct {
-		q    *tree.Tree
-		tau  int
-		comp *ted.Computer
-		rank *ranking.Heap
-		hist *prb.LabelHist
+	// Per-document setup from the caller's scratch, as in postorderScan:
+	// the per-query states are rebuilt only when this exact (queries,
+	// rankings) combination hasn't been seen — once per run.
+	scratch := opts.BatchScratch
+	if scratch == nil {
+		scratch = new(BatchScratch)
 	}
-	states := make([]*qstate, len(queries))
-	tauMax := 0
-	for i, q := range queries {
-		if err := validate(q, ranks[i].K()); err != nil {
-			return fmt.Errorf("query %d: %w", i, err)
+	if !scratch.matches(queries, ranks) {
+		states := make([]*batchState, len(queries))
+		tauMax := 0
+		for i, q := range queries {
+			if err := validate(q, ranks[i].K()); err != nil {
+				return fmt.Errorf("query %d: %w", i, err)
+			}
+			if !dict.Compatible(q.Dict(), d) {
+				return fmt.Errorf("tasm: query %d uses an incompatible dictionary", i)
+			}
+			if err := cost.Validate(model, q); err != nil {
+				return fmt.Errorf("query %d: %w", i, err)
+			}
+			st := &batchState{
+				q:    q,
+				tau:  Tau(model, q, ranks[i].K(), opts.CT),
+				comp: ted.NewComputer(model, q),
+				rank: ranks[i],
+			}
+			if !opts.DisableHistogramBound {
+				st.hist = prb.NewLabelHist(q)
+			}
+			if st.tau > tauMax {
+				tauMax = st.tau
+			}
+			states[i] = st
 		}
-		if !dict.Compatible(q.Dict(), d) {
-			return fmt.Errorf("tasm: query %d uses an incompatible dictionary", i)
-		}
-		if err := cost.Validate(model, q); err != nil {
-			return fmt.Errorf("query %d: %w", i, err)
-		}
-		st := &qstate{
-			q:    q,
-			tau:  Tau(model, q, ranks[i].K(), opts.CT),
-			comp: ted.NewComputer(model, q),
-			rank: ranks[i],
-		}
-		if !opts.DisableHistogramBound {
-			st.hist = prb.NewLabelHist(q)
-		}
-		if opts.Probe != nil {
-			st.comp.SetProbe(opts.Probe)
-		}
-		if st.tau > tauMax {
-			tauMax = st.tau
-		}
-		states[i] = st
+		scratch.queries = append(scratch.queries[:0], queries...)
+		scratch.ranks = append(scratch.ranks[:0], ranks...)
+		scratch.states = states
+		scratch.tauMax = tauMax
+	}
+	states := scratch.states
+	for _, st := range states {
+		st.comp.SetProbe(opts.Probe) // nil clears a probe from a previous run
 	}
 
-	buf := prb.New(docQ, tauMax)
-	view := &tree.View{} // flat subtree view, recycled across queries and candidates
+	if scratch.buf == nil {
+		scratch.buf = prb.New(docQ, scratch.tauMax)
+	} else {
+		scratch.buf.Reset(docQ, scratch.tauMax)
+	}
+	buf := scratch.buf
+	if scratch.view == nil {
+		scratch.view = &tree.View{} // flat subtree view, recycled across queries and candidates
+	}
+	view := scratch.view
 	done := opts.done()
 	for {
 		// Cancellation poll, once per candidate; see postorderScan.

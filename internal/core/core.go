@@ -78,6 +78,16 @@ type Options struct {
 	DisableEarlyAbort bool
 	// Prune, when non-nil, receives the pruning pipeline's counters.
 	Prune *PruneStats
+	// Scratch, when non-nil, supplies reusable per-document scan state to
+	// PostorderStream/PostorderStreamInto, so a run over many documents
+	// builds its distance computer, histogram, ring buffer, and candidate
+	// view once instead of once per document. See ScanScratch for the
+	// reuse contract. Nil means fresh state per call (the single-document
+	// behavior).
+	Scratch *ScanScratch
+	// BatchScratch is Scratch's counterpart for PostorderBatch/
+	// PostorderBatchInto.
+	BatchScratch *BatchScratch
 }
 
 func (o *Options) model() cost.Model {
@@ -274,16 +284,41 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 	k := r.K()
 	tau := Tau(model, q, k, opts.CT)
 
-	comp := ted.NewComputer(model, q)
-	if opts.Probe != nil {
-		comp.SetProbe(opts.Probe)
+	// Per-document setup, served from the caller's scratch when one is
+	// supplied: the computer and histogram are rebuilt only when the query
+	// changes (i.e. once per run), the ring buffer and view are re-pointed
+	// in place and only ever grow.
+	scratch := opts.Scratch
+	if scratch == nil {
+		scratch = new(ScanScratch)
 	}
-	buf := prb.New(docQ, tau)
+	if scratch.q != q {
+		scratch.q = q
+		scratch.comp = ted.NewComputer(model, q)
+		scratch.hist = nil
+	}
+	comp := scratch.comp
+	comp.SetProbe(opts.Probe) // nil clears a probe from a previous run
+	if scratch.buf == nil {
+		scratch.buf = prb.New(docQ, tau)
+	} else {
+		scratch.buf.Reset(docQ, tau)
+	}
+	buf := scratch.buf
 	d := q.Dict()
-	view := &tree.View{} // flat candidate view, recycled across candidates
+	if scratch.view == nil {
+		scratch.view = &tree.View{} // flat candidate view, recycled across candidates
+	}
+	view := scratch.view
 	var hist *prb.LabelHist
 	if !opts.DisableHistogramBound {
-		hist = prb.NewLabelHist(q)
+		if scratch.hist == nil {
+			scratch.hist = prb.NewLabelHist(q)
+		}
+		// CandidateBound slides the window on and fully off again, so the
+		// histogram's state is identical before and after each candidate —
+		// reuse across documents is safe.
+		hist = scratch.hist
 	}
 	done := opts.done()
 

@@ -250,11 +250,22 @@ func NewReader(d dict.Dict, r io.Reader) (*Reader, error) {
 	return &Reader{br: br, remap: remap, n: count}, nil
 }
 
-// readLabel reads an n-byte label in bounded chunks, so a header claiming
-// a huge length fails with an error once the stream runs dry instead of
-// allocating the claimed length up front.
+// readLabel reads an n-byte label. Sane lengths — anything up to the
+// chunk size, i.e. every label a real writer produces — are read once
+// into a right-sized buffer and converted, with no intermediate copy.
+// Larger claimed lengths are untrusted (a corrupt header can promise
+// gigabytes): those fall back to bounded chunks, so the allocation is
+// driven by bytes actually present and a lying header fails with an
+// error once the stream runs dry.
 func readLabel(br *bufio.Reader, n uint64) (string, error) {
 	const chunkSize = 64 << 10
+	if n <= chunkSize {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
 	var sb []byte
 	for n > 0 {
 		c := min(n, chunkSize)

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package mmapio
+
+// Map reads path into the heap on platforms without mmap support. Same
+// interface and lifetime rules as the mapped path; Mapped() reports
+// false.
+func Map(path string) (*Region, error) { return ReadFile(path) }
+
+func (r *Region) release() error {
+	r.data = nil
+	return nil
+}

@@ -1,0 +1,150 @@
+package mmapio
+
+import (
+	"bytes"
+	"crypto/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Map and ReadFile must serve identical bytes for the same file — the
+// corpus relies on the two paths being interchangeable.
+func TestMapReadFileEquivalence(t *testing.T) {
+	want := make([]byte, 123457)
+	if _, err := rand.Read(want); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTemp(t, want)
+
+	m, err := Map(path)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	defer m.Close()
+	h, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	defer h.Close()
+
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Error("mapped bytes differ from file contents")
+	}
+	if !bytes.Equal(h.Bytes(), want) {
+		t.Error("heap bytes differ from file contents")
+	}
+	if m.Len() != len(want) || h.Len() != len(want) {
+		t.Errorf("Len: mapped %d, heap %d, want %d", m.Len(), h.Len(), len(want))
+	}
+	if h.Mapped() {
+		t.Error("ReadFile region reports Mapped()")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := writeTemp(t, nil)
+	for name, open := range map[string]func(string) (*Region, error){"Map": Map, "ReadFile": ReadFile} {
+		r, err := open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Len() != 0 {
+			t.Errorf("%s: Len = %d, want 0", name, r.Len())
+		}
+		if err := r.Close(); err != nil {
+			t.Errorf("%s: Close: %v", name, err)
+		}
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope")
+	if _, err := Map(path); err == nil {
+		t.Error("Map of missing file succeeded")
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("ReadFile of missing file succeeded")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	path := writeTemp(t, []byte("hello"))
+	for name, open := range map[string]func(string) (*Region, error){"Map": Map, "ReadFile": ReadFile} {
+		r, err := open(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := r.Close(); err != nil {
+				t.Errorf("%s: Close #%d: %v", name, i+1, err)
+			}
+		}
+		var nilRegion *Region
+		if err := nilRegion.Close(); err != nil {
+			t.Errorf("nil Close: %v", err)
+		}
+	}
+}
+
+// The corpus removes and renames store files while queries may still be
+// scanning a snapshot that references them; the mapping must keep
+// serving the old bytes.
+func TestReadableAfterUnlink(t *testing.T) {
+	want := []byte("survives unlink")
+	path := writeTemp(t, want)
+	r, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Bytes(), want) {
+		t.Error("bytes changed after unlink")
+	}
+}
+
+// Concurrent readers over one region — the whole point of sharing a
+// mapping across queries. Run under -race in CI.
+func TestConcurrentReaders(t *testing.T) {
+	data := make([]byte, 1<<16)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	path := writeTemp(t, data)
+	r, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := r.Bytes()
+			var sum byte
+			for _, v := range b {
+				sum += v
+			}
+			_ = sum
+			if len(b) != len(data) {
+				t.Errorf("reader saw %d bytes, want %d", len(b), len(data))
+			}
+		}()
+	}
+	wg.Wait()
+}

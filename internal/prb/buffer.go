@@ -79,6 +79,35 @@ func New(q postorder.Queue, tau int) *Buffer {
 	}
 }
 
+// Reset re-points the buffer at a new postorder queue with threshold tau,
+// reusing the ring arrays when they are large enough. A reset buffer is
+// indistinguishable from one freshly returned by New: the ring contents
+// are never read before being written (every node's slots are filled on
+// append), so stale values from the previous document are harmless. This
+// is the pooling hook for corpus scans, which open one buffer per worker
+// and re-point it at every document of a run.
+func (r *Buffer) Reset(q postorder.Queue, tau int) {
+	if tau < 1 {
+		panic(fmt.Sprintf("prb: threshold τ must be ≥ 1, got %d", tau))
+	}
+	b := tau + 1
+	if cap(r.lbl) < b {
+		r.lbl = make([]int, b)
+		r.pfx = make([]int, b)
+	} else {
+		r.lbl = r.lbl[:b]
+		r.pfx = r.pfx[:b]
+	}
+	r.tau = tau
+	r.b = b
+	r.s, r.e = 1, 1
+	r.c = 0
+	r.q = q
+	r.qErr = nil
+	r.done = false
+	r.pending = false
+}
+
 // Tau returns the size threshold τ.
 func (r *Buffer) Tau() int { return r.tau }
 
