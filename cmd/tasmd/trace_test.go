@@ -220,6 +220,7 @@ func (b *blockingSearcher) TopK(ctx context.Context, q *tree.Tree, k int, opts .
 	return nil, nil
 }
 
+//tasm:allow ctxpoll — test stub: returns immediately, no candidate loop to poll from
 func (b *blockingSearcher) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts ...corpus.QueryOption) ([][]corpus.Match, error) {
 	return nil, nil
 }

@@ -1,0 +1,30 @@
+// Command tasmvet is the repo's custom vet tool: a multichecker
+// bundling the analyzers in internal/analysis/... that enforce the
+// hot-path and concurrency invariants statically. It speaks the
+// `go vet -vettool` driver protocol and is not run standalone:
+//
+//	go build -o bin/tasmvet ./cmd/tasmvet
+//	go vet -vettool=$PWD/bin/tasmvet ./...
+//
+// Individual checks can be disabled with -<name>=false, e.g.
+// `go vet -vettool=... -hotpathalloc=false ./...`. See the README
+// section "Static analysis" for the annotation grammar
+// (//tasm:hotpath, //tasm:ctxpoll, //tasm:allow).
+package main
+
+import (
+	"tasm/internal/analysis"
+	"tasm/internal/analysis/atomicfield"
+	"tasm/internal/analysis/ctxpoll"
+	"tasm/internal/analysis/hotpathalloc"
+	"tasm/internal/analysis/poolreset"
+)
+
+func main() {
+	analysis.Main("tasmvet",
+		hotpathalloc.Analyzer,
+		atomicfield.Analyzer,
+		poolreset.Analyzer,
+		ctxpoll.Analyzer,
+	)
+}

@@ -132,10 +132,12 @@ func TestGroupFailureCancelsSiblings(t *testing.T) {
 
 type failingSearcher struct{}
 
+//tasm:allow ctxpoll — test stub: fails immediately, no candidate loop to poll from
 func (f *failingSearcher) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.QueryOption) ([]corpus.Match, error) {
 	return nil, &corpus.ScanError{Doc: "broken", Err: fmt.Errorf("store corrupt")}
 }
 
+//tasm:allow ctxpoll — test stub: fails immediately, no candidate loop to poll from
 func (f *failingSearcher) TopKBatch(ctx context.Context, qs []*tree.Tree, k int, opts ...corpus.QueryOption) ([][]corpus.Match, error) {
 	return nil, &corpus.ScanError{Doc: "broken", Err: fmt.Errorf("store corrupt")}
 }

@@ -174,6 +174,8 @@ func (g *Group) Generation() uint64 {
 // corpus.WithPartialResults, in which case backend-side failures degrade
 // to a best-effort merge of the surviving shards, reported through
 // Stats.Degraded.
+//
+//tasm:allow ctxpoll — cancellation is delegated: scatter runs every child Searcher under a derived ctx, each child polls per candidate, and a child ctx error fails the fan-out
 func (g *Group) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.QueryOption) ([]corpus.Match, error) {
 	cfg := corpus.ResolveQueryOptions(opts...)
 	if ctx == nil {
@@ -219,6 +221,8 @@ func (g *Group) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.Qu
 // TopKBatch is TopK for several queries in one fan-out: every shard runs
 // its own single-pass batch scan, and each query's per-shard rankings
 // merge independently. Query i's shards share cutoff i.
+//
+//tasm:allow ctxpoll — cancellation is delegated: scatter runs every child Searcher under a derived ctx, each child polls per candidate, and a child ctx error fails the fan-out
 func (g *Group) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts ...corpus.QueryOption) ([][]corpus.Match, error) {
 	cfg := corpus.ResolveQueryOptions(opts...)
 	if ctx == nil {

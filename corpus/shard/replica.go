@@ -96,6 +96,8 @@ func (rs *ReplicaSet) Name() string { return rs.name }
 func (rs *ReplicaSet) Len() int { return len(rs.replicas) }
 
 // TopK answers the query from whichever replica wins the hedged race.
+//
+//tasm:allow ctxpoll — cancellation is delegated: race runs each replica Searcher under a derived ctx, replicas poll per candidate, and a ctx error from an attempt aborts the race
 func (rs *ReplicaSet) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.QueryOption) ([]corpus.Match, error) {
 	cfg := corpus.ResolveQueryOptions(opts...)
 	if err := corpus.ValidateQuery(q, k); err != nil {
@@ -112,6 +114,8 @@ func (rs *ReplicaSet) TopK(ctx context.Context, q *tree.Tree, k int, opts ...cor
 
 // TopKBatch answers the batch from whichever replica wins the hedged
 // race (a batch hedges as one unit: replicas answer whole batches).
+//
+//tasm:allow ctxpoll — cancellation is delegated: race runs each replica Searcher under a derived ctx, replicas poll per candidate, and a ctx error from an attempt aborts the race
 func (rs *ReplicaSet) TopKBatch(ctx context.Context, queries []*tree.Tree, k int, opts ...corpus.QueryOption) ([][]corpus.Match, error) {
 	cfg := corpus.ResolveQueryOptions(opts...)
 	if err := corpus.ValidateBatch(queries, k, &cfg); err != nil {

@@ -59,10 +59,12 @@ func (s *breakerSkippedSearcher) err() error {
 	return &corpus.ScanError{Shard: s.name, Err: fmt.Errorf("%w (skipping %s)", shard.ErrBreakerOpen, s.name)}
 }
 
+//tasm:allow ctxpoll — test stub: fails immediately, no candidate loop to poll from
 func (s *breakerSkippedSearcher) TopK(ctx context.Context, q *tree.Tree, k int, opts ...corpus.QueryOption) ([]corpus.Match, error) {
 	return nil, s.err()
 }
 
+//tasm:allow ctxpoll — test stub: fails immediately, no candidate loop to poll from
 func (s *breakerSkippedSearcher) TopKBatch(ctx context.Context, qs []*tree.Tree, k int, opts ...corpus.QueryOption) ([][]corpus.Match, error) {
 	return nil, s.err()
 }

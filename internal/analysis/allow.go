@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a waiver comment. Grammar:
+//
+//	//tasm:allow <check>[,<check>...] — <reason>
+//
+// The separator before the reason may be an em dash, "--", or a lone
+// "-". A trailing waiver covers findings on its own line; a standalone
+// waiver covers the line below it.
+const allowPrefix = "//tasm:allow"
+
+// waiver is one parsed //tasm:allow comment.
+type waiver struct {
+	checks []string
+	reason string
+	pos    token.Pos
+}
+
+// allowIndex maps file/line coordinates to the waivers covering them.
+type allowIndex struct {
+	// byLine maps filename -> line -> waivers covering findings on that
+	// line.
+	byLine map[string]map[int][]*waiver
+	bad    []Diagnostic
+}
+
+// parseAllow parses the text of one waiver comment ("" checks on
+// failure). The reason is everything after the separator.
+func parseAllow(text string) (checks []string, reason string, ok bool) {
+	rest, found := strings.CutPrefix(text, allowPrefix)
+	if !found {
+		return nil, "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false // e.g. //tasm:allowance
+	}
+	rest = strings.TrimSpace(rest)
+	var checkPart string
+	for _, sep := range []string{"—", "--", " - "} {
+		if c, r, found := strings.Cut(rest, sep); found {
+			checkPart, reason = strings.TrimSpace(c), strings.TrimSpace(r)
+			break
+		}
+	}
+	if checkPart == "" {
+		checkPart = rest // no separator: checks only, missing reason
+	}
+	for _, c := range strings.Split(checkPart, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			checks = append(checks, c)
+		}
+	}
+	return checks, reason, true
+}
+
+// buildAllowIndex scans the files' comments for waivers. A waiver that
+// shares its line with code covers that line; a waiver alone on its line
+// covers the next line. Both registrations are kept, which errs towards
+// acceptance for unusual comment layouts.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int][]*waiver)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks, reason, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				if len(checks) == 0 || reason == "" {
+					idx.bad = append(idx.bad, Diagnostic{
+						Pos:     c.Pos(),
+						Check:   "tasmvet",
+						Message: "tasm:allow waiver must name its checks and give a reason: //tasm:allow <check> — <reason>",
+					})
+					continue
+				}
+				w := &waiver{checks: checks, reason: reason, pos: c.Pos()}
+				lines := idx.byLine[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]*waiver)
+					idx.byLine[posn.Filename] = lines
+				}
+				lines[posn.Line] = append(lines[posn.Line], w)
+				lines[posn.Line+1] = append(lines[posn.Line+1], w)
+			}
+		}
+	}
+	return idx
+}
+
+// allowed reports whether a waiver for check covers posn.
+func (idx *allowIndex) allowed(check string, posn token.Position) bool {
+	for _, w := range idx.byLine[posn.Filename][posn.Line] {
+		for _, c := range w.checks {
+			if c == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// malformed returns the diagnostics for waivers missing checks or a
+// reason.
+func (idx *allowIndex) malformed() []Diagnostic {
+	return idx.bad
+}

@@ -1,0 +1,237 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// go/analysis analyzer model (golang.org/x/tools is not a module
+// dependency): an Analyzer inspects one type-checked package through a
+// Pass and reports position-anchored diagnostics, optionally exchanging
+// per-object facts with the passes of dependency packages so properties
+// can propagate across package boundaries in a modular, dependency-order
+// analysis — exactly the execution model `go vet -vettool` provides.
+//
+// The package also owns the repo's analyzer annotation grammar:
+//
+//	//tasm:hotpath
+//	    marks a function whose body (and everything it statically calls
+//	    within the module) must not allocate — see hotpathalloc.
+//	//tasm:ctxpoll
+//	    marks a function that must poll its context inside a loop — see
+//	    ctxpoll (Searcher-shaped TopK/TopKBatch methods are checked
+//	    without an annotation).
+//	//tasm:allow <check> — <reason>
+//	    waives the named check's findings on the same line (trailing
+//	    comment) or the line below (standalone comment). The reason is
+//	    mandatory; a waiver without one is itself a diagnostic. Checks:
+//	    alloc, atomic, poolreset, ctxpoll.
+//
+// The suite is compiled into cmd/tasmvet and run via
+// `go vet -vettool=$(which tasmvet) ./...`; see the README section
+// "Static analysis".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HasMarker reports whether doc contains the given //tasm:<name>
+// directive line (exact, or followed by explanatory text). Directive
+// comments stay in the comment group's List even though Doc.Text()
+// strips them.
+func HasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") || strings.HasPrefix(c.Text, marker+"\t") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags
+	// (e.g. "hotpathalloc").
+	Name string
+	// Allow is the token naming this check in //tasm:allow waivers
+	// (e.g. "alloc"). Empty means the analyzer's findings cannot be
+	// waived.
+	Allow string
+	// Doc describes the check.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string // the reporting analyzer's name
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// ModulePath is the path of the module under analysis ("" outside
+	// module context). InModule reports whether a package path belongs
+	// to it; analyzers use it to bound transitive checks at the module
+	// boundary.
+	ModulePath string
+
+	allow *allowIndex
+	facts *FactStore
+	diags *[]Diagnostic
+}
+
+// InModule reports whether pkgPath is a package of the module under
+// analysis. Test-variant suffixes ("p [m.test]") are ignored.
+func (p *Pass) InModule(pkgPath string) bool {
+	return inModule(p.ModulePath, normalizePkgPath(pkgPath))
+}
+
+func inModule(module, pkgPath string) bool {
+	if module == "" {
+		return false
+	}
+	return pkgPath == module ||
+		(len(pkgPath) > len(module) && pkgPath[:len(module)] == module && pkgPath[len(module)] == '/')
+}
+
+// Reportf records a diagnostic at pos unless a //tasm:allow waiver for
+// this analyzer's check covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{Pos: pos, Check: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Allowed reports whether a //tasm:allow waiver for this analyzer's
+// check covers pos. Analyzers consult it directly when a waived finding
+// must also stop influencing derived state (e.g. an exported fact), not
+// just its own diagnostic.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.Analyzer.Allow == "" || p.allow == nil {
+		return false
+	}
+	return p.allow.allowed(p.Analyzer.Allow, p.Fset.Position(pos))
+}
+
+// ExportFact publishes a fact about an object of this package under key
+// (see FuncKey/FieldKey), visible to passes of importing packages. The
+// fact must marshal as JSON.
+func (p *Pass) ExportFact(key string, fact any) {
+	p.facts.export(p.Analyzer.Name, p.Pkg.Path(), key, fact)
+}
+
+// ImportFact decodes into out the fact exported under key by this
+// analyzer's pass over package pkgPath, reporting whether one exists.
+// Facts of the current package are visible too once exported.
+// Test-variant suffixes in pkgPath are ignored.
+func (p *Pass) ImportFact(pkgPath, key string, out any) bool {
+	return p.facts.lookup(p.Analyzer.Name, normalizePkgPath(pkgPath), key, out)
+}
+
+// FuncKey returns the fact key for a function or method object:
+// "func F" or "method (T) M" / "method (*T) M".
+func FuncKey(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return "func " + fn.Name()
+	}
+	return "method (" + recvTypeString(recv.Type()) + ") " + fn.Name()
+}
+
+// FieldKey returns the fact key for field name of named struct type t:
+// "field T.name".
+func FieldKey(typeName, fieldName string) string {
+	return "field " + typeName + "." + fieldName
+}
+
+func recvTypeString(t types.Type) string {
+	star := ""
+	if p, ok := t.(*types.Pointer); ok {
+		star = "*"
+		t = p.Elem()
+	}
+	switch n := t.(type) {
+	case *types.Named:
+		return star + n.Obj().Name()
+	default:
+		return star + t.String()
+	}
+}
+
+// Run executes the analyzers over one type-checked package and returns
+// the diagnostics in position order. facts carries the dependency
+// packages' facts in and receives this package's exports; modulePath
+// bounds transitive checks (see Pass.InModule). It is the entry point
+// for test harnesses; the vet driver protocol wraps it via Main.
+func Run(
+	analyzers []*Analyzer,
+	fset *token.FileSet,
+	files []*ast.File,
+	pkg *types.Package,
+	info *types.Info,
+	modulePath string,
+	facts *FactStore,
+) ([]Diagnostic, error) {
+	res, err := runAnalyzers(analyzers, fset, files, pkg, info, modulePath, facts)
+	return res.diags, err
+}
+
+// runResult is the outcome of running a set of analyzers over one
+// package: diagnostics in reporting order and the facts exported for
+// importing packages.
+type runResult struct {
+	diags []Diagnostic
+}
+
+// runAnalyzers executes every analyzer over the package, sharing one
+// fact store (pre-loaded with the dependencies' facts; the analyzers'
+// exports land in it for serialization). Waivers lacking a reason are
+// reported once, regardless of which analyzers ran.
+func runAnalyzers(
+	analyzers []*Analyzer,
+	fset *token.FileSet,
+	files []*ast.File,
+	pkg *types.Package,
+	info *types.Info,
+	modulePath string,
+	facts *FactStore,
+) (runResult, error) {
+	allow := buildAllowIndex(fset, files)
+	var res runResult
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+			ModulePath: modulePath,
+			allow:      allow,
+			facts:      facts,
+			diags:      &res.diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return res, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	for _, bad := range allow.malformed() {
+		res.diags = append(res.diags, bad)
+	}
+	sort.Slice(res.diags, func(i, j int) bool { return res.diags[i].Pos < res.diags[j].Pos })
+	return res, nil
+}

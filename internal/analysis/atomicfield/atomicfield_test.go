@@ -1,0 +1,14 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"tasm/internal/analysis"
+	"tasm/internal/analysis/atomicfield"
+	"tasm/internal/analysis/checktest"
+)
+
+func TestAtomicField(t *testing.T) {
+	checktest.Run(t, "testdata", []*analysis.Analyzer{atomicfield.Analyzer},
+		"tasmvettest/counters", "tasmvettest/reader")
+}

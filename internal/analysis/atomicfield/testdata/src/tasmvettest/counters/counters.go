@@ -1,0 +1,47 @@
+// Package counters is the atomicfield fixture: fields mixed between
+// atomic and plain access are flagged; consistently-accessed fields
+// and unrelated fields are clean.
+package counters
+
+import "sync/atomic"
+
+type Counter struct {
+	hits uint64
+	name string
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counter) Bad() uint64 {
+	return c.hits // want `accessed with sync/atomic`
+}
+
+func (c *Counter) Name() string {
+	return c.name
+}
+
+func (c *Counter) Good() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *Counter) Waived() uint64 {
+	return c.hits //tasm:allow atomic — fixture: read before any goroutine starts
+}
+
+// New initializes via a composite literal: construction before
+// publication is exempt.
+func New(start uint64) *Counter {
+	return &Counter{hits: start}
+}
+
+// Stats is shared with the downstream fixture package: the atomic use
+// lives here, the plain read lives there.
+type Stats struct {
+	Ops uint64
+}
+
+func BumpOps(s *Stats) {
+	atomic.AddUint64(&s.Ops, 1)
+}

@@ -1,0 +1,18 @@
+// Package reader is the downstream atomicfield fixture: the atomic
+// writes to Stats.Ops live in the counters package; this package's
+// plain read is flagged through the imported fact.
+package reader
+
+import (
+	"sync/atomic"
+
+	"tasmvettest/counters"
+)
+
+func ReadOpsBad(s *counters.Stats) uint64 {
+	return s.Ops // want `accessed with sync/atomic`
+}
+
+func ReadOpsGood(s *counters.Stats) uint64 {
+	return atomic.LoadUint64(&s.Ops)
+}

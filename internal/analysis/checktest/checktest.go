@@ -1,0 +1,178 @@
+// Package checktest is the golden-test harness for the repo's
+// analyzers, modeled on golang.org/x/tools' analysistest (which is not
+// a module dependency): it loads packages from a testdata tree,
+// type-checks them against the standard library, runs analyzers over
+// them in dependency order sharing one fact store, and compares the
+// diagnostics against `// want "regexp"` expectation comments in the
+// fixture sources.
+//
+// Layout mirrors analysistest: dir/src/<pkgpath>/*.go. Fixture
+// packages use import paths under the synthetic module "tasmvettest"
+// (e.g. tasmvettest/hot), so cross-package fact flow can be exercised
+// by listing a dependency before its importer in the Run call.
+package checktest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tasm/internal/analysis"
+)
+
+// ModulePath is the synthetic module path fixture packages live under.
+const ModulePath = "tasmvettest"
+
+// Run loads each fixture package (in order, earlier packages being
+// importable by later ones) from dir/src/<pkg>, runs the analyzers
+// over each, and asserts the diagnostics match the fixtures' `// want`
+// comments exactly.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	facts := analysis.NewFactStore()
+	loaded := make(map[string]*types.Package)
+	std := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := loaded[path]; ok {
+			return p, nil
+		}
+		if strings.HasPrefix(path, ModulePath+"/") || path == ModulePath {
+			return nil, fmt.Errorf("fixture package %q not loaded yet; list it earlier in the Run call", path)
+		}
+		return std.Import(path)
+	})
+
+	for _, pkgPath := range pkgs {
+		pkgDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
+		files, err := parseDir(fset, pkgDir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(pkgPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", pkgPath, err)
+		}
+		loaded[pkgPath] = pkg
+
+		diags, err := analysis.Run(analyzers, fset, files, pkg, info, ModulePath, facts)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkgPath, err)
+		}
+		checkWants(t, fset, files, diags)
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one `// want "re"` pattern awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// wantRx matches the quoted patterns after `want`: Go-quoted or
+// backquoted strings, as in analysistest.
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// checkWants compares diagnostics against the files' `// want`
+// comments. Each comment holds one or more quoted regexps and covers
+// diagnostics on its own line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				for _, q := range wantRx.FindAllString(text[idx+len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", posn, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", posn, d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.text)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"tasm/internal/analysis"
+	"tasm/internal/analysis/checktest"
+	"tasm/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	checktest.Run(t, "testdata", []*analysis.Analyzer{ctxpoll.Analyzer},
+		"tasmvettest/scan", "tasmvettest/remote")
+}

@@ -1,0 +1,26 @@
+// Package remote is the cross-package ctxpoll fixture: delegation to a
+// polling function in another module package is recognized through the
+// imported fact; delegation to a non-polling one is flagged.
+package remote
+
+import (
+	"context"
+
+	"tasmvettest/scan"
+)
+
+type Proxy struct{}
+
+func (p *Proxy) TopK(ctx context.Context, k int) error {
+	return scan.PollingHelper(ctx, k)
+}
+
+type Blind struct{}
+
+func (b *Blind) TopK(ctx context.Context, k int) error { // want `polls its context`
+	return nonPolling(k)
+}
+
+func nonPolling(k int) error {
+	return nil
+}

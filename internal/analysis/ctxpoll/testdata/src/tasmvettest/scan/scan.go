@@ -1,0 +1,74 @@
+// Package scan is the ctxpoll fixture: Searcher-shaped entry points
+// that never poll their context are flagged; direct polls, done-channel
+// selects, delegation to polling helpers, and waived delegations are
+// clean.
+package scan
+
+import "context"
+
+type NoPoll struct{}
+
+func (s *NoPoll) TopK(ctx context.Context, k int) ([]int, error) { // want `polls its context`
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+type ErrPoll struct{}
+
+func (s *ErrPoll) TopK(ctx context.Context, k int) ([]int, error) {
+	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+type DonePoll struct{ done chan struct{} }
+
+func (s *DonePoll) TopKBatch(ctx context.Context, k int) error {
+	for i := 0; i < k; i++ {
+		select {
+		case <-s.done:
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+type Delegating struct{}
+
+func (s *Delegating) TopK(ctx context.Context, k int) error {
+	return PollingHelper(ctx, k)
+}
+
+// PollingHelper polls, so entry points delegating to it (here and in
+// downstream fixture packages) are clean.
+func PollingHelper(ctx context.Context, k int) error {
+	for i := 0; i < k; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// Annotated opts into the check by marker and does not poll.
+//
+//tasm:hotpath
+//tasm:ctxpoll
+func Annotated(ctx context.Context, k int) int { // want `polls its context`
+	return k
+}
+
+type Waived struct{}
+
+func (s *Waived) TopK(ctx context.Context, k int) error { //tasm:allow ctxpoll — fixture: cancellation delegated through the transport
+	return nil
+}

@@ -1,0 +1,254 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tasm/internal/analysis"
+)
+
+// TestHotpathAnnotationDrift pins the annotation contract between the
+// runtime allocation tests and the static hotpathalloc analyzer: every
+// function whose allocation behaviour is asserted to be exactly zero by a
+// testing.AllocsPerRun pin must carry the //tasm:hotpath marker, so the
+// vettool keeps guarding it between benchmark runs. Without this check
+// the two layers drift silently — a function loses its marker, the
+// analyzer stops watching it, and the regression only surfaces when the
+// (slower, often skipped-under-race) runtime pin finally runs.
+//
+// The check is syntactic: a pin is an AllocsPerRun call whose result is
+// compared against the literal 0 in the same enclosing function, and its
+// pinned callees are the functions called from the measured closure
+// (given inline or as a local variable). Callee names resolve module-wide
+// by bare name; a name shared by several declarations is satisfied when
+// at least one carries the marker. Budget pins (compared against a
+// nonzero budget) and helpers that return the measurement are out of
+// scope.
+func TestHotpathAnnotationDrift(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+
+	// Pass 1: every non-test FuncDecl in the module, by bare name.
+	annotated := map[string]bool{} // name → at least one decl has the marker
+	declared := map[string]bool{}  // name → at least one non-test decl exists
+	// Pass 2 input: test files to scan for pins.
+	var testFiles []*ast.File
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			testFiles = append(testFiles, f)
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			declared[fd.Name.Name] = true
+			if analysis.HasMarker(fd.Doc, "//tasm:hotpath") {
+				annotated[fd.Name.Name] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pins := 0
+	for _, f := range testFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, pin := range zeroPins(fd) {
+				pins++
+				for name, pos := range pinnedCallees(fd, pin) {
+					if !declared[name] || annotated[name] {
+						continue
+					}
+					t.Errorf("%s: %s is pinned to zero allocations by %s but no declaration of %s carries //tasm:hotpath",
+						fset.Position(pos), name, fset.Position(pin.Pos()), name)
+				}
+			}
+		}
+	}
+	if pins == 0 {
+		t.Fatal("found no zero-allocation AllocsPerRun pins in the module; the drift check is no longer scanning anything")
+	}
+}
+
+// moduleRoot returns the repository root (the directory holding go.mod),
+// found by walking up from the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above the test's working directory")
+		}
+		dir = parent
+	}
+}
+
+// zeroPins returns the testing.AllocsPerRun calls inside fd whose result
+// is compared against the literal 0 somewhere in fd: either the call
+// itself is an operand of the comparison, or the variable it is assigned
+// to is.
+func zeroPins(fd *ast.FuncDecl) []*ast.CallExpr {
+	var calls []*ast.CallExpr                // every AllocsPerRun call
+	assignedTo := map[*ast.CallExpr]string{} // call → variable name
+	zeroCompared := map[string]bool{}        // variable names compared to 0
+	directZero := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAllocsPerRun(n) {
+				calls = append(calls, n)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAllocsPerRun(call) {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok {
+						assignedTo[call] = id.Name
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.NEQ && n.Op != token.EQL && n.Op != token.GTR {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+				if !isZeroLit(pair[1]) {
+					continue
+				}
+				switch x := pair[0].(type) {
+				case *ast.Ident:
+					zeroCompared[x.Name] = true
+				case *ast.CallExpr:
+					if isAllocsPerRun(x) {
+						directZero[x] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var pins []*ast.CallExpr
+	for _, call := range calls {
+		if directZero[call] || zeroCompared[assignedTo[call]] {
+			pins = append(pins, call)
+		}
+	}
+	return pins
+}
+
+// pinnedCallees returns the bare names of the functions called from the
+// measured closure of pin (its second argument), mapped to the position
+// of one call. The closure is either an inline func literal or an
+// identifier naming a func literal assigned earlier in fd.
+func pinnedCallees(fd *ast.FuncDecl, pin *ast.CallExpr) map[string]token.Pos {
+	if len(pin.Args) != 2 {
+		return nil
+	}
+	var body *ast.BlockStmt
+	switch arg := pin.Args[1].(type) {
+	case *ast.FuncLit:
+		body = arg.Body
+	case *ast.Ident:
+		// Find `name := func() {...}` in fd.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name != arg.Name {
+				return true
+			}
+			if fl, ok := as.Rhs[0].(*ast.FuncLit); ok {
+				body = fl.Body
+				return false
+			}
+			return true
+		})
+	}
+	if body == nil {
+		return nil
+	}
+	callees := map[string]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if !builtins[fn.Name] {
+				callees[fn.Name] = call.Pos()
+			}
+		case *ast.SelectorExpr:
+			callees[fn.Sel.Name] = call.Pos()
+		}
+		return true
+	})
+	return callees
+}
+
+// builtins are predeclared function names; a bare-name call to one is the
+// builtin, never a module function, even when a method shares the name.
+var builtins = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+// isAllocsPerRun matches testing.AllocsPerRun(...) syntactically.
+func isAllocsPerRun(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AllocsPerRun" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "testing"
+}
+
+// isZeroLit matches the integer literal 0.
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FactStore holds the per-object facts of an analysis run: facts
+// imported from the serialized outputs of dependency passes, plus the
+// facts the current package's analyzers export. Facts are JSON values
+// keyed by (analyzer, package path, object key); see FuncKey/FieldKey.
+type FactStore struct {
+	// data maps analyzer -> package path -> object key -> fact JSON.
+	data map[string]map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{data: make(map[string]map[string]map[string]json.RawMessage)}
+}
+
+func (s *FactStore) export(analyzer, pkgPath, key string, fact any) {
+	raw, err := json.Marshal(fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: fact %T for %s is not JSON-marshalable: %v", fact, key, err))
+	}
+	byPkg := s.data[analyzer]
+	if byPkg == nil {
+		byPkg = make(map[string]map[string]json.RawMessage)
+		s.data[analyzer] = byPkg
+	}
+	byKey := byPkg[pkgPath]
+	if byKey == nil {
+		byKey = make(map[string]json.RawMessage)
+		byPkg[pkgPath] = byKey
+	}
+	byKey[key] = raw
+}
+
+func (s *FactStore) lookup(analyzer, pkgPath, key string, out any) bool {
+	raw, ok := s.data[analyzer][pkgPath][key]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// vetxFile is the serialized fact format exchanged between vet runs of
+// dependent packages: the facts one package's pass exported, grouped by
+// analyzer. (The name follows cmd/go's term for vet tool export data.)
+type vetxFile struct {
+	// Version guards the format; readers skip files with an unexpected
+	// version (stale caches after a format change degrade to missing
+	// facts, never to decode errors).
+	Version int                                   `json:"version"`
+	Facts   map[string]map[string]json.RawMessage `json:"facts,omitempty"`
+}
+
+const vetxVersion = 1
+
+// WriteVetx serializes the facts exported for pkgPath to path. The
+// encoding is deterministic (sorted keys) so identical analyses produce
+// identical files for cmd/go's content-addressed cache.
+func (s *FactStore) WriteVetx(path, pkgPath string) error {
+	out := vetxFile{Version: vetxVersion, Facts: make(map[string]map[string]json.RawMessage)}
+	var analyzers []string
+	for a := range s.data {
+		analyzers = append(analyzers, a)
+	}
+	sort.Strings(analyzers)
+	for _, a := range analyzers {
+		if byKey := s.data[a][pkgPath]; len(byKey) > 0 {
+			out.Facts[a] = byKey
+		}
+	}
+	raw, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o666)
+}
+
+// ReadVetx loads the facts a dependency's pass exported for pkgPath
+// from path. Unreadable or version-skewed files are ignored: a missing
+// fact is always safe (it only loosens a transitive check).
+func (s *FactStore) ReadVetx(path, pkgPath string) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var in vetxFile
+	if err := json.Unmarshal(raw, &in); err != nil || in.Version != vetxVersion {
+		return
+	}
+	for analyzer, byKey := range in.Facts {
+		for key, fact := range byKey {
+			byPkg := s.data[analyzer]
+			if byPkg == nil {
+				byPkg = make(map[string]map[string]json.RawMessage)
+				s.data[analyzer] = byPkg
+			}
+			m := byPkg[pkgPath]
+			if m == nil {
+				m = make(map[string]json.RawMessage)
+				byPkg[pkgPath] = m
+			}
+			m[key] = fact
+		}
+	}
+}

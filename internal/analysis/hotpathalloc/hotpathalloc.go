@@ -1,0 +1,496 @@
+// Package hotpathalloc implements the hotpathalloc analyzer: functions
+// marked //tasm:hotpath — and everything they statically call within
+// the module — must not contain allocating constructs. It is the
+// static twin of the testing.AllocsPerRun pins: the pins prove the
+// exercised path allocates zero bytes at runtime, this analyzer proves
+// no allocating construct can reach any hot path at compile time.
+//
+// Flagged constructs: make, new, append, slice/map composite literals,
+// &composite literals, string↔[]byte/[]rune conversions, string
+// concatenation, values boxed into interfaces (arguments, assignments,
+// returns, conversions), func literals, go statements, map
+// assignments, and any call into an allocation-heavy denied package
+// (fmt, errors, log, log/slog, reflect, regexp, sort, strconv).
+// Calls to module functions follow the static call graph: same-package
+// callees are analyzed recursively, cross-package callees through
+// exported per-function allocation facts (the vet driver analyzes
+// dependencies first, so callee facts always precede callers).
+//
+// Known, deliberate limitations — covered by the runtime pins instead:
+// dynamic calls (interface methods, func values) are not followed;
+// taking the address of a variable is not flagged (escape analysis is
+// out of scope); calls into non-denied standard-library packages are
+// assumed clean.
+//
+// Findings are waived with `//tasm:allow alloc — <reason>` on the
+// construct's line; a waiver also stops the construct from propagating
+// into callers' summaries, so it asserts "this never runs on the hot
+// path" (cold error branch) or "this cannot allocate in steady state"
+// (append within preallocated capacity, grow-only scratch resize).
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"tasm/internal/analysis"
+)
+
+// Marker is the annotation that puts a function under this analyzer.
+const Marker = "//tasm:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "hotpathalloc",
+	Allow: "alloc",
+	Doc:   "reject allocating constructs in //tasm:hotpath functions and their static callees",
+	Run:   run,
+}
+
+// deniedPkgs are packages whose every entry point allocates (or may,
+// via reflection); calling into them from a hot path is flagged at the
+// call site without consulting facts.
+var deniedPkgs = map[string]bool{
+	"fmt":      true,
+	"errors":   true,
+	"log":      true,
+	"log/slog": true,
+	"reflect":  true,
+	"regexp":   true,
+	"sort":     true,
+	"strconv":  true,
+}
+
+// allocFact is the exported per-function summary: representative
+// allocation sites reachable from the function (transitively, capped).
+// Functions with no reachable allocations export nothing — a missing
+// fact means clean.
+type allocFact struct {
+	Sites []allocSite `json:"sites"`
+}
+
+type allocSite struct {
+	Pos  string `json:"pos"`  // "pkg/path/file.go:line"
+	What string `json:"what"` // human description of the construct
+}
+
+// finding is one allocation reachable from a function, anchored to a
+// position in the current package (the construct itself, or the call
+// site of a cross-package callee that allocates).
+type finding struct {
+	pos  token.Pos
+	what string
+}
+
+// maxSites bounds per-function summaries so pathological fan-out can't
+// explode fact files or diagnostics.
+const maxSites = 20
+
+func run(pass *analysis.Pass) error {
+	r := &resolver{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func][]finding),
+		state: make(map[*types.Func]int),
+	}
+	var hot []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			r.decls[fn] = fd
+			if analysis.HasMarker(fd.Doc, Marker) {
+				hot = append(hot, fn)
+			}
+		}
+	}
+
+	// Report findings reachable from each annotated function, deduped
+	// across roots (two hot entry points sharing a callee produce one
+	// diagnostic per construct).
+	sort.Slice(hot, func(i, j int) bool { return r.decls[hot[i]].Pos() < r.decls[hot[j]].Pos() })
+	seen := make(map[string]bool)
+	for _, fn := range hot {
+		for _, f := range r.findings(fn) {
+			key := strconv.Itoa(int(f.pos)) + "|" + f.what
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pass.Reportf(f.pos, "%s on a %s path (via %s)", f.what, Marker, fn.Name())
+		}
+	}
+
+	// Export every function's summary so downstream packages can check
+	// their own hot paths against calls into this one.
+	for fn := range r.decls {
+		fs := r.findings(fn)
+		if len(fs) == 0 {
+			continue
+		}
+		fact := allocFact{}
+		for _, f := range fs {
+			site := allocSite{Pos: r.posStr(f.pos), What: f.what}
+			dup := false
+			for _, s := range fact.Sites {
+				if s == site {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fact.Sites = append(fact.Sites, site)
+			}
+			if len(fact.Sites) == 3 {
+				break
+			}
+		}
+		pass.ExportFact(analysis.FuncKey(fn), fact)
+	}
+	return nil
+}
+
+type resolver struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func][]finding
+	state map[*types.Func]int // 0 unvisited, 1 visiting, 2 done
+}
+
+func (r *resolver) posStr(pos token.Pos) string {
+	p := r.pass.Fset.Position(pos)
+	return r.pass.Pkg.Path() + "/" + filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// findings returns the allocations reachable from fn through the
+// static call graph, memoized; cycles contribute their sites once, at
+// the frame that entered them.
+func (r *resolver) findings(fn *types.Func) []finding {
+	switch r.state[fn] {
+	case 2:
+		return r.memo[fn]
+	case 1:
+		return nil // cycle: sites attributed to the in-progress frame
+	}
+	r.state[fn] = 1
+	var out []finding
+	if decl := r.decls[fn]; decl != nil {
+		direct, edges := r.collect(decl)
+		out = direct
+		for _, e := range edges {
+			if len(out) >= maxSites {
+				break
+			}
+			calleePkg := e.callee.Pkg()
+			if calleePkg == nil {
+				continue
+			}
+			if calleePkg.Path() == r.pass.Pkg.Path() {
+				if r.decls[e.callee] != nil {
+					out = append(out, r.findings(e.callee)...)
+				}
+				continue
+			}
+			var f allocFact
+			if r.pass.ImportFact(calleePkg.Path(), analysis.FuncKey(e.callee), &f) && len(f.Sites) > 0 {
+				out = append(out, finding{
+					pos: e.pos,
+					what: fmt.Sprintf("call to %s.%s reaches an allocation (%s: %s)",
+						calleePkg.Name(), e.callee.Name(), f.Sites[0].Pos, f.Sites[0].What),
+				})
+			}
+		}
+	}
+	if len(out) > maxSites {
+		out = out[:maxSites]
+	}
+	r.memo[fn] = out
+	r.state[fn] = 2
+	return out
+}
+
+// edge is a static call to a module function, resolved later against
+// local declarations or imported facts.
+type edge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// collect walks one function body for directly allocating constructs
+// and static module-internal call edges. Constructs and edges covered
+// by an `//tasm:allow alloc` waiver are dropped here, which both
+// silences the diagnostic and stops propagation into callers.
+func (r *resolver) collect(decl *ast.FuncDecl) (direct []finding, edges []edge) {
+	pass := r.pass
+	add := func(pos token.Pos, what string) {
+		if !pass.Allowed(pos) {
+			direct = append(direct, finding{pos: pos, what: what})
+		}
+	}
+
+	// Composite literals whose address is taken allocate; value
+	// literals of structs/arrays do not.
+	addressed := make(map[*ast.CompositeLit]bool)
+	// FuncLit ranges, innermost-wins, for resolving the signature a
+	// return statement belongs to.
+	type litRange struct {
+		lit *ast.FuncLit
+	}
+	var funcLits []litRange
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					addressed[cl] = true
+				}
+			}
+		case *ast.FuncLit:
+			funcLits = append(funcLits, litRange{lit: n})
+		}
+		return true
+	})
+	returnSig := func(pos token.Pos) *types.Signature {
+		var innermost *ast.FuncLit
+		for _, lr := range funcLits {
+			if lr.lit.Body.Pos() <= pos && pos < lr.lit.Body.End() {
+				if innermost == nil || lr.lit.Pos() > innermost.Pos() {
+					innermost = lr.lit
+				}
+			}
+		}
+		if innermost != nil {
+			if sig, ok := pass.Info.Types[innermost].Type.(*types.Signature); ok {
+				return sig
+			}
+			return nil
+		}
+		if fn, ok := pass.Info.Defs[decl.Name].(*types.Func); ok {
+			return fn.Type().(*types.Signature)
+		}
+		return nil
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			r.collectCall(n, add, &edges)
+		case *ast.CompositeLit:
+			t := pass.Info.Types[n].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				add(n.Pos(), "composite literal allocates")
+			default:
+				if addressed[n] {
+					add(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			add(n.Pos(), "func literal allocates")
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.Info.Types[n].Type; t != nil && isString(t) {
+					add(n.OpPos, "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if tv, ok := pass.Info.Types[lhs]; ok {
+						r.checkBox(n.Rhs[i], tv.Type, add)
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := pass.Info.Types[ix.X]; t.Type != nil {
+						if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+							add(ix.Pos(), "map assignment may allocate")
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						r.checkBox(n.Values[i], obj.Type(), add)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := returnSig(n.Pos())
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					r.checkBox(res, sig.Results().At(i).Type(), add)
+				}
+			}
+		}
+		return true
+	})
+	return direct, edges
+}
+
+// collectCall classifies one call expression: conversion, builtin,
+// denied-package call, module call edge, and interface boxing of the
+// arguments.
+func (r *resolver) collectCall(call *ast.CallExpr, add func(token.Pos, string), edges *[]edge) {
+	pass := r.pass
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions: T(x).
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		dst := tv.Type
+		srcTV, ok := pass.Info.Types[call.Args[0]]
+		if !ok || srcTV.Type == nil {
+			return
+		}
+		src := srcTV.Type
+		switch {
+		case isString(dst) && isByteOrRuneSlice(src):
+			add(call.Pos(), "[]byte/[]rune-to-string conversion allocates")
+		case isByteOrRuneSlice(dst) && isString(src):
+			add(call.Pos(), "string-to-[]byte/[]rune conversion allocates")
+		default:
+			r.checkBox(call.Args[0], dst, add)
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				add(call.Pos(), "append may grow its backing array")
+			case "print", "println":
+				add(call.Pos(), b.Name()+" allocates")
+			}
+			return
+		}
+	}
+
+	// Static callee resolution: plain functions, qualified functions,
+	// methods. Generic instantiations normalize to their origin.
+	var callee *types.Func
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		callee, _ = pass.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok {
+			callee, _ = sel.Obj().(*types.Func)
+		} else {
+			callee, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+		}
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			callee, _ = pass.Info.Uses[id].(*types.Func)
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			callee, _ = pass.Info.Uses[id].(*types.Func)
+		}
+	}
+
+	if callee != nil {
+		callee = callee.Origin()
+		sig, _ := callee.Type().(*types.Signature)
+		dynamic := sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type())
+		switch {
+		case dynamic || callee.Pkg() == nil:
+			// Interface method / universe method: not followed
+			// (documented limitation — runtime pins cover dynamic
+			// dispatch).
+		case deniedPkgs[callee.Pkg().Path()]:
+			add(call.Pos(), fmt.Sprintf("call to %s.%s allocates (package %s is denied on hot paths)",
+				callee.Pkg().Name(), callee.Name(), callee.Pkg().Path()))
+		case pass.InModule(callee.Pkg().Path()) || callee.Pkg().Path() == pass.Pkg.Path():
+			if !pass.Allowed(call.Pos()) {
+				*edges = append(*edges, edge{pos: call.Pos(), callee: callee})
+			}
+		}
+	}
+
+	// Interface boxing of arguments against the callee signature
+	// (skipped for f(xs...) spreads — the slice is passed as-is).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.Type != nil && !call.Ellipsis.IsValid() {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			for i, arg := range call.Args {
+				var param types.Type
+				switch {
+				case sig.Variadic() && i >= sig.Params().Len()-1:
+					last := sig.Params().At(sig.Params().Len() - 1)
+					if s, ok := last.Type().(*types.Slice); ok {
+						param = s.Elem()
+					}
+				case i < sig.Params().Len():
+					param = sig.Params().At(i).Type()
+				}
+				r.checkBox(arg, param, add)
+			}
+		}
+	}
+}
+
+// checkBox flags e when assigning it to dst boxes a non-pointer-shaped
+// concrete value into an interface (which allocates via convT).
+func (r *resolver) checkBox(e ast.Expr, dst types.Type, add func(token.Pos, string)) {
+	if e == nil || dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	if _, ok := dst.(*types.TypeParam); ok {
+		return
+	}
+	tv, ok := r.pass.Info.Types[e]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return
+	}
+	add(e.Pos(), fmt.Sprintf("%s value boxed into interface allocates", src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,14 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"tasm/internal/analysis"
+	"tasm/internal/analysis/checktest"
+	"tasm/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	checktest.Run(t, "testdata", []*analysis.Analyzer{hotpathalloc.Analyzer},
+		"tasmvettest/dep", "tasmvettest/hot")
+}

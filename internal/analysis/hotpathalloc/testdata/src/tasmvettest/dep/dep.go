@@ -1,0 +1,19 @@
+// Package dep is a fixture dependency: its allocation summaries are
+// exported as facts and consulted by the hot fixture package. None of
+// its functions are annotated, so nothing is reported here even though
+// Alloc allocates.
+package dep
+
+// Alloc allocates; importers calling it from a hot path must be
+// flagged via the exported fact.
+func Alloc() []int {
+	return make([]int, 8)
+}
+
+// Clean does not allocate.
+func Clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

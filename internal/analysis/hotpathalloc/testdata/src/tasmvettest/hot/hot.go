@@ -1,0 +1,101 @@
+// Package hot is the hotpathalloc fixture: each annotated function
+// demonstrates one flagged construct (this includes the acceptance
+// fixture — a deliberate heap allocation in a //tasm:hotpath function
+// produces a diagnostic), plus clean and waived counterexamples.
+package hot
+
+import (
+	"strconv"
+
+	"tasmvettest/dep"
+)
+
+// MakeSlice is the acceptance fixture: a deliberate heap allocation in
+// an annotated function must fail the check.
+//
+//tasm:hotpath
+func MakeSlice() []int {
+	return make([]int, 4) // want `make allocates`
+}
+
+// Clean is the clean case: arithmetic and ranging do not allocate.
+//
+//tasm:hotpath
+func Clean(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+//tasm:hotpath
+func Boxes(x int) any {
+	var sink any
+	sink = x // want `int value boxed into interface allocates`
+	return sink
+}
+
+//tasm:hotpath
+func Denied(n int) string {
+	return strconv.Itoa(n) // want `call to strconv.Itoa allocates`
+}
+
+//tasm:hotpath
+func Convert(b []byte) string {
+	return string(b) // want `conversion allocates`
+}
+
+//tasm:hotpath
+func Closure(n int) func() int {
+	return func() int { return n } // want `func literal allocates`
+}
+
+//tasm:hotpath
+func Append(xs []int, x int) []int {
+	return append(xs, x) // want `append may grow its backing array`
+}
+
+// CallsLocal reaches an allocation through an unannotated same-package
+// callee; the diagnostic lands on the construct inside the callee.
+//
+//tasm:hotpath
+func CallsLocal() int {
+	return local()
+}
+
+func local() int {
+	xs := make([]int, 2) // want `make allocates`
+	return len(xs)
+}
+
+// CallsDep reaches an allocation through a cross-package callee; the
+// diagnostic lands on the call site, citing the imported fact.
+//
+//tasm:hotpath
+func CallsDep() int {
+	return len(dep.Alloc()) // want `call to dep.Alloc reaches an allocation`
+}
+
+// CallsCleanDep calls a dependency function with no allocation fact:
+// clean.
+//
+//tasm:hotpath
+func CallsCleanDep(a, b int) int {
+	return dep.Clean(a, b)
+}
+
+// Waived shows a correctly waived construct: no diagnostic.
+//
+//tasm:hotpath
+func Waived() []int {
+	return make([]int, 4) //tasm:allow alloc — fixture: deliberately waived
+}
+
+// malformed shows a waiver missing its reason: the waiver itself is a
+// diagnostic, and it does not register (the construct below would be
+// flagged if this function were annotated).
+func malformed() []int {
+	//tasm:allow alloc // want `must name its checks and give a reason`
+	return make([]int, 1)
+}

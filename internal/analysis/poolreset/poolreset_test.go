@@ -1,0 +1,14 @@
+package poolreset_test
+
+import (
+	"testing"
+
+	"tasm/internal/analysis"
+	"tasm/internal/analysis/checktest"
+	"tasm/internal/analysis/poolreset"
+)
+
+func TestPoolReset(t *testing.T) {
+	checktest.Run(t, "testdata", []*analysis.Analyzer{poolreset.Analyzer},
+		"tasmvettest/pools")
+}

@@ -1,0 +1,42 @@
+// Package pools is the poolreset fixture: Get of a Reset-bearing type
+// without a Reset call is flagged; resetting, Reset-free types, and
+// waived sites are clean.
+package pools
+
+import "sync"
+
+type Buf struct{ b []byte }
+
+func (b *Buf) Reset() { b.b = b.b[:0] }
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+func Bad() *Buf {
+	b := bufPool.Get().(*Buf) // want `Reset method that is never called`
+	return b
+}
+
+func Good() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.Reset()
+	return b
+}
+
+func Inline() int {
+	return len(bufPool.Get().(*Buf).b) // want `Reset method that is never called`
+}
+
+type Plain struct{ n int }
+
+var plainPool = sync.Pool{New: func() any { return new(Plain) }}
+
+// NoReset is clean: Plain has no Reset method, so there is no contract
+// to enforce.
+func NoReset() *Plain {
+	return plainPool.Get().(*Plain)
+}
+
+func Waived() *Buf {
+	b := bufPool.Get().(*Buf) //tasm:allow poolreset — fixture: caller re-initializes every field
+	return b
+}

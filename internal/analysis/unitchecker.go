@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// This file implements the vet driver protocol spoken by
+// `go vet -vettool=<tool>` (see cmd/go/internal/work.(*Builder).vet):
+//
+//	tool -flags            describe the tool's flags as JSON
+//	tool -V=full           print a version line for build caching
+//	tool [flags] foo.cfg   analyze the single package unit described by
+//	                       the JSON config file, writing facts to
+//	                       cfg.VetxOutput and diagnostics to stderr
+//	                       (exit 2 when there are findings)
+//
+// cmd/go runs the tool bottom-up over the import graph — dependencies
+// first, with VetxOnly set — handing each unit the fact files of its
+// dependencies via PackageVetx. Packages outside the main module are
+// not analyzed (this suite checks repo invariants, and the standard
+// library would drown it); they still write an empty fact file so the
+// protocol's bookkeeping holds.
+
+// Config is the JSON unit description cmd/go writes for each package
+// (a subset of cmd/go's vetConfig; unknown fields are ignored).
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet driver protocol for the given analyzers. It is the
+// entire main of a vettool binary; it does not return.
+func Main(progname string, analyzers ...*Analyzer) {
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" check")
+	}
+	flagsFlag := flag.Bool("flags", false, "describe flags in JSON and exit")
+	versionFlag := flag.String("V", "", "print version and exit (-V=full)")
+	flag.Parse()
+
+	switch {
+	case *flagsFlag:
+		describeFlags()
+		os.Exit(0)
+	case *versionFlag != "":
+		fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+		os.Exit(0)
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr,
+			"%s: this is a vet driver for `go vet -vettool`, not a standalone checker; run:\n\tgo vet -vettool=$(command -v %s) ./...\n",
+			progname, progname)
+		os.Exit(1)
+	}
+
+	var run []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			run = append(run, a)
+		}
+	}
+	os.Exit(runUnit(progname, args[0], run))
+}
+
+// describeFlags prints the tool's flags in the JSON shape cmd/go
+// expects from `tool -flags`.
+func describeFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, _ := json.Marshal(out)
+	os.Stdout.Write(data)
+	os.Stdout.Write([]byte("\n"))
+}
+
+// selfID returns a content hash of the executable, so cmd/go's action
+// cache invalidates when the tool is rebuilt.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+func runUnit(progname, cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+
+	facts := NewFactStore()
+	writeVetx := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		if err := facts.WriteVetx(cfg.VetxOutput, cfg.ImportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing facts: %v\n", progname, err)
+		}
+	}
+
+	// Only packages of the main module are analyzed; everything else
+	// (standard library, third-party modules) just gets an empty fact
+	// file so dependents can proceed.
+	if cfg.ModulePath == "" || cfg.ModuleVersion != "" || cfg.Standard[cfg.ImportPath] {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	tconf := types.Config{
+		Importer: newVetImporter(fset, cfg),
+		Sizes:    types.SizesFor(compilerName(cfg.Compiler), goarch()),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	if v, ok := langVersion(cfg.GoVersion); ok {
+		tconf.GoVersion = v
+	}
+	pkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		for _, err := range typeErrs {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+		}
+		return 1
+	}
+
+	for pkgPath, vetxPath := range cfg.PackageVetx {
+		facts.ReadVetx(vetxPath, normalizePkgPath(pkgPath))
+	}
+
+	res, err := runAnalyzers(analyzers, fset, files, pkg, info, cfg.ModulePath, facts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+	writeVetx()
+	if cfg.VetxOnly || len(res.diags) == 0 {
+		return 0
+	}
+	for _, d := range res.diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Check, d.Message)
+	}
+	return 2
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(cfg.GoFiles) == 0 && cfg.ID == "" {
+		return nil, fmt.Errorf("%s: empty unit config", path)
+	}
+	return cfg, nil
+}
+
+// normalizePkgPath strips cmd/go's test-variant suffix
+// ("p [m.test]" -> "p") so facts written by a variant's pass (keyed by
+// its ImportPath) resolve against the variant package paths seen by
+// importers, and vice versa.
+func normalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+func compilerName(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+// langVersion extracts a valid language version ("go1.24") from the
+// config's GoVersion, which may carry toolchain suffixes.
+func langVersion(v string) (string, bool) {
+	if v == "" || !strings.HasPrefix(v, "go1") {
+		return "", false
+	}
+	// Keep at most "go1.N": types.Config.GoVersion rejects release
+	// candidates and devel strings.
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		digits := parts[1]
+		for i := 0; i < len(digits); i++ {
+			if digits[i] < '0' || digits[i] > '9' {
+				digits = digits[:i]
+				break
+			}
+		}
+		if digits == "" {
+			return "", false
+		}
+		return parts[0] + "." + digits, true
+	}
+	return "", false
+}
+
+// vetImporter resolves imports from the export data files cmd/go hands
+// the unit via ImportMap/PackageFile.
+type vetImporter struct {
+	cfg *Config
+	gc  types.ImporterFrom
+}
+
+func newVetImporter(fset *token.FileSet, cfg *Config) *vetImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc := importer.ForCompiler(fset, compilerName(cfg.Compiler), lookup)
+	return &vetImporter{cfg: cfg, gc: gc.(types.ImporterFrom)}
+}
+
+func (i *vetImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	canonical := path
+	if c, ok := i.cfg.ImportMap[path]; ok {
+		canonical = c
+	}
+	return i.gc.ImportFrom(canonical, i.cfg.Dir, 0)
+}

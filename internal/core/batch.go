@@ -73,9 +73,11 @@ func PostorderBatchInto(queries []*tree.Tree, docQ postorder.Queue, ranks []*ran
 
 // batchScan is the shared body of PostorderBatch and PostorderBatchInto;
 // see postorderScan for the strictTies contract.
+//
+//tasm:hotpath
 func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap, posOffset int, strictTies bool, opts Options) error {
 	if docQ == nil {
-		return fmt.Errorf("tasm: document queue must not be nil")
+		return fmt.Errorf("tasm: document queue must not be nil") //tasm:allow alloc — cold error path: caller bug only
 	}
 	model := opts.model()
 	d := queries[0].Dict()
@@ -84,37 +86,37 @@ func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap
 	// rankings) combination hasn't been seen — once per run.
 	scratch := opts.BatchScratch
 	if scratch == nil {
-		scratch = new(BatchScratch)
+		scratch = new(BatchScratch) //tasm:allow alloc — setup: allocated once when the caller provides no pooled scratch
 	}
 	if !scratch.matches(queries, ranks) {
-		states := make([]*batchState, len(queries))
+		states := make([]*batchState, len(queries)) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 		tauMax := 0
 		for i, q := range queries {
 			if err := validate(q, ranks[i].K()); err != nil {
-				return fmt.Errorf("query %d: %w", i, err)
+				return fmt.Errorf("query %d: %w", i, err) //tasm:allow alloc — cold error path: rejects invalid queries before any scan work
 			}
 			if !dict.Compatible(q.Dict(), d) {
-				return fmt.Errorf("tasm: query %d uses an incompatible dictionary", i)
+				return fmt.Errorf("tasm: query %d uses an incompatible dictionary", i) //tasm:allow alloc — cold error path: rejects invalid queries before any scan work
 			}
-			if err := cost.Validate(model, q); err != nil {
-				return fmt.Errorf("query %d: %w", i, err)
+			if err := cost.Validate(model, q); err != nil { //tasm:allow alloc — setup: runs once per scan, before the candidate loop
+				return fmt.Errorf("query %d: %w", i, err) //tasm:allow alloc — cold error path: rejects invalid queries before any scan work
 			}
-			st := &batchState{
+			st := &batchState{ //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 				q:    q,
 				tau:  Tau(model, q, ranks[i].K(), opts.CT),
-				comp: ted.NewComputer(model, q),
+				comp: ted.NewComputer(model, q), //tasm:allow alloc — setup: one computer per query, built once per batch
 				rank: ranks[i],
 			}
 			if !opts.DisableHistogramBound {
-				st.hist = prb.NewLabelHist(q)
+				st.hist = prb.NewLabelHist(q) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 			}
 			if st.tau > tauMax {
 				tauMax = st.tau
 			}
 			states[i] = st
 		}
-		scratch.queries = append(scratch.queries[:0], queries...)
-		scratch.ranks = append(scratch.ranks[:0], ranks...)
+		scratch.queries = append(scratch.queries[:0], queries...) //tasm:allow alloc — setup: per-batch state rebuilt once per (queries, rankings) combination
+		scratch.ranks = append(scratch.ranks[:0], ranks...)       //tasm:allow alloc — setup: per-batch state rebuilt once per (queries, rankings) combination
 		scratch.states = states
 		scratch.tauMax = tauMax
 	}
@@ -124,13 +126,13 @@ func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap
 	}
 
 	if scratch.buf == nil {
-		scratch.buf = prb.New(docQ, scratch.tauMax)
+		scratch.buf = prb.New(docQ, scratch.tauMax) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	} else {
-		scratch.buf.Reset(docQ, scratch.tauMax)
+		scratch.buf.Reset(docQ, scratch.tauMax) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	}
 	buf := scratch.buf
 	if scratch.view == nil {
-		scratch.view = &tree.View{} // flat subtree view, recycled across queries and candidates
+		scratch.view = &tree.View{} //tasm:allow alloc — setup: flat subtree view built once per scan, recycled across queries and candidates
 	}
 	view := scratch.view
 	done := opts.done()
@@ -181,6 +183,8 @@ func batchScan(queries []*tree.Tree, docQ postorder.Queue, ranks []*ranking.Heap
 // subject to the query's intermediate bound. The view resolves labels in
 // the query's own dictionary, so the distance computer stays on its
 // aliasing fast path for every query of the batch.
+//
+//tasm:hotpath
 func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, view *tree.View, tau int, r *ranking.Heap, posOffset int, strictTies bool, opts Options) error {
 	m := q.Size()
 	d := q.Dict()
@@ -217,7 +221,7 @@ func rankWithin(comp *ted.Computer, q *tree.Tree, buf *prb.Buffer, view *tree.Vi
 			for j := 0; j < size; j++ {
 				e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}
 				if !opts.NoTrees && r.WouldRetain(e) {
-					e.Tree = view.Subtree(j)
+					e.Tree = view.Subtree(j) //tasm:allow alloc — match payload materialized only when the candidate enters the top k
 				}
 				r.Push(e)
 			}

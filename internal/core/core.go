@@ -92,7 +92,7 @@ type Options struct {
 
 func (o *Options) model() cost.Model {
 	if o.Model == nil {
-		return cost.Unit{}
+		return cost.Unit{} //tasm:allow alloc — cost.Unit is zero-size; boxing a zero-size value does not allocate
 	}
 	return o.Model
 }
@@ -110,10 +110,10 @@ func (o *Options) done() <-chan struct{} {
 // validate checks the common query/k preconditions.
 func validate(q *tree.Tree, k int) error {
 	if q == nil || q.Size() == 0 {
-		return fmt.Errorf("tasm: query must be a non-empty tree")
+		return fmt.Errorf("tasm: query must be a non-empty tree") //tasm:allow alloc — cold error path: rejects invalid queries before any scan work
 	}
 	if k < 1 {
-		return fmt.Errorf("tasm: k must be ≥ 1, got %d", k)
+		return fmt.Errorf("tasm: k must be ≥ 1, got %d", k) //tasm:allow alloc — cold error path: rejects invalid queries before any scan work
 	}
 	return nil
 }
@@ -272,12 +272,14 @@ func PostorderStreamInto(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, po
 // PostorderStreamInto; the plain single-document form keeps the paper's
 // τ′ = min(τ, max(R)+|Q|) boundary, which is safe there because positions
 // grow monotonically within one scan.
+//
+//tasm:hotpath
 func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset int, strictTies bool, opts Options) error {
 	if docQ == nil {
-		return fmt.Errorf("tasm: document queue must not be nil")
+		return fmt.Errorf("tasm: document queue must not be nil") //tasm:allow alloc — cold error path: caller bug only
 	}
 	model := opts.model()
-	if err := cost.Validate(model, q); err != nil {
+	if err := cost.Validate(model, q); err != nil { //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 		return err
 	}
 	m := q.Size()
@@ -290,30 +292,30 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 	// in place and only ever grow.
 	scratch := opts.Scratch
 	if scratch == nil {
-		scratch = new(ScanScratch)
+		scratch = new(ScanScratch) //tasm:allow alloc — setup: allocated once when the caller provides no pooled scratch
 	}
 	if scratch.q != q {
 		scratch.q = q
-		scratch.comp = ted.NewComputer(model, q)
+		scratch.comp = ted.NewComputer(model, q) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 		scratch.hist = nil
 	}
 	comp := scratch.comp
 	comp.SetProbe(opts.Probe) // nil clears a probe from a previous run
 	if scratch.buf == nil {
-		scratch.buf = prb.New(docQ, tau)
+		scratch.buf = prb.New(docQ, tau) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	} else {
-		scratch.buf.Reset(docQ, tau)
+		scratch.buf.Reset(docQ, tau) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	}
 	buf := scratch.buf
 	d := q.Dict()
 	if scratch.view == nil {
-		scratch.view = &tree.View{} // flat candidate view, recycled across candidates
+		scratch.view = &tree.View{} //tasm:allow alloc — setup: flat candidate view built once per scan, recycled across candidates
 	}
 	view := scratch.view
 	var hist *prb.LabelHist
 	if !opts.DisableHistogramBound {
 		if scratch.hist == nil {
-			scratch.hist = prb.NewLabelHist(q)
+			scratch.hist = prb.NewLabelHist(q) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 		}
 		// CandidateBound slides the window on and fully off again, so the
 		// histogram's state is identical before and after each candidate —
@@ -399,7 +401,7 @@ func postorderScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffse
 				for j := 0; j < size; j++ {
 					e := Match{Dist: row[j], Pos: posOffset + lml + j, Size: sizes[j]}
 					if !opts.NoTrees && r.WouldRetain(e) {
-						e.Tree = view.Subtree(j)
+						e.Tree = view.Subtree(j) //tasm:allow alloc — match payload materialized only when the candidate enters the top k
 					}
 					r.Push(e)
 				}

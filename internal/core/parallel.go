@@ -84,12 +84,14 @@ type workItem struct {
 // merges still in flight — but it only ever tightens, so a stale read
 // merely evaluates a subtree that a fresher bound would have skipped,
 // never the reverse.
+//
+//tasm:hotpath
 func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset, workers int, strictTies bool, opts Options) error {
 	if docQ == nil {
-		return fmt.Errorf("tasm: document queue must not be nil")
+		return fmt.Errorf("tasm: document queue must not be nil") //tasm:allow alloc — cold error path: caller bug only
 	}
 	model := opts.model()
-	if err := cost.Validate(model, q); err != nil {
+	if err := cost.Validate(model, q); err != nil { //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 		return err
 	}
 	if workers <= 0 {
@@ -106,22 +108,22 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 	// kept; otherwise a scan-local one is installed.
 	cut := r.CutoffPublisher()
 	if cut == nil {
-		cut = ranking.NewCutoff()
+		cut = ranking.NewCutoff() //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 		r.PublishTo(cut)
 	}
-	shared := &sharedRanking{heap: r}
+	shared := &sharedRanking{heap: r} //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 
-	work := make(chan workItem, 2*workers)
+	work := make(chan workItem, 2*workers) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //tasm:allow alloc — setup: worker pool spawned once per scan
 			defer wg.Done()
-			comp := ted.NewComputer(model, q)
+			comp := ted.NewComputer(model, q) //tasm:allow alloc — setup: one computer per worker, built once per scan
 			if opts.Probe != nil {
-				comp.SetProbe(&lockedProbe{p: opts.Probe, mu: &shared.mu})
+				comp.SetProbe(&lockedProbe{p: opts.Probe, mu: &shared.mu}) //tasm:allow alloc — setup: one probe wrapper per worker, built once per scan
 			}
-			local := ranking.New(k)
+			local := ranking.New(k) //tasm:allow alloc — setup: one local ranking per worker, built once per scan
 			for item := range work {
 				evaluateView(comp, item, local, cut, opts)
 				viewPool.Put(item.view)
@@ -151,10 +153,10 @@ func parallelScan(q *tree.Tree, docQ postorder.Queue, r *ranking.Heap, posOffset
 	// copied into a pooled view and shipped to a worker.
 	var hist *prb.LabelHist
 	if !opts.DisableHistogramBound {
-		hist = prb.NewLabelHist(q)
+		hist = prb.NewLabelHist(q) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	}
 	var produceErr error
-	buf := prb.New(docQ, tau)
+	buf := prb.New(docQ, tau) //tasm:allow alloc — setup: runs once per scan, before the candidate loop
 	done := opts.done()
 scan:
 	for {
@@ -210,7 +212,7 @@ scan:
 				}
 			}
 			if compute {
-				v := viewPool.Get().(*tree.View)
+				v := viewPool.Get().(*tree.View) //tasm:allow poolreset — FillView below rebuilds every field of the view before any read
 				if err := buf.FillView(d, v, lml, rt); err != nil {
 					produceErr = err
 					break scan
@@ -244,6 +246,8 @@ type sharedRanking struct {
 // the worker's local k-th distance and the published shared one: a
 // subtree that can beat neither cannot reach the final top k (the local
 // heap already holds k better entries, which all compete at drain).
+//
+//tasm:hotpath
 func evaluateView(comp *ted.Computer, item workItem, local *ranking.Heap, cut *ranking.Cutoff, opts Options) {
 	cutoff := math.Inf(1)
 	if !opts.DisableEarlyAbort {
@@ -283,7 +287,7 @@ func evaluateView(comp *ted.Computer, item workItem, local *ranking.Heap, cut *r
 	for j := 0; j < n; j++ {
 		e := Match{Dist: row[j], Pos: item.base + j, Size: sizes[j]}
 		if !opts.NoTrees && e.Dist <= pubKth && local.WouldRetain(e) {
-			e.Tree = item.view.Subtree(j)
+			e.Tree = item.view.Subtree(j) //tasm:allow alloc — match payload materialized only when the candidate enters the top k
 		}
 		local.Push(e)
 	}

@@ -41,6 +41,8 @@ func (s *PruneStats) Snapshot() (histSkipped, tedAborted, evaluated uint64) {
 // when the early-abort gate is active and the bound is finite, with the
 // pipeline counters bumped. The returned row is valid until the
 // computer's next evaluation.
+//
+//tasm:hotpath
 func evaluateRow(comp *ted.Computer, view *tree.View, kth float64, opts *Options) []float64 {
 	if !opts.DisableEarlyAbort && !math.IsInf(kth, 1) {
 		row, aborted := comp.SubtreeDistancesViewBounded(view, kth)

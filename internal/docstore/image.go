@@ -74,6 +74,8 @@ func ParseImage(data []byte) (*Image, error) {
 }
 
 // NodeCount returns the number of items the header promises.
+//
+//tasm:hotpath
 func (im *Image) NodeCount() uint64 { return im.count }
 
 // Labels returns the decoded label table. The slice is shared; callers
@@ -110,6 +112,8 @@ type ImageReader struct {
 
 // Reset points r at an image's item region with the given label remap
 // (from Image.Remap, possibly cached) and clears all progress state.
+//
+//tasm:hotpath
 func (r *ImageReader) Reset(im *Image, remap []int) {
 	r.data = im.data
 	r.off = im.itemsOff
@@ -120,6 +124,8 @@ func (r *ImageReader) Reset(im *Image, remap []int) {
 }
 
 // Next implements postorder.Queue.
+//
+//tasm:hotpath
 func (r *ImageReader) Next() (postorder.Item, error) {
 	if r.err != nil {
 		return postorder.Item{}, r.err
@@ -129,25 +135,25 @@ func (r *ImageReader) Next() (postorder.Item, error) {
 	}
 	label, n, err := varint.Decode(r.data[r.off:])
 	if err != nil {
-		r.err = fmt.Errorf("docstore: reading item label: %w", err)
+		r.err = fmt.Errorf("docstore: reading item label: %w", err) //tasm:allow alloc — cold error path: corrupt input only
 		return postorder.Item{}, r.err
 	}
 	r.off += n
 	size, n, err := varint.Decode(r.data[r.off:])
 	if err != nil {
-		r.err = fmt.Errorf("docstore: reading item size: %w", err)
+		r.err = fmt.Errorf("docstore: reading item size: %w", err) //tasm:allow alloc — cold error path: corrupt input only
 		return postorder.Item{}, r.err
 	}
 	r.off += n
 	if label >= uint64(len(r.remap)) {
-		r.err = fmt.Errorf("docstore: label id %d outside dictionary of %d", label, len(r.remap))
+		r.err = fmt.Errorf("docstore: label id %d outside dictionary of %d", label, len(r.remap)) //tasm:allow alloc — cold error path: corrupt input only
 		return postorder.Item{}, r.err
 	}
 	r.pos++
 	// Same postorder invariant as Reader.Next: the i-th node's subtree
 	// holds at most the i nodes seen so far.
 	if size < 1 || size > r.pos {
-		r.err = fmt.Errorf("docstore: item %d has subtree size %d, want 1..%d", r.pos, size, r.pos)
+		r.err = fmt.Errorf("docstore: item %d has subtree size %d, want 1..%d", r.pos, size, r.pos) //tasm:allow alloc — cold error path: corrupt input only
 		return postorder.Item{}, r.err
 	}
 	r.n--

@@ -134,6 +134,8 @@ func (r *Buffer) startID() int { return r.c + 1 - r.buffered() }
 // previous candidate is removed automatically (Algorithm 1, line 7). Next
 // returns false with a nil error after the last candidate and false with
 // the error if the underlying queue fails.
+//
+//tasm:hotpath
 func (r *Buffer) Next() (bool, error) {
 	if r.qErr != nil {
 		return false, r.qErr
@@ -149,14 +151,14 @@ func (r *Buffer) Next() (bool, error) {
 		if !r.done {
 			it, err := r.q.Next()
 			switch {
-			case errors.Is(err, io.EOF):
+			case errors.Is(err, io.EOF): //tasm:allow alloc — errors.Is allocates nothing; sentinel comparison on the stream-end path
 				r.done = true
 			case err != nil:
 				r.qErr = err
 				return false, err
 			default:
 				if it.Size < 1 || it.Size > r.c+1 {
-					r.qErr = fmt.Errorf("prb: node %d has invalid subtree size %d", r.c+1, it.Size)
+					r.qErr = fmt.Errorf("prb: node %d has invalid subtree size %d", r.c+1, it.Size) //tasm:allow alloc — cold error path: corrupt input only
 					return false, r.qErr
 				}
 				r.c++
@@ -189,20 +191,30 @@ func (r *Buffer) Next() (bool, error) {
 
 // Root returns the 1-based postorder id of the current candidate's root:
 // the prefix-array entry of its leftmost leaf.
+//
+//tasm:hotpath
 func (r *Buffer) Root() int { return r.pfx[r.s] }
 
 // Leaf returns the 1-based postorder id of the current candidate's
 // leftmost leaf (the leftmost buffered node).
+//
+//tasm:hotpath
 func (r *Buffer) Leaf() int { return r.startID() }
 
 // Label returns the label of buffered node id.
+//
+//tasm:hotpath
 func (r *Buffer) Label(id int) int { return r.lbl[r.slot(id)] }
 
 // Entry returns the prefix-array entry of buffered node id: lml for a
 // non-leaf, the largest recorded ancestor (≥ id) for a leaf.
+//
+//tasm:hotpath
 func (r *Buffer) Entry(id int) int { return r.pfx[r.slot(id)] }
 
 // LMLOf returns the leftmost leaf id of buffered node id.
+//
+//tasm:hotpath
 func (r *Buffer) LMLOf(id int) int {
 	if e := r.pfx[r.slot(id)]; e < id {
 		return e
@@ -212,6 +224,8 @@ func (r *Buffer) LMLOf(id int) int {
 
 // SizeOf returns the subtree size of buffered node id, derived from the
 // prefix array: id − lml(id) + 1.
+//
+//tasm:hotpath
 func (r *Buffer) SizeOf(id int) int { return id - r.LMLOf(id) + 1 }
 
 // AppendItems appends the (label, size) postorder items of nodes from..to
@@ -228,10 +242,12 @@ func (r *Buffer) AppendItems(dst []postorder.Item, from, to int) []postorder.Ite
 // (inclusive, 1-based document postorder ids), whose labels resolve in d.
 // It performs no allocation once v's buffers have grown to the largest
 // subtree filled, which makes it the hot-path alternative to Subtree.
+//
+//tasm:hotpath
 func (r *Buffer) FillView(d dict.Dict, v *tree.View, from, to int) error {
 	n := to - from + 1
 	if n < 1 {
-		return fmt.Errorf("prb: empty subtree range [%d,%d]", from, to)
+		return fmt.Errorf("prb: empty subtree range [%d,%d]", from, to) //tasm:allow alloc — cold error path: caller bug only
 	}
 	labels, sizes := v.Reset(d, n)
 	for id := from; id <= to; id++ {

@@ -102,6 +102,8 @@ func (h *LabelHist) slot(id int) int {
 }
 
 // Add slides one node with the given interned label into the window.
+//
+//tasm:hotpath
 func (h *LabelHist) Add(label int) {
 	var s int
 	if h.keys == nil {
@@ -126,6 +128,8 @@ func (h *LabelHist) Add(label int) {
 
 // Remove slides one node with the given interned label out of the window.
 // The node must have been Added before.
+//
+//tasm:hotpath
 func (h *LabelHist) Remove(label int) {
 	var s int
 	if h.keys == nil {
@@ -159,6 +163,8 @@ func (h *LabelHist) Missing() int { return h.missing }
 // and the histogram state cannot go stale when candidates are skipped;
 // because candidates are disjoint this costs the same node-delta work as
 // an explicitly persistent window. It performs no allocation.
+//
+//tasm:hotpath
 func (h *LabelHist) CandidateBound(b *Buffer, from, to int) int {
 	for id := from; id <= to; id++ {
 		h.Add(b.lbl[b.slot(id)])

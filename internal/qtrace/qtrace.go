@@ -230,6 +230,8 @@ func (t *Trace) Propagate() bool { return t != nil && t.propagate }
 // Begin opens a span and returns its handle, or -1 when the trace is nil
 // or the slab is full (the span is then counted as dropped and every
 // later operation on the handle is a no-op).
+//
+//tasm:hotpath
 func (t *Trace) Begin(name, detail string) int {
 	if t == nil {
 		return -1
@@ -240,12 +242,14 @@ func (t *Trace) Begin(name, detail string) int {
 		t.dropped++
 		return -1
 	}
-	t.spans = append(t.spans, Span{Name: name, Detail: detail, Start: time.Since(t.start)})
+	t.spans = append(t.spans, Span{Name: name, Detail: detail, Start: time.Since(t.start)}) //tasm:allow alloc — append below cap only: the guard above drops spans once the fixed slab fills
 	return len(t.spans) - 1
 }
 
 // End closes the span. A handle past the current slab (possible only if
 // a recorder outlived its Retain) is ignored rather than crashing.
+//
+//tasm:hotpath
 func (t *Trace) End(h int) {
 	if t == nil || h < 0 {
 		return
@@ -261,6 +265,8 @@ func (t *Trace) End(h int) {
 }
 
 // SetPrune attaches candidate-pruning counter deltas to the span.
+//
+//tasm:hotpath
 func (t *Trace) SetPrune(h int, histSkipped, tedAborted, evaluated uint64) {
 	if t == nil || h < 0 {
 		return

@@ -32,6 +32,8 @@ func NewCutoff() *Cutoff {
 
 // Load returns the current published bound; +Inf when nothing has been
 // published. Safe for concurrent use.
+//
+//tasm:hotpath
 func (c *Cutoff) Load() float64 {
 	return math.Float64frombits(c.bits.Load())
 }
@@ -43,6 +45,8 @@ func (c *Cutoff) Active() bool {
 
 // Tighten lowers the published bound to d if d is smaller; larger values
 // are ignored, keeping the publication monotone. Safe for concurrent use.
+//
+//tasm:hotpath
 func (c *Cutoff) Tighten(d float64) {
 	nb := math.Float64bits(d)
 	for {

@@ -110,6 +110,8 @@ func (h *Heap) CutoffPublisher() *Cutoff { return h.cutoff }
 // scatter-gather group) share one publisher, so the bound a scan prunes
 // against reflects results other scans have already found. +Inf while no
 // bound exists yet.
+//
+//tasm:hotpath
 func (h *Heap) KthBound() float64 {
 	kth := math.Inf(1)
 	if len(h.es) == h.k {
@@ -126,9 +128,11 @@ func (h *Heap) KthBound() float64 {
 // Push offers an entry to the ranking. When the ranking is full, the entry
 // is retained only if it beats the current worst, which it then evicts.
 // Push reports whether the entry was retained.
+//
+//tasm:hotpath
 func (h *Heap) Push(e Entry) bool {
 	if len(h.es) < h.k {
-		h.es = append(h.es, e)
+		h.es = append(h.es, e) //tasm:allow alloc — append below k only: New preallocates capacity k and a full heap evicts in place
 		h.up(len(h.es) - 1)
 		if h.cutoff != nil && len(h.es) == h.k {
 			h.cutoff.Tighten(h.es[0].Dist)
@@ -160,6 +164,8 @@ func (h *Heap) Drain(other *Heap) {
 // WouldRetain reports whether Push(e) would keep e, without modifying the
 // ranking. Callers use it to defer expensive entry construction (e.g.
 // materializing the matched subtree) until retention is certain.
+//
+//tasm:hotpath
 func (h *Heap) WouldRetain(e Entry) bool {
 	return len(h.es) < h.k || less(e, h.es[0])
 }

@@ -107,6 +107,8 @@ func (c *Computer) Distance(t *tree.Tree) float64 {
 }
 
 // DistanceView returns δ(Q, V) for the tree held by a flat view.
+//
+//tasm:hotpath
 func (c *Computer) DistanceView(v *tree.View) float64 {
 	c.runView(v)
 	return c.tdAt(c.q.Size()-1, v.Size()-1)
@@ -125,6 +127,8 @@ func (c *Computer) SubtreeDistances(t *tree.Tree) []float64 {
 // SubtreeDistancesView is SubtreeDistances for a flat view: the hot path
 // of TASM-postorder. In steady state it performs no heap allocation. The
 // returned slice is valid until the next call on the computer.
+//
+//tasm:hotpath
 func (c *Computer) SubtreeDistancesView(v *tree.View) []float64 {
 	c.runView(v)
 	return c.tdRow(c.q.Size()-1, v.Size())
@@ -151,6 +155,8 @@ func (c *Computer) SubtreeDistancesView(v *tree.View) []float64 {
 // already exceed the cutoff — exactness below the cutoff is preserved
 // inductively. Like the unbounded path, it allocates nothing in steady
 // state.
+//
+//tasm:hotpath
 func (c *Computer) SubtreeDistancesViewBounded(v *tree.View, cutoff float64) ([]float64, bool) {
 	aborted := c.runViewBounded(v, cutoff)
 	return c.tdRow(c.q.Size()-1, v.Size()), aborted
@@ -160,6 +166,8 @@ func (c *Computer) SubtreeDistancesViewBounded(v *tree.View, cutoff float64) ([]
 // returned distance is exact when ≤ cutoff and otherwise only guaranteed
 // to exceed the cutoff. The bool reports whether the evaluation aborted
 // early.
+//
+//tasm:hotpath
 func (c *Computer) DistanceViewBounded(v *tree.View, cutoff float64) (float64, bool) {
 	aborted := c.runViewBounded(v, cutoff)
 	return c.tdAt(c.q.Size()-1, v.Size()-1), aborted
@@ -213,7 +221,7 @@ func (c *Computer) prepareView(v *tree.View) {
 			c.tCost[j] = 1
 		}
 	} else {
-		c.fillCosts(v.Tree(), n)
+		c.fillCosts(v.Tree(), n) //tasm:allow alloc — non-unit cost models read labels through the aliased shell tree; unit-cost scans never take this branch
 	}
 	if v.Dict() == c.q.Dict() {
 		c.tLab = v.LabelIDs()
@@ -256,7 +264,7 @@ func (c *Computer) translate(d dict.Dict, labels []int) {
 	qd := c.q.Dict()
 	s := c.tLabScratch
 	if cap(s) < len(labels) {
-		s = make([]int, len(labels))
+		s = make([]int, len(labels)) //tasm:allow alloc — grow-only scratch: reallocates only when a document exceeds every prior size
 	}
 	s = s[:len(labels)]
 	for j, id := range labels {
@@ -454,7 +462,7 @@ func (c *Computer) ensure(n int) {
 			cols = n + 1
 		}
 		c.fdCols = cols
-		c.fd = make([]float64, (m+1)*cols)
+		c.fd = make([]float64, (m+1)*cols) //tasm:allow alloc — grow-only scratch: reallocates only when a document exceeds every prior size
 	}
 	if c.tdCols < n {
 		cols := 2 * c.tdCols
@@ -462,10 +470,10 @@ func (c *Computer) ensure(n int) {
 			cols = n
 		}
 		c.tdCols = cols
-		c.td = make([]float64, m*cols)
+		c.td = make([]float64, m*cols) //tasm:allow alloc — grow-only scratch: reallocates only when a document exceeds every prior size
 	}
 	if cap(c.tCost) < n {
-		c.tCost = make([]float64, c.fdCols)
+		c.tCost = make([]float64, c.fdCols) //tasm:allow alloc — grow-only scratch: reallocates only when a document exceeds every prior size
 	}
 	c.tCost = c.tCost[:n]
 }

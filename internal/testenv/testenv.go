@@ -1,0 +1,13 @@
+// Package testenv exposes the environment knobs CI uses to shape test
+// workloads. It is imported by tests only.
+package testenv
+
+import "os"
+
+// Quick reports whether the TASM_QUICK environment variable is set
+// (non-empty). Exhaustive or corpus-scale test suites consult it to
+// shrink their workloads — sampling a sweep instead of enumerating it,
+// smaller synthetic documents — so that slow configurations such as the
+// module-wide -race run stay affordable in CI. Quick mode may reduce
+// coverage breadth but must never change what a test asserts.
+func Quick() bool { return os.Getenv("TASM_QUICK") != "" }

@@ -51,7 +51,7 @@ func growInts(s []int, n int) []int {
 	if c < n {
 		c = n
 	}
-	return make([]int, n, c)
+	return make([]int, n, c) //tasm:allow alloc — grow-only scratch: reallocates only when n exceeds every prior capacity
 }
 
 // Reset prepares the view for a tree of n ≥ 1 nodes with labels interned
@@ -75,14 +75,14 @@ func (v *View) Reset(d dict.Dict, n int) (labels, sizes []int) {
 func (v *View) Build() error {
 	n := len(v.labels)
 	if n == 0 {
-		return fmt.Errorf("tree: empty postorder sequence")
+		return fmt.Errorf("tree: empty postorder sequence") //tasm:allow alloc — cold error path: corrupt input only
 	}
 	stack := v.stack[:0]
 	for i := 0; i < n; i++ {
 		sz := v.sizes[i]
 		if sz < 1 || sz > i+1 {
 			v.stack = stack
-			return fmt.Errorf("tree: node %d has invalid subtree size %d", i, sz)
+			return fmt.Errorf("tree: node %d has invalid subtree size %d", i, sz) //tasm:allow alloc — cold error path: corrupt input only
 		}
 		lml := i - sz + 1
 		v.lml[i] = lml
@@ -95,7 +95,7 @@ func (v *View) Build() error {
 			top := stack[len(stack)-1]
 			if top != cover {
 				v.stack = stack
-				return fmt.Errorf("tree: node %d (size %d) leaves a gap before descendant %d", i, sz, top)
+				return fmt.Errorf("tree: node %d (size %d) leaves a gap before descendant %d", i, sz, top) //tasm:allow alloc — cold error path: corrupt input only
 			}
 			stack = stack[:len(stack)-1]
 			v.parent[top] = i
@@ -104,13 +104,13 @@ func (v *View) Build() error {
 		}
 		if cover != lml-1 {
 			v.stack = stack
-			return fmt.Errorf("tree: node %d (size %d) does not cover nodes down to %d", i, sz, lml)
+			return fmt.Errorf("tree: node %d (size %d) does not cover nodes down to %d", i, sz, lml) //tasm:allow alloc — cold error path: corrupt input only
 		}
-		stack = append(stack, i)
+		stack = append(stack, i) //tasm:allow alloc — grow-only: appends into build scratch reused across fills
 	}
 	v.stack = stack
 	if len(stack) != 1 {
-		return fmt.Errorf("tree: postorder sequence encodes %d trees, want exactly 1", len(stack))
+		return fmt.Errorf("tree: postorder sequence encodes %d trees, want exactly 1", len(stack)) //tasm:allow alloc — cold error path: corrupt input only
 	}
 	return nil
 }
@@ -148,7 +148,7 @@ func (v *View) Keyroots() []int {
 	kr := v.kr[:0]
 	for _, i := range maxFor {
 		if i >= 0 {
-			kr = append(kr, i)
+			kr = append(kr, i) //tasm:allow alloc — grow-only: appends into keyroot scratch reused across fills
 		}
 	}
 	slices.Sort(kr)
@@ -163,7 +163,7 @@ func (v *View) Keyroots() []int {
 // fills), and must be treated as read-only.
 func (v *View) Tree() *Tree {
 	if v.shell == nil {
-		v.shell = &Tree{}
+		v.shell = &Tree{} //tasm:allow alloc — lazily allocated once per View lifetime, reused across fills
 	}
 	s := v.shell
 	s.dict = v.dict

@@ -14,6 +14,7 @@ import (
 	"tasm/internal/dict"
 	"tasm/internal/postorder"
 	"tasm/internal/prb"
+	"tasm/internal/testenv"
 	"tasm/internal/tree"
 )
 
@@ -74,8 +75,12 @@ func TestDeepChainTASM(t *testing.T) {
 func TestDeepChainParsers(t *testing.T) {
 	// Deep bracket notation exercises parser recursion; keep the depth at
 	// a level real documents exceed but goroutine stacks handle (they
-	// grow to 1GB by default).
-	const depth = 20_000
+	// grow to 1GB by default). TASM_QUICK shrinks the chain: -race makes
+	// the parser recursion roughly an order of magnitude slower.
+	depth := 20_000
+	if testenv.Quick() {
+		depth = 4_000
+	}
 	var sb strings.Builder
 	for i := 0; i < depth; i++ {
 		sb.WriteString("{c")
@@ -121,8 +126,12 @@ func TestDeepXML(t *testing.T) {
 func TestWideStarTASM(t *testing.T) {
 	// One million leaves under one root: the DBLP shape taken to the
 	// extreme. The ring buffer holds τ+1 nodes; everything streams.
+	// TASM_QUICK keeps the shape but narrows the star.
 	d := dict.New()
-	const width = 1_000_000
+	width := 1_000_000
+	if testenv.Quick() {
+		width = 100_000
+	}
 	items := starItems(d, width)
 	q := tree.MustParse(d, "{leaf}")
 	got, err := core.PostorderStream(q, postorder.NewSliceQueue(items), 5, core.Options{NoTrees: true})
